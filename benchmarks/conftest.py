@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+One session-scoped :class:`repro.experiments.report.Campaign` backs all the
+figure/table benchmarks, so runs shared between figures (e.g. Figures 4, 6
+and 9 all come from the ScaLapack matrix) are computed once.
+
+Benchmarks print the regenerated table/series — the reproduction artifact —
+and assert the paper's qualitative shape (who wins, roughly by how much).
+Absolute numbers differ from the paper (our engine cluster is a simulated
+cost model, see DESIGN.md), so assertions are on orderings and ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import Campaign
+
+#: Seed used by the whole benchmark campaign (arrival randomness + placement).
+CAMPAIGN_SEED = 2
+
+
+@pytest.fixture(scope="session")
+def campaign() -> Campaign:
+    return Campaign(seed=CAMPAIGN_SEED)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a harness function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

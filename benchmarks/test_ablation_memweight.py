@@ -1,0 +1,52 @@
+"""Ablation — the compute/memory weight (§5's second magic number).
+
+The paper sets a router's memory requirement to ``m = 10 + x²`` (x = AS
+size) and trades it off against compute with a user weight.  We sweep the
+weight on the large single-AS BRITE network (where routing tables are the
+memory hog) and report per-engine-node memory imbalance versus load
+imbalance: more memory weight buys memory balance at some load-balance
+cost.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import CAMPAIGN_SEED, run_once
+from repro.core.mapper import Mapper, MapperConfig
+from repro.partition.metrics import part_weights
+from repro.routing.spf import build_routing
+from repro.routing.tables import memory_weights
+from repro.topology.brite import brite_network
+
+WEIGHTS = (0.0, 0.1, 0.5, 2.0)
+
+
+def sweep_memory_weight():
+    net = brite_network(n_routers=120, n_hosts=80, seed=CAMPAIGN_SEED)
+    tables = build_routing(net)
+    mem = memory_weights(net)
+    rows = {}
+    for w in WEIGHTS:
+        mapper = Mapper(
+            net, 8, tables=tables,
+            config=MapperConfig(memory_weight=w, memory_mode="sum"),
+        )
+        mapping = mapper.map_top()
+        per_part_mem = np.zeros(8)
+        np.add.at(per_part_mem, mapping.parts, mem)
+        mem_imb = per_part_mem.max() / per_part_mem.mean()
+        rows[w] = (mem_imb, mapping.partition.max_imbalance)
+    return rows
+
+
+def test_ablation_memory_weight(benchmark):
+    rows = run_once(benchmark, sweep_memory_weight)
+    print()
+    print("mem_weight   memory_imbalance   vertex_imbalance")
+    for w, (mem_imb, vimb) in rows.items():
+        print(f"{w:10.1f}   {mem_imb:16.3f}   {vimb:16.3f}")
+
+    # Weighting memory in must not leave memory wildly unbalanced.
+    assert rows[2.0][0] <= rows[0.0][0] * 1.25
+    # And with zero weight, memory is allowed to go unbalanced (it is not
+    # part of the objective) — sanity that the knob does something.
+    assert rows[0.0][0] >= 1.0

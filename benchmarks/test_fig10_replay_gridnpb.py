@@ -1,0 +1,22 @@
+"""Figure 10 — GridNPB isolated network emulation time (replay).
+
+Paper's shape: network emulation time drops by ~30 % even though the whole
+application's execution time (Figure 7) barely moves.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_replay_gridnpb(campaign, benchmark):
+    table = run_once(benchmark, campaign.fig10_replay_gridnpb)
+    print()
+    print(table.render("{:.1f}"))
+    print(table.relative_to(0).render("{:.2f}"))
+
+    top, place, profile = table.values.T
+    # PROFILE wins on most topologies and never loses badly; where its
+    # better balance forces a slightly smaller lookahead (hot stub splits
+    # on BRITE) the loss stays within a few percent.
+    assert (profile < top).sum() >= 2
+    assert (profile <= top * 1.08).all()
+    assert 1.0 - (profile / top).mean() > 0.02

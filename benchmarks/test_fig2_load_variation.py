@@ -1,0 +1,36 @@
+"""Figure 2 — load variation over the lifetime of an emulation.
+
+Regenerates the per-engine-node load series (GridNPB on BRITE under the
+TOP mapping — the cell where the effect is most visible).  The paper's
+point: different engine nodes dominate at different stages, which is why a
+single average load constraint is not enough (motivating §3.3's segment
+clustering).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import run_emulation
+from repro.experiments.setups import brite_setup
+from repro.metrics.imbalance import lp_interval_loads
+from repro.routing.spf import build_routing
+
+
+def test_fig2_load_variation(campaign, benchmark):
+    text = run_once(benchmark, campaign.fig2_load_variation)
+    print()
+    print(text)
+
+    # Recompute the series to assert the dominating-node property.
+    setup = brite_setup("gridnpb", **campaign._setup_kwargs())
+    results = campaign.results_for(setup)
+    run = run_emulation(
+        setup.network, build_routing(setup.network),
+        campaign._prepared_workload(setup), campaign.seed,
+        config=campaign.config,
+    )
+    series = lp_interval_loads(run.trace, results["top"].mapping.parts, 10.0)
+    active = series.sum(axis=0) > 0.05 * series.sum(axis=0).max()
+    dominating = np.argmax(series[:, active], axis=0)
+    # The dominating engine node changes over the run (Figure 2's message).
+    assert len(np.unique(dominating)) >= 2

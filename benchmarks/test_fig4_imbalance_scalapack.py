@@ -1,0 +1,26 @@
+"""Figure 4 — load imbalance for ScaLapack across the Table 1 topologies.
+
+Paper's shape: PLACE improves significantly on TOP; PROFILE improves
+further (up to 66 % total against TOP for ScaLapack); imbalance grows with
+the engine-node count.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig4_load_imbalance_scalapack(campaign, benchmark):
+    table = run_once(benchmark, campaign.fig4_imbalance_scalapack)
+    print()
+    print(table.render())
+    print(table.relative_to(0).render("{:.2f}"))
+
+    top, place, profile = table.values.T
+    # PROFILE beats TOP everywhere.
+    assert (profile < top).all()
+    # Mean improvement in the paper's reported band (roughly 50-66 %);
+    # accept anything beyond 35 %.
+    mean_improvement = 1.0 - (profile / top).mean()
+    assert mean_improvement > 0.35
+    # PLACE sits between TOP and PROFILE on average.
+    assert place.mean() < top.mean()
+    assert profile.mean() <= place.mean() + 0.05

@@ -1,0 +1,22 @@
+"""Figure 5 — load imbalance for GridNPB across the Table 1 topologies.
+
+Paper's shape: PROFILE improves imbalance up to 48 % against TOP, and its
+margin over PLACE is *larger* than for ScaLapack (GridNPB's irregular
+traffic defeats the placement approximation).
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5_load_imbalance_gridnpb(campaign, benchmark):
+    table = run_once(benchmark, campaign.fig5_imbalance_gridnpb)
+    print()
+    print(table.render())
+    print(table.relative_to(0).render("{:.2f}"))
+
+    top, place, profile = table.values.T
+    assert (profile < top).all()
+    mean_improvement = 1.0 - (profile / top).mean()
+    assert mean_improvement > 0.30
+    # PROFILE no worse than PLACE on average (its headroom is larger here).
+    assert profile.mean() <= place.mean() + 0.05

@@ -1,0 +1,25 @@
+"""Figure 6 — application emulation time for ScaLapack.
+
+Paper's shape: PLACE reduces emulation time significantly (~40 %), PROFILE
+up to ~50 %.  ScaLapack is communication-bound under emulation, so load
+balance translates almost directly into time.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_emulation_time_scalapack(campaign, benchmark):
+    table = run_once(benchmark, campaign.fig6_emutime_scalapack)
+    print()
+    print(table.render("{:.1f}"))
+    print(table.relative_to(0).render("{:.2f}"))
+
+    top, place, profile = table.values.T
+    # PROFILE never loses to TOP, and wins clearly somewhere (the paper's
+    # 40-50 % shows on our substrate as up to ~20 % where the workload is
+    # communication-bound; see EXPERIMENTS.md on muted time sensitivity).
+    assert (profile <= top * 1.01).all()
+    assert (place <= top * 1.02).all()
+    mean_speedup = 1.0 - (profile / top).mean()
+    assert mean_speedup > 0.04
+    assert (1.0 - profile / top).max() > 0.10

@@ -1,0 +1,27 @@
+"""Figure 7 — application emulation time for GridNPB.
+
+Paper's shape: the improvement is much smaller than ScaLapack's (~17 % at
+best) because GridNPB's execution is computation- rather than
+communication-intensive — better network emulation hides behind the
+application's compute.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_emulation_time_gridnpb(campaign, benchmark):
+    t_app = run_once(benchmark, campaign.fig7_emutime_gridnpb)
+    t_net = campaign.fig10_replay_gridnpb()
+    print()
+    print(t_app.render("{:.1f}"))
+    print(t_app.relative_to(0).render("{:.2f}"))
+
+    top, place, profile = t_app.values.T
+    net_top, _, net_profile = t_net.values.T
+    # PROFILE never slower than TOP.
+    assert (profile <= top * 1.02).all()
+    # The app-time improvement is SMALLER than the network-time improvement
+    # (computation-bound) — the paper's central observation for GridNPB.
+    app_gain = 1.0 - (profile / top).mean()
+    net_gain = 1.0 - (net_profile / net_top).mean()
+    assert app_gain < net_gain

@@ -1,0 +1,22 @@
+"""Figure 9 — ScaLapack isolated network emulation time (replay).
+
+Paper's shape: replay time improves significantly and consistently with the
+overall emulation time of Figure 6.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_replay_scalapack(campaign, benchmark):
+    table = run_once(benchmark, campaign.fig9_replay_scalapack)
+    print()
+    print(table.render("{:.1f}"))
+    print(table.relative_to(0).render("{:.2f}"))
+
+    top, place, profile = table.values.T
+    assert (profile <= top * 1.01).all()
+    assert 1.0 - (profile / top).mean() > 0.04
+    assert (1.0 - profile / top).max() > 0.10
+    # Consistent with Figure 6: same winner ordering.
+    fig6 = campaign.fig6_emutime_scalapack()
+    assert (fig6.values[:, 2] <= fig6.values[:, 0]).all()

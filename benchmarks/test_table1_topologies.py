@@ -1,0 +1,33 @@
+"""Table 1 — network topology setup.
+
+Regenerates the paper's Table 1 (routers / hosts / engine nodes per
+topology) and benchmarks topology construction + routing, the static cost
+every experiment pays first.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import table1
+from repro.experiments.setups import table1_setups
+from repro.routing.spf import build_routing
+
+
+def test_table1_topology_setup(benchmark):
+    table = run_once(benchmark, table1)
+    print()
+    print(table.render(fmt="{:.0f}"))
+    # Exact Table 1 values.
+    assert np.array_equal(
+        table.values,
+        np.array([[20, 40, 3], [27, 150, 5], [160, 132, 8]], dtype=float),
+    )
+
+
+def test_table1_routing_cost(benchmark):
+    """All-pairs routing for the largest Table 1 topology."""
+    setups = table1_setups()
+    brite = setups[-1].network
+
+    tables = benchmark(build_routing, brite)
+    assert tables.next_hop.shape == (brite.n_nodes, brite.n_nodes)

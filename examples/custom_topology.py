@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Scenario: bring your own topology — DML files and partitioner choices.
+
+Builds a custom two-campus network programmatically, round-trips it through
+the DML network description format (how MaSSF stores networks), generates
+BRITE-style random internets, and compares every partitioning algorithm in
+the substrate on the same mapping problem — including the greedy k-cluster
+and linear schemes the paper's related work discusses.
+
+Run with ``python examples/custom_topology.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.graphbuild import (
+    latency_objective_weights,
+    link_weights_to_adjwgt,
+    network_csr,
+)
+from repro.engine.parallel import lookahead_of
+from repro.partition import part_graph
+from repro.partition.api import ALGORITHMS
+from repro.topology import Network, brite_network
+from repro.topology import dml
+from repro.topology.elements import Gbps, Mbps, ms
+
+
+def build_two_campus() -> Network:
+    """Two small campuses joined by a slow WAN link."""
+    net = Network("two-campus")
+    for campus in ("east", "west"):
+        gw = net.add_router(f"{campus}-gw", site=campus)
+        for i in range(3):
+            sw = net.add_router(f"{campus}-sw{i}", site=campus)
+            net.add_link(sw, gw, Mbps(100), ms(1.0))
+            for j in range(4):
+                host = net.add_host(f"{campus}-h{i}{j}", site=campus)
+                net.add_link(host, sw, Mbps(10), ms(0.5))
+    net.add_link("east-gw", "west-gw", Gbps(1), ms(12.0))  # the WAN hop
+    net.validate()
+    return net
+
+
+def main() -> None:
+    net = build_two_campus()
+    print(f"built: {net.summary()}")
+
+    # DML round trip — what you would check into your experiment repo.
+    path = Path(tempfile.mkdtemp()) / "two-campus.dml"
+    dml.dump(net, path)
+    reloaded = dml.load(path)
+    assert reloaded.summary() == net.summary()
+    print(f"DML round trip ok ({path.stat().st_size} bytes at {path})")
+
+    # The partitioning problem: latency objective (maximize cut latency).
+    graph, link_index = network_csr(net)
+    graph = graph.with_adjwgt(
+        link_weights_to_adjwgt(latency_objective_weights(net), link_index)
+    )
+
+    print(f"\n{'algorithm':18s} {'cut':>8s} {'imbalance':>10s} "
+          f"{'lookahead':>10s}")
+    for algo in sorted(ALGORITHMS):
+        result = part_graph(graph, 2, algorithm=algo, tolerance=1.2, seed=3)
+        la = lookahead_of(net, result.parts)
+        la_txt = f"{la * 1e3:8.1f}ms" if la != float("inf") else "      inf"
+        print(f"{algo:18s} {result.weighted_cut:8.3f} "
+              f"{result.max_imbalance:10.3f} {la_txt:>10s}")
+    print("\nA good mapping cuts only the 12 ms WAN link (lookahead 12 ms); "
+          "count-based baselines often cut campus-internal links instead.")
+
+    # Generated internets work the same way.
+    internet = brite_network(n_routers=60, n_hosts=40, model="waxman", seed=5)
+    print(f"\ngenerated: {internet.summary()}")
+    graph, link_index = network_csr(internet)
+    result = part_graph(graph, 6, seed=1)
+    print(f"multilevel 6-way: {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

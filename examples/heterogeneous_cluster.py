@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: a heterogeneous emulation cluster.
+
+The paper's §5: "The MaSSF partitioner currently assumes homogeneous
+physical resources for network simulation."  This example drops that
+assumption: three engine nodes where one is twice as fast as the others.
+Capacity-proportional target fractions hand the fast engine node a double
+share of the virtual network, and the cost model's per-engine speeds show
+the wall-clock benefit over a homogeneous-assumption mapping.
+
+Run with ``python examples/heterogeneous_cluster.py``.
+"""
+
+import numpy as np
+
+from repro.core import Mapper, MapperConfig
+from repro.engine import evaluate_mapping
+from repro.experiments.runner import RunnerConfig, run_emulation
+from repro.experiments.workloads import build_workload
+from repro.routing import build_routing
+from repro.topology import campus_network
+
+SEED = 4
+# Engine node 0 is a dual-processor box: twice the event throughput.
+SPEEDS = np.array([2.0, 1.0, 1.0])
+
+
+def main() -> None:
+    net = campus_network()
+    tables = build_routing(net)
+    workload = build_workload(net, "scalapack", intensity="heavy", seed=SEED)
+    workload.prepare(net, np.random.default_rng(SEED))
+    config = RunnerConfig()
+    run = run_emulation(net, tables, workload, SEED, config=config)
+    compute = workload.compute_profile()
+
+    # Use measured (PROFILE) weights so the partitioner balances actual
+    # load; the capacity-aware mapper hands the fast engine node a double
+    # share of it.
+    profiling = run_emulation(net, tables, workload, SEED + 1,
+                              config=config, collect_netflow=True)
+    homo_mapper = Mapper(net, n_parts=3, tables=tables)
+    hetero_mapper = Mapper(net, n_parts=3, tables=tables,
+                           engine_capacities=SPEEDS)
+    initial = homo_mapper.map_top()
+    homogeneous = homo_mapper.map_profile(profiling.profile,
+                                          initial_parts=initial.parts)
+    heterogeneous = hetero_mapper.map_profile(profiling.profile,
+                                              initial_parts=initial.parts)
+
+    print(f"engine speeds: {SPEEDS.tolist()}  (node 0 is 2x)")
+    print(f"\n{'mapping':16s} {'node loads (packets)':>34s} "
+          f"{'net time':>10s}")
+    for name, mapping in (
+        ("homogeneous", homogeneous),
+        ("capacity-aware", heterogeneous),
+    ):
+        scored = evaluate_mapping(
+            run.trace, net, mapping.parts, cost=config.cost,
+            compute=compute, engine_speeds=SPEEDS,
+        )
+        loads = " / ".join(f"{l / 1e3:7.0f}k" for l in scored.loads)
+        print(f"{name:16s} {loads:>34s} {scored.wall_app:9.1f}s")
+
+    print("\nThe capacity-aware mapping loads the fast engine node with "
+          "roughly twice the packets, finishing sooner on the same "
+          "hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scenario: the PROFILE pipeline end to end, dump files included.
+
+Runs GridNPB on the Campus network with NetFlow collection on every
+emulated router, writes the per-router dump files to disk (exactly what a
+MaSSF deployment would leave behind), then *starts over from the files*:
+parse the dumps, aggregate per-link/per-node loads, cluster the emulation
+lifetime into dominating-node segments, and repartition with
+multi-constraint weights.
+
+Run with ``python examples/netflow_profiling.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Mapper
+from repro.core.segments import find_segments
+from repro.engine import EmulationKernel, evaluate_mapping
+from repro.engine.trace import INJECTED
+from repro.experiments.workloads import build_workload
+from repro.profiling import NetFlowCollector, ProfileData, load_dump_dir, write_dump_dir
+from repro.routing import build_routing
+from repro.topology import campus_network
+
+SEED = 11
+
+
+def main() -> None:
+    net = campus_network()
+    tables = build_routing(net)
+    workload = build_workload(net, app_name="gridnpb", intensity="heavy",
+                              seed=SEED)
+    workload.prepare(net, np.random.default_rng(SEED))
+
+    # --- profiling run with NetFlow on every router ------------------- #
+    collector = NetFlowCollector(granularity="flow")
+    kernel = EmulationKernel(net, tables, train_packets=8,
+                             collector=collector)
+    workload.install(kernel, np.random.default_rng(SEED))
+    trace = kernel.run(until=workload.duration)
+    print(f"profiling run: {trace.n_events} kernel events, "
+          f"{trace.total_packets} packets, "
+          f"{collector.n_records} NetFlow records")
+
+    # --- dump files ----------------------------------------------------#
+    dump_dir = Path(tempfile.mkdtemp(prefix="massf-netflow-"))
+    files = write_dump_dir(collector, dump_dir)
+    print(f"wrote {len(files)} router dump files to {dump_dir}")
+    print(f"  e.g. {files[0].name}: "
+          f"{len(files[0].read_text().splitlines()) - 2} records")
+
+    # --- start over from the files --------------------------------------#
+    records = load_dump_dir(dump_dir)
+    injected = trace.next_node == INJECTED
+    profile = ProfileData.from_records(
+        records, net, duration=trace.duration, interval=5.0,
+        injections=(trace.node[injected], trace.time[injected]),
+    )
+
+    # Segment clustering needs the per-engine-node load curves of the
+    # profiling run's partition (we profile under TOP, like the paper).
+    mapper = Mapper(net, n_parts=3, tables=tables)
+    top = mapper.map_top()
+    segments = find_segments(profile.lp_series(top.parts))
+    print(f"\nsegment clustering found {len(segments)} emulation stages")
+    for i, mask in enumerate(segments):
+        bins = np.nonzero(mask)[0]
+        print(f"  stage {i}: t = {bins[0] * 5.0:.0f}s .. "
+              f"{(bins[-1] + 1) * 5.0:.0f}s ({mask.sum()} bins)")
+
+    # --- repartition and compare -----------------------------------------#
+    profile_mapping = mapper.map_profile(profile, initial_parts=top.parts)
+    for mapping in (top, profile_mapping):
+        scored = evaluate_mapping(trace, net, mapping.parts)
+        print(f"{mapping.approach:8s} imbalance={scored.load_imbalance:.3f} "
+              f"network-time={scored.wall_network:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

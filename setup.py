@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-517 editable installs (`pip install -e .`) cannot build the temporary
+wheel they need.  This shim lets `python setup.py develop` (and thus
+`pip install -e . --no-build-isolation` on newer stacks) work; all real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

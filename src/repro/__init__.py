@@ -1,0 +1,41 @@
+"""repro — reproduction of *Traffic-based Load Balance for Scalable Network
+Emulation* (Xin Liu and Andrew A. Chien, SC 2003).
+
+The package implements, from scratch:
+
+- :mod:`repro.partition` — a multilevel, multi-constraint graph partitioning
+  substrate standing in for METIS, plus the baseline partitioners the paper
+  discusses (random, hierarchical/linear, greedy k-cluster, spectral).
+- :mod:`repro.topology` — the emulated-network model and the three topology
+  families of the paper (Campus, TeraGrid, BRITE-like).
+- :mod:`repro.routing` — shortest-path routing tables, the routing-table
+  memory model, and an ICMP/traceroute implementation used by PLACE.
+- :mod:`repro.engine` — a conservative parallel discrete-event network
+  emulator (the MaSSF stand-in) with a wall-clock cost model.
+- :mod:`repro.traffic` — HTTP/CBR/Poisson background generators and the
+  ScaLapack / GridNPB foreground application traffic models.
+- :mod:`repro.profiling` — NetFlow-like per-router flow profiling with dump
+  files, used by PROFILE.
+- :mod:`repro.replay` — trace recording and causality-preserving replay
+  ("network emulation time in isolation").
+- :mod:`repro.core` — the paper's contribution: the TOP / PLACE / PROFILE
+  mapping approaches, the multi-objective weight combination of §2.3 and the
+  profile segment clustering of §3.3.
+- :mod:`repro.experiments` — end-to-end experiment harness regenerating every
+  table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro.experiments.setups import campus_setup
+    from repro.experiments.runner import evaluate_setup
+
+    results = evaluate_setup(campus_setup("scalapack"), seed=1)
+    for name, ev in results.items():
+        print(name, ev.outcome.load_imbalance)
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

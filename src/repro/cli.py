@@ -1,0 +1,258 @@
+"""Command-line tools.
+
+Three console entry points mirror how MaSSF's partitioner was used
+operationally:
+
+- ``massf-map`` — partition a network description (DML) file onto engine
+  nodes with TOP, or with PROFILE when given a NetFlow dump directory.
+- ``massf-emulate`` — run a built-in experiment (topology × application ×
+  approach) end to end and print the §4.1.1 metrics as JSON.
+- ``massf-netflow`` — summarize a NetFlow dump directory (top routers,
+  links, flows).
+
+All three are plain functions taking ``argv`` so tests can drive them
+without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["massf_map", "massf_emulate", "massf_netflow"]
+
+
+# --------------------------------------------------------------------- #
+# massf-map
+# --------------------------------------------------------------------- #
+def massf_map(argv: list[str] | None = None) -> int:
+    """Partition a DML network file; print ``node_id part`` lines."""
+    parser = argparse.ArgumentParser(
+        prog="massf-map",
+        description="Map a virtual network (DML file) onto emulation "
+        "engine nodes.",
+    )
+    parser.add_argument("network", help="network description (DML) file")
+    parser.add_argument("-k", "--parts", type=int, required=True,
+                        help="number of engine nodes")
+    parser.add_argument("--approach", choices=("top", "profile"),
+                        default="top")
+    parser.add_argument("--netflow-dir",
+                        help="NetFlow dump directory (PROFILE only)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="profiled run duration in seconds "
+                        "(PROFILE only; default: last record time)")
+    parser.add_argument("--algorithm", default="multilevel")
+    parser.add_argument("--tolerance", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--latency-priority", type=float, default=0.6)
+    parser.add_argument("-o", "--output", help="write assignment here "
+                        "instead of stdout")
+    args = parser.parse_args(argv)
+
+    from repro.core.mapper import Mapper, MapperConfig
+    from repro.profiling.aggregate import ProfileData
+    from repro.profiling.dump import load_dump_dir
+    from repro.topology import dml
+
+    net = dml.load(args.network)
+    config = MapperConfig(
+        algorithm=args.algorithm, tolerance=args.tolerance, seed=args.seed,
+        latency_priority=args.latency_priority,
+    )
+    mapper = Mapper(net, n_parts=args.parts, config=config)
+    if args.approach == "top":
+        mapping = mapper.map_top()
+    else:
+        if not args.netflow_dir:
+            parser.error("--netflow-dir is required for --approach profile")
+        records = load_dump_dir(args.netflow_dir)
+        if not records:
+            parser.error(f"no NetFlow records under {args.netflow_dir}")
+        duration = args.duration
+        if duration is None:
+            duration = max(r.last for r in records) * 1.01
+        profile = ProfileData.from_records(records, net, duration=duration)
+        initial = mapper.map_top()
+        mapping = mapper.map_profile(profile, initial_parts=initial.parts)
+
+    lines = [f"# {mapping.summary()}"]
+    lines += [
+        f"{node.node_id} {int(mapping.parts[node.node_id])}"
+        for node in net.nodes
+    ]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# massf-emulate
+# --------------------------------------------------------------------- #
+def massf_emulate(argv: list[str] | None = None) -> int:
+    """Run a built-in experiment; print metrics as JSON."""
+    parser = argparse.ArgumentParser(
+        prog="massf-emulate",
+        description="Run one of the paper's experiment setups end to end.",
+    )
+    parser.add_argument("--topology", choices=("campus", "teragrid", "brite"),
+                        default="campus")
+    parser.add_argument("--network",
+                        help="custom network description (DML) file "
+                        "(overrides --topology; requires -k)")
+    parser.add_argument("--spec",
+                        help="traffic specification file (overrides --app "
+                        "and --intensity; see repro.traffic.spec)")
+    parser.add_argument("-k", "--parts", type=int, default=None,
+                        help="engine nodes (required with --network)")
+    parser.add_argument("--app", choices=("scalapack", "gridnpb", "none"),
+                        default="scalapack")
+    parser.add_argument("--intensity",
+                        choices=("light", "moderate", "heavy"), default=None)
+    parser.add_argument("--approaches", default="top,place,profile",
+                        help="comma-separated subset of top,place,profile")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the workload duration (seconds)")
+    parser.add_argument("-o", "--output", help="write JSON here")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.runner import evaluate_setup, evaluate_workload
+    from repro.experiments.setups import (
+        brite_setup,
+        campus_setup,
+        teragrid_setup,
+    )
+
+    approaches = tuple(
+        a.strip() for a in args.approaches.split(",") if a.strip()
+    )
+    if args.network or args.spec:
+        from repro.experiments.workloads import build_workload
+        from repro.topology import dml
+        from repro.traffic.spec import parse_spec
+
+        if args.network:
+            if args.parts is None:
+                parser.error("-k/--parts is required with --network")
+            net = dml.load(args.network)
+            k = args.parts
+        else:
+            factory = {"campus": campus_setup, "teragrid": teragrid_setup,
+                       "brite": brite_setup}[args.topology]
+            setup = factory(args.app)
+            net = setup.network
+            k = args.parts or setup.n_engine_nodes
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                workload = parse_spec(handle.read(), net, seed=args.seed)
+        else:
+            wl_kwargs = {}
+            if args.intensity:
+                wl_kwargs["intensity"] = args.intensity
+            if args.duration:
+                wl_kwargs["duration"] = args.duration
+            workload = build_workload(net, args.app, seed=args.seed,
+                                      **wl_kwargs)
+        results = evaluate_workload(net, workload, k,
+                                    approaches=approaches, seed=args.seed)
+        described = f"{net.summary()} on {k} engine nodes"
+    else:
+        factory = {"campus": campus_setup, "teragrid": teragrid_setup,
+                   "brite": brite_setup}[args.topology]
+        kwargs: dict = {}
+        if args.intensity:
+            kwargs["intensity"] = args.intensity
+        if args.duration:
+            kwargs["workload_kwargs"] = {"duration": args.duration}
+        setup = factory(args.app, **kwargs)
+        results = evaluate_setup(setup, approaches=approaches,
+                                 seed=args.seed)
+        described = setup.describe()
+
+    payload = {
+        "setup": described,
+        "seed": args.seed,
+        "approaches": {
+            name: {
+                "load_imbalance": ev.outcome.load_imbalance,
+                "app_emulation_time_s": ev.outcome.app_emulation_time,
+                "network_emulation_time_s":
+                    ev.outcome.network_emulation_time,
+                "lookahead_ms": ev.outcome.lookahead * 1e3,
+                "remote_packets": ev.outcome.remote_packets,
+                "weighted_edge_cut": ev.outcome.edge_cut,
+            }
+            for name, ev in results.items()
+        },
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# massf-netflow
+# --------------------------------------------------------------------- #
+def massf_netflow(argv: list[str] | None = None) -> int:
+    """Summarize a NetFlow dump directory."""
+    parser = argparse.ArgumentParser(
+        prog="massf-netflow",
+        description="Aggregate and summarize MaSSF NetFlow dump files.",
+    )
+    parser.add_argument("dump_dir", help="directory of router_*.flow files")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per ranking")
+    args = parser.parse_args(argv)
+
+    from repro.profiling.dump import load_dump_dir
+
+    records = load_dump_dir(args.dump_dir)
+    if not records:
+        print(f"no NetFlow records under {args.dump_dir}", file=sys.stderr)
+        return 1
+
+    by_router: dict[int, int] = {}
+    by_link: dict[int, int] = {}
+    by_pair: dict[tuple[int, int], int] = {}
+    for r in records:
+        by_router[r.router] = by_router.get(r.router, 0) + r.packets
+        by_link[r.out_link] = by_link.get(r.out_link, 0) + r.packets
+        key = (r.src, r.dst)
+        by_pair[key] = by_pair.get(key, 0) + r.packets
+
+    total = sum(by_router.values())
+    span = max(r.last for r in records) - min(r.first for r in records)
+    print(f"{len(records)} records, {total} router-packets, "
+          f"{span:.1f}s span")
+    print("\ntop routers (packets forwarded):")
+    for router, pkts in sorted(by_router.items(), key=lambda kv: -kv[1])[
+        : args.top
+    ]:
+        print(f"  router {router:5d}  {pkts:12d}  {pkts / total:6.1%}")
+    print("\ntop links (packets carried):")
+    for link, pkts in sorted(by_link.items(), key=lambda kv: -kv[1])[
+        : args.top
+    ]:
+        print(f"  link {link:7d}  {pkts:12d}")
+    print("\ntop flows (src -> dst):")
+    for (src, dst), pkts in sorted(by_pair.items(), key=lambda kv: -kv[1])[
+        : args.top
+    ]:
+        print(f"  {src:5d} -> {dst:5d}  {pkts:12d}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    sys.exit(massf_emulate())

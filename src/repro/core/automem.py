@@ -1,0 +1,109 @@
+"""Automatic memory-weight adjustment (§5's second future-work item).
+
+"It will be part of future work to adjust these parameters automatically.
+For example, given a partition, MaSSF can predict more accurate memory
+requirements on every simulation engine node.  If the memory imbalance will
+hurt performance or correctness, then it can adjust the memory weight and
+repartition automatically."
+
+:func:`auto_memory_map` implements exactly that loop: map with the current
+memory weight, predict each engine node's memory footprint from the
+routing-table model, and — while any engine node exceeds its budget —
+raise the memory weight geometrically and repartition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.mapper import Mapper, MapperConfig, MappingResult
+from repro.routing.tables import memory_weights
+from repro.topology.network import Network
+
+__all__ = ["AutoMemoryResult", "predict_part_memory", "auto_memory_map"]
+
+
+@dataclass
+class AutoMemoryResult:
+    """Outcome of the adjust-and-repartition loop."""
+
+    mapping: MappingResult
+    memory_weight: float
+    part_memory: np.ndarray
+    iterations: int
+    fits: bool
+
+    def summary(self) -> str:
+        state = "fits" if self.fits else "STILL OVER BUDGET"
+        return (
+            f"auto-mem: weight={self.memory_weight:.3f} after "
+            f"{self.iterations} iteration(s), max part memory "
+            f"{self.part_memory.max():.0f} ({state})"
+        )
+
+
+def predict_part_memory(
+    net: Network, parts: np.ndarray, k: int
+) -> np.ndarray:
+    """Predicted memory footprint per engine node (routing-table model)."""
+    mem = memory_weights(net)
+    out = np.zeros(k, dtype=np.float64)
+    np.add.at(out, np.asarray(parts, dtype=np.int64), mem)
+    return out
+
+
+def auto_memory_map(
+    net: Network,
+    n_parts: int,
+    memory_budget: float,
+    config: MapperConfig | None = None,
+    tables=None,
+    growth: float = 2.0,
+    max_iterations: int = 8,
+) -> AutoMemoryResult:
+    """TOP-map ``net`` with automatic memory-weight escalation.
+
+    Parameters
+    ----------
+    memory_budget:
+        Maximum memory units one engine node may hold (same units as the
+        ``10 + x²`` router model).
+    growth:
+        Multiplicative memory-weight increase per failed iteration.
+    """
+    if memory_budget <= 0:
+        raise ValueError("memory_budget must be positive")
+    if growth <= 1.0:
+        raise ValueError("growth must exceed 1")
+    config = config or MapperConfig()
+
+    total_memory = float(memory_weights(net).sum())
+    if total_memory / n_parts > memory_budget:
+        raise ValueError(
+            f"infeasible: even a perfect split needs "
+            f"{total_memory / n_parts:.0f} per engine node"
+        )
+
+    weight = max(config.memory_weight, 1e-3)
+    mapping = None
+    part_mem = np.zeros(n_parts)
+    for iteration in range(1, max_iterations + 1):
+        mapper = Mapper(
+            net, n_parts=n_parts, tables=tables,
+            config=replace(config, memory_weight=weight),
+        )
+        mapping = mapper.map_top()
+        part_mem = predict_part_memory(net, mapping.parts, n_parts)
+        if part_mem.max() <= memory_budget:
+            return AutoMemoryResult(
+                mapping=mapping, memory_weight=weight,
+                part_memory=part_mem, iterations=iteration, fits=True,
+            )
+        weight *= growth
+    assert mapping is not None
+    return AutoMemoryResult(
+        mapping=mapping, memory_weight=weight / growth,
+        part_memory=part_mem, iterations=max_iterations, fits=False,
+    )

@@ -1,0 +1,122 @@
+"""Building the partition input graph from the emulated network.
+
+§2.2.1: "The input graph G is defined by two categories of parameters:
+network structure and traffic information. ... Network traffic information
+is used to define edge weights in the graph, and it may also affect vertex
+weights."  This module provides the structure side — the CSR skeleton with a
+CSR-slot → link-id index so any per-link weight vector can be dropped in —
+and the individual weight recipes the approaches compose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.csr import CSRGraph
+from repro.routing.tables import memory_weights
+from repro.topology.network import Network
+
+__all__ = [
+    "network_csr",
+    "link_weights_to_adjwgt",
+    "latency_objective_weights",
+    "bandwidth_vertex_weights",
+    "combine_compute_memory",
+]
+
+
+def network_csr(net: Network) -> tuple[CSRGraph, np.ndarray]:
+    """Convert a network to a unit-weight CSR graph.
+
+    Returns ``(graph, link_index)`` where ``link_index`` is parallel to
+    ``graph.adjncy``: the link id behind each CSR adjacency slot.  Per-link
+    weight vectors become CSR edge weights via
+    :func:`link_weights_to_adjwgt`.
+    """
+    n = net.n_nodes
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    for v in range(n):
+        xadj[v + 1] = xadj[v] + net.degree(v)
+    adjncy = np.zeros(xadj[-1], dtype=np.int64)
+    link_index = np.zeros(xadj[-1], dtype=np.int64)
+    cursor = xadj[:-1].copy()
+    for v in range(n):
+        for nbr, link in net.neighbors(v):
+            adjncy[cursor[v]] = nbr
+            link_index[cursor[v]] = link.link_id
+            cursor[v] += 1
+    graph = CSRGraph(
+        xadj=xadj, adjncy=adjncy,
+        adjwgt=np.ones(xadj[-1], dtype=np.float64),
+        vwgt=np.ones((n, 1), dtype=np.float64),
+    )
+    return graph, link_index
+
+
+def link_weights_to_adjwgt(
+    link_weights: np.ndarray, link_index: np.ndarray
+) -> np.ndarray:
+    """Expand a per-link weight vector into a CSR-parallel edge weight
+    array (each undirected edge gets the same weight in both slots)."""
+    link_weights = np.asarray(link_weights, dtype=np.float64)
+    return link_weights[link_index]
+
+
+def latency_objective_weights(net: Network, exponent: float = 2.0) -> np.ndarray:
+    """Per-link weights for the *maximize cut latency* objective.
+
+    Graph partitioners minimize the cut, so the objective is inverted:
+    ``w = (min_latency / latency) ** exponent`` ∈ (0, 1].  Low-latency links
+    become heavy (expensive to cut, i.e. kept inside a partition, where they
+    cannot shrink the lookahead); high-latency links become cheap to cut.
+
+    The conservative window is set by the *minimum* cut latency, so the
+    penalty for cutting a short link must dominate any number of long-link
+    cuts; the super-linear exponent (default 2) encodes that.
+    """
+    lats = np.array([l.latency_s for l in net.links], dtype=np.float64)
+    if len(lats) == 0:
+        return lats
+    return (lats.min() / lats) ** exponent
+
+
+def bandwidth_vertex_weights(net: Network) -> np.ndarray:
+    """TOP's vertex weight: total link bandwidth in and out of each node
+    (§3.1), normalized to Gbit/s for conditioning."""
+    out = np.array(
+        [net.node_total_bandwidth(v) for v in range(net.n_nodes)],
+        dtype=np.float64,
+    )
+    return out / 1e9
+
+
+def combine_compute_memory(
+    compute: np.ndarray,
+    net: Network,
+    memory_weight: float = 0.1,
+    mode: str = "sum",
+) -> np.ndarray:
+    """Combine the compute and memory requirements into vertex weights.
+
+    §2.2.2: the vertex weight is a "weighted sum of computation and memory
+    requirement"; the paper also notes multi-constraint balancing as an
+    alternative.  Both columns are normalized to mean 1 before combining so
+    ``memory_weight`` is a unit-free priority (the second "magic number" of
+    §5; small when engine nodes have plenty of RAM).
+
+    Returns ``(n, 1)`` for ``mode="sum"`` or ``(n, 2)`` for
+    ``mode="constraint"``.
+    """
+    compute = np.asarray(compute, dtype=np.float64)
+    memory = memory_weights(net)
+
+    def normalized(x: np.ndarray) -> np.ndarray:
+        mean = x.mean()
+        return x / mean if mean > 0 else x
+
+    comp_n, mem_n = normalized(compute), normalized(memory)
+    if mode == "sum":
+        return (comp_n + memory_weight * mem_n)[:, None]
+    if mode == "constraint":
+        return np.stack([comp_n, memory_weight * mem_n], axis=1)
+    raise ValueError(f"unknown memory mode {mode!r}")

@@ -1,0 +1,168 @@
+"""PLACE — application-placement-based mapping (§3.2).
+
+Traffic is estimated in two parts and summed:
+
+- **Background**: each generator supplies its average-bandwidth prediction
+  per endpoint pair ("all traffic generators can provide some prediction of
+  their generated traffic load").
+- **Foreground**: the placement approximation — every injection point is
+  assumed to fully utilize its access link, talking to all other endpoints
+  with evenly distributed bandwidth.
+
+Each predicted flow is routed by *traceroute inside the emulator* (ICMP over
+the instantiated routing tables), optionally with one representative
+endpoint per sub-network to cut the number of traceroute executions.  The
+aggregated per-link load becomes the traffic objective; per-node
+through-traffic becomes the compute term of the vertex weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graphbuild import combine_compute_memory, latency_objective_weights
+from repro.routing.icmp import discover_routes
+from repro.routing.tables import RoutingTables
+from repro.topology.network import Network
+from repro.traffic.apps.base import ForegroundApp
+from repro.traffic.flows import PredictedFlow, TrafficGenerator
+
+__all__ = [
+    "PlaceInputs",
+    "TrafficEstimate",
+    "foreground_placement_flows",
+    "estimate_traffic",
+    "build_place_inputs",
+]
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Routed and aggregated predicted traffic.
+
+    ``link_rate`` / ``node_rate`` are bytes/s per link and through-node;
+    ``n_routes`` counts distinct routed pairs (the traceroute budget).
+    """
+
+    link_rate: np.ndarray
+    node_rate: np.ndarray
+    n_routes: int
+
+
+@dataclass(frozen=True)
+class PlaceInputs:
+    """Partition inputs of the PLACE approach."""
+
+    vwgt: np.ndarray
+    link_weights_latency: np.ndarray
+    link_weights_traffic: np.ndarray
+    estimate: TrafficEstimate
+    diagnostics: dict
+
+
+def foreground_placement_flows(
+    net: Network,
+    app: ForegroundApp,
+    burst_factor: float = 2.0,
+) -> list[PredictedFlow]:
+    """The §3.2 placement approximation for one application.
+
+    Each injection point is assumed to fully utilize its access link,
+    "and every node talks to all other nodes with evenly distributed
+    bandwidth".  When the application supplies a coarse aggregate-volume
+    hint (:meth:`ForegroundApp.offered_bytes` — e.g. the matrix or dataflow
+    sizes a user certainly knows), the per-endpoint rate is capped at
+    ``burst_factor ×`` the implied average: on hosts whose NICs are far
+    faster than the application, the literal full-utilization assumption
+    would drown the (accurate) background prediction and misdirect the
+    partition.  Without a hint, the paper's literal assumption applies.
+    """
+    endpoints = app.endpoints
+    if len(endpoints) < 2:
+        return []
+    hint = app.offered_bytes()
+    hint_rate = None
+    if hint is not None and app.duration > 0:
+        hint_rate = burst_factor * hint / (len(endpoints) * app.duration)
+    flows: list[PredictedFlow] = []
+    for src in endpoints:
+        access_rate = net.node_total_bandwidth(src) / 8.0  # bytes/s
+        src_rate = access_rate
+        if hint_rate is not None:
+            src_rate = min(access_rate, hint_rate)
+        share = src_rate / (len(endpoints) - 1)
+        for dst in endpoints:
+            if dst != src:
+                flows.append(PredictedFlow(src, dst, share))
+    return flows
+
+
+def estimate_traffic(
+    net: Network,
+    tables: RoutingTables,
+    flows: list[PredictedFlow],
+    use_representatives: bool = True,
+) -> TrafficEstimate:
+    """Route predicted flows (traceroute) and aggregate per link/node."""
+    link_rate = np.zeros(net.n_links, dtype=np.float64)
+    node_rate = np.zeros(net.n_nodes, dtype=np.float64)
+    # Merge duplicate pairs first — one traceroute per distinct pair.
+    pair_rate: dict[tuple[int, int], float] = {}
+    for flow in flows:
+        key = (flow.src, flow.dst)
+        pair_rate[key] = pair_rate.get(key, 0.0) + flow.bytes_per_s
+    pairs = sorted(pair_rate)
+    routes, n_walks = discover_routes(
+        tables, pairs, use_representatives=use_representatives
+    )
+    for pair in pairs:
+        rate = pair_rate[pair]
+        path = routes[pair]
+        for node in path:
+            node_rate[node] += rate
+        for u, v in zip(path, path[1:]):
+            link_rate[tables.link_between(u, v).link_id] += rate
+    return TrafficEstimate(
+        link_rate=link_rate, node_rate=node_rate, n_routes=n_walks
+    )
+
+
+def build_place_inputs(
+    net: Network,
+    tables: RoutingTables,
+    background: list[TrafficGenerator],
+    apps: list[ForegroundApp],
+    memory_weight: float = 0.1,
+    memory_mode: str = "sum",
+    use_representatives: bool = True,
+) -> PlaceInputs:
+    """Compute PLACE vertex/edge weights.
+
+    ``background`` generators must already be prepared (populations fixed)
+    so their predictions are available.
+    """
+    flows: list[PredictedFlow] = []
+    for gen in background:
+        flows.extend(gen.predicted_flows(net, tables))
+    for app in apps:
+        flows.extend(foreground_placement_flows(net, app))
+    estimate = estimate_traffic(
+        net, tables, flows, use_representatives=use_representatives
+    )
+    vwgt = combine_compute_memory(
+        estimate.node_rate, net, memory_weight=memory_weight, mode=memory_mode
+    )
+    return PlaceInputs(
+        vwgt=vwgt,
+        link_weights_latency=latency_objective_weights(net),
+        link_weights_traffic=estimate.link_rate,
+        estimate=estimate,
+        diagnostics={
+            "approach": "place",
+            "n_predicted_flows": len(flows),
+            "n_routes": estimate.n_routes,
+            "total_predicted_mbytes_per_s": float(estimate.link_rate.sum() / 1e6),
+        },
+    )

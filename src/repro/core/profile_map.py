@@ -1,0 +1,99 @@
+"""PROFILE — profile-based mapping (§3.3).
+
+Consumes :class:`~repro.profiling.aggregate.ProfileData` from a profiling
+run: measured per-node packet loads become the compute vertex weight,
+measured per-link packets the traffic objective, and — when segment
+clustering is enabled — the emulation lifetime is split at dominating-node
+changes and each segment contributes one balance constraint
+(multi-constraint partitioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graphbuild import combine_compute_memory, latency_objective_weights
+from repro.core.segments import find_segments, segment_weights
+from repro.profiling.aggregate import ProfileData
+from repro.routing.tables import memory_weights
+from repro.topology.network import Network
+
+__all__ = ["ProfileInputs", "build_profile_inputs"]
+
+
+@dataclass(frozen=True)
+class ProfileInputs:
+    """Partition inputs of the PROFILE approach."""
+
+    vwgt: np.ndarray
+    link_weights_latency: np.ndarray
+    link_weights_traffic: np.ndarray
+    n_segments: int
+    diagnostics: dict
+
+
+def build_profile_inputs(
+    net: Network,
+    profile: ProfileData,
+    initial_parts: np.ndarray | None = None,
+    use_segments: bool = True,
+    max_segments: int = 3,
+    min_segment_bins: int = 8,
+    low_traffic_frac: float = 0.05,
+    memory_weight: float = 0.1,
+    memory_mode: str = "sum",
+) -> ProfileInputs:
+    """Compute PROFILE vertex/edge weights.
+
+    Parameters
+    ----------
+    profile:
+        Aggregated NetFlow data from the profiling run.
+    initial_parts:
+        The partition the profiling run executed under; required for
+        segment clustering (the load curves are per *physical* node).
+        Without it (or with ``use_segments=False``) the average load over
+        the whole run is the single constraint.
+    """
+    segments: list[np.ndarray] = []
+    if use_segments and initial_parts is not None:
+        lp_series = profile.lp_series(np.asarray(initial_parts))
+        segments = find_segments(
+            lp_series,
+            low_traffic_frac=low_traffic_frac,
+            min_segment_bins=min_segment_bins,
+            max_segments=max_segments,
+        )
+
+    if len(segments) >= 2:
+        seg_w = segment_weights(profile.node_series, segments)
+        # Normalize each segment column to mean 1 so segments with little
+        # absolute traffic still balance, then append the memory term the
+        # same way the single-constraint path does.
+        means = seg_w.mean(axis=0)
+        means[means <= 0] = 1.0
+        vwgt = seg_w / means
+        # Memory folds into every constraint column (weighted-sum mode) —
+        # a column of its own would over-constrain small part counts.
+        mem = memory_weights(net)
+        vwgt = vwgt + memory_weight * (mem / max(mem.mean(), 1e-12))[:, None]
+    else:
+        vwgt = combine_compute_memory(
+            profile.node_packets, net, memory_weight=memory_weight,
+            mode=memory_mode,
+        )
+
+    return ProfileInputs(
+        vwgt=vwgt,
+        link_weights_latency=latency_objective_weights(net),
+        link_weights_traffic=profile.link_packets.astype(np.float64),
+        n_segments=len(segments),
+        diagnostics={
+            "approach": "profile",
+            "n_segments": len(segments),
+            "profiled_packets": float(profile.node_packets.sum()),
+            "use_segments": bool(use_segments and initial_parts is not None),
+        },
+    )

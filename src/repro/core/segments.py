@@ -1,0 +1,204 @@
+"""Profile segment clustering (§3.3).
+
+"The clustering algorithm first removes segments that have little traffic.
+Then it gets a smooth load curve for each physical node by calculating the
+average load of each node over a larger period of time.  The dominating node
+of [a] special point is the node with the maximal load.  The change of
+dominating node identifies a major load variation of the emulation system.
+So we can split the whole emulation period at these odd points and use each
+segment as a constraint to the graph partitioning algorithm."
+
+Segments are represented as boolean masks over profile bins (low-traffic
+bins are excluded from every segment — they were "removed").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["find_segments", "segment_weights"]
+
+
+def _smooth(series: np.ndarray, width: int) -> np.ndarray:
+    """Row-wise moving average with edge-shrinking window."""
+    # numpy's mode="same" returns max(M, N) samples, so the kernel must not
+    # exceed the series length (short profiling runs).
+    width = min(width, series.shape[1])
+    if width <= 1:
+        return series
+    kernel = np.ones(width) / width
+    out = np.empty_like(series, dtype=np.float64)
+    norm = np.convolve(np.ones(series.shape[1]), kernel, mode="same")
+    for i in range(series.shape[0]):
+        out[i] = np.convolve(series[i], kernel, mode="same") / norm
+    return out
+
+
+def find_segments(
+    lp_series: np.ndarray,
+    low_traffic_frac: float = 0.05,
+    smooth_bins: int = 7,
+    min_segment_bins: int = 8,
+    max_segments: int = 3,
+    max_change_rate: float = 0.20,
+    retention_threshold: float = 0.65,
+) -> list[np.ndarray]:
+    """Split the emulation lifetime into dominating-node segments.
+
+    Parameters
+    ----------
+    lp_series:
+        ``(k, n_bins)`` per-engine-node load series from the profiling run
+        (under the initial partition).
+    low_traffic_frac:
+        Bins whose total load is below this fraction of the peak bin are
+        removed before clustering (and from the resulting weights).
+    smooth_bins:
+        Moving-average width for the smooth load curves.
+    min_segment_bins:
+        Segments shorter than this merge into their predecessor.
+    max_segments:
+        Upper bound on constraints handed to the partitioner; the smallest
+        segments merge into neighbours until the bound holds.
+    max_change_rate:
+        Stability guard: when the dominating node changes more often than
+        this fraction of active bins, the variation is fast oscillation
+        (e.g. a round-robin communication pattern), not stage structure —
+        per-stage constraints would chase noise, so the whole run becomes
+        one segment (the average-load constraint).
+    retention_threshold:
+        A segment boundary is kept only when it marks a real stage change:
+        one side's dominating engine node must lose at least
+        ``1 - retention_threshold`` of its load *share* across the
+        boundary.  Boundaries where every dominant stays comparably hot are
+        background-randomness drift; constraints built from them amplify
+        profiling noise instead of balancing stages.
+
+    Returns
+    -------
+    List of boolean masks over bins; masks are disjoint and cover every
+    active bin.  At least one segment is returned whenever any bin is
+    active.
+    """
+    lp_series = np.asarray(lp_series, dtype=np.float64)
+    if lp_series.ndim != 2:
+        raise ValueError("lp_series must be (k, n_bins)")
+    k, n_bins = lp_series.shape
+    total = lp_series.sum(axis=0)
+    peak = total.max() if n_bins else 0.0
+    if peak <= 0:
+        return []
+    active = total >= low_traffic_frac * peak
+    if not active.any():
+        return []
+
+    smooth = _smooth(lp_series, smooth_bins)
+    dominating = np.argmax(smooth, axis=0)
+
+    active_idx = np.nonzero(active)[0]
+    # Stability guard (see max_change_rate above).
+    if len(active_idx) > 1:
+        dom_active = dominating[active_idx]
+        changes = int((np.diff(dom_active) != 0).sum())
+        if changes / len(active_idx) > max_change_rate:
+            mask = np.zeros(n_bins, dtype=bool)
+            mask[active_idx] = True
+            return [mask]
+
+    # Split the active bins where the dominating engine node changes.
+    segments: list[list[int]] = [[int(active_idx[0])]]
+    for prev, cur in zip(active_idx[:-1], active_idx[1:]):
+        if dominating[cur] != dominating[prev]:
+            segments.append([int(cur)])
+        else:
+            segments[-1].append(int(cur))
+
+    # Merge short segments into their predecessor (or successor for the
+    # first one).
+    merged: list[list[int]] = []
+    for seg in segments:
+        if merged and len(seg) < min_segment_bins:
+            merged[-1].extend(seg)
+        else:
+            merged.append(list(seg))
+    if len(merged) > 1 and len(merged[0]) < min_segment_bins:
+        merged[1] = merged[0] + merged[1]
+        merged = merged[1:]
+
+    # Coalesce consecutive segments that ended up with the same dominating
+    # engine node (short-blip merges can create such pairs).
+    def dominating_of(seg: list[int]) -> int:
+        return int(np.argmax(smooth[:, np.array(seg, dtype=np.int64)].sum(axis=1)))
+
+    coalesced: list[list[int]] = []
+    for seg in merged:
+        if coalesced and dominating_of(coalesced[-1]) == dominating_of(seg):
+            coalesced[-1] = coalesced[-1] + seg
+        else:
+            coalesced.append(seg)
+    merged = coalesced
+
+    # Keep a boundary only on a genuine dominance shift (see
+    # retention_threshold above).
+    def share_vector(seg: list[int]) -> np.ndarray:
+        v = lp_series[:, np.array(seg, dtype=np.int64)].sum(axis=1)
+        total_v = v.sum()
+        return v / total_v if total_v > 0 else v
+
+    def is_stage_boundary(a: list[int], b: list[int]) -> bool:
+        sa, sb = share_vector(a), share_vector(b)
+        if sa.sum() == 0 or sb.sum() == 0:
+            return False
+        dom_a, dom_b = int(np.argmax(sa)), int(np.argmax(sb))
+        retention = min(
+            sb[dom_a] / sa[dom_a] if sa[dom_a] > 0 else 1.0,
+            sa[dom_b] / sb[dom_b] if sb[dom_b] > 0 else 1.0,
+        )
+        return retention < retention_threshold
+
+    deduped: list[list[int]] = []
+    for seg in merged:
+        if deduped and not is_stage_boundary(deduped[-1], seg):
+            deduped[-1] = deduped[-1] + seg
+            continue
+        deduped.append(seg)
+    merged = deduped
+
+    # Enforce the cap by repeatedly folding the smallest segment into its
+    # smaller neighbour.
+    while len(merged) > max_segments:
+        sizes = [len(s) for s in merged]
+        i = int(np.argmin(sizes))
+        if i == 0:
+            merged[1] = merged[0] + merged[1]
+            del merged[0]
+        elif i == len(merged) - 1:
+            merged[-2] = merged[-2] + merged[-1]
+            del merged[-1]
+        else:
+            j = i - 1 if len(merged[i - 1]) <= len(merged[i + 1]) else i + 1
+            a, b = sorted((i, j))
+            merged[a] = merged[a] + merged[b]
+            del merged[b]
+
+    masks = []
+    for seg in merged:
+        mask = np.zeros(n_bins, dtype=bool)
+        mask[np.array(seg, dtype=np.int64)] = True
+        masks.append(mask)
+    return masks
+
+
+def segment_weights(
+    node_series: np.ndarray, segments: list[np.ndarray]
+) -> np.ndarray:
+    """Per-segment vertex weights: ``(n_nodes, n_segments)``.
+
+    Column ``s`` is each virtual node's load inside segment ``s`` — the
+    multi-constraint input of §3.3.
+    """
+    node_series = np.asarray(node_series, dtype=np.float64)
+    if not segments:
+        raise ValueError("no segments supplied")
+    cols = [node_series[:, mask].sum(axis=1) for mask in segments]
+    return np.stack(cols, axis=1)

@@ -1,0 +1,59 @@
+"""TOP — network-topology-based mapping (§3.1).
+
+"Each virtual node is weighted with the total bandwidth in and out of it.
+The optimization objective is to maximize the link latency between
+simulation engine nodes. ... This basic approach is simple and fast,
+therefore, it forms a performance baseline for our experiments."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graphbuild import (
+    bandwidth_vertex_weights,
+    combine_compute_memory,
+    latency_objective_weights,
+)
+from repro.topology.network import Network
+
+__all__ = ["TopInputs", "build_top_inputs"]
+
+
+@dataclass(frozen=True)
+class TopInputs:
+    """Partition inputs of the TOP approach.
+
+    ``vwgt`` — vertex weights (bandwidth compute term + memory term);
+    ``link_weights`` — the latency objective;
+    ``diagnostics`` — human-oriented details for experiment logs.
+    """
+
+    vwgt: np.ndarray
+    link_weights: np.ndarray
+    diagnostics: dict
+
+
+def build_top_inputs(
+    net: Network,
+    memory_weight: float = 0.1,
+    memory_mode: str = "sum",
+) -> TopInputs:
+    """Compute TOP vertex/edge weights for ``net``."""
+    compute = bandwidth_vertex_weights(net)
+    vwgt = combine_compute_memory(
+        compute, net, memory_weight=memory_weight, mode=memory_mode
+    )
+    link_weights = latency_objective_weights(net)
+    return TopInputs(
+        vwgt=vwgt,
+        link_weights=link_weights,
+        diagnostics={
+            "approach": "top",
+            "compute_total_gbps": float(compute.sum()),
+            "memory_weight": memory_weight,
+            "memory_mode": memory_mode,
+        },
+    )

@@ -1,0 +1,34 @@
+"""Conservative parallel discrete-event network emulator (MaSSF stand-in).
+
+The emulator is split into a *virtual-time* layer and a *wall-clock* layer:
+
+- :class:`repro.engine.kernel.EmulationKernel` simulates the virtual network
+  (packet trains, link queueing, forwarding) and records an
+  :class:`~repro.engine.trace.EventTrace`.  Virtual behaviour is independent
+  of how the network is partitioned — the PDES correctness contract.
+- :mod:`repro.engine.parallel` evaluates a partition against a trace using
+  the conservative-window cost model: the window (sized by the minimum
+  cut-link latency, i.e. the lookahead) is the unit of parallelism; within a
+  window the engine nodes run concurrently, across windows they barrier.
+
+This split lets one emulation run be scored under many mappings, exactly as
+load balance theory says it can be (the virtual traffic does not change, only
+who processes it and how often they synchronize).
+"""
+
+from repro.engine.costmodel import CostModel
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import PacketTrain, Transfer
+from repro.engine.parallel import EmulationMetrics, evaluate_mapping, lookahead_of
+from repro.engine.trace import EventTrace
+
+__all__ = [
+    "EmulationKernel",
+    "PacketTrain",
+    "Transfer",
+    "EventTrace",
+    "CostModel",
+    "EmulationMetrics",
+    "evaluate_mapping",
+    "lookahead_of",
+]

@@ -1,0 +1,85 @@
+"""Application compute-demand profiles.
+
+The emulated application runs on its own cluster and advances in lockstep
+with the emulator's virtual time: in each conservative window the wall clock
+advances by the *slower* of the emulation work and the application's compute
+demand.  A :class:`ComputeProfile` is the piecewise-constant compute-demand
+rate (seconds of computation per second of virtual time) an application
+model exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ComputeProfile"]
+
+
+@dataclass
+class ComputeProfile:
+    """Piecewise-constant compute demand.
+
+    ``rates[i]`` applies on ``[times[i], times[i+1])``; ``times`` has one
+    more entry than ``rates``.  The cumulative function ``C(t)`` (compute
+    seconds demanded up to virtual ``t``) is what the cost model queries.
+    """
+
+    times: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.rates = np.asarray(self.rates, dtype=np.float64)
+        if len(self.times) != len(self.rates) + 1:
+            raise ValueError("times must have len(rates) + 1 entries")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(self.rates < 0):
+            raise ValueError("rates must be non-negative")
+        segment = np.diff(self.times) * self.rates
+        self._cum = np.concatenate(([0.0], np.cumsum(segment)))
+
+    @classmethod
+    def constant(cls, rate: float, duration: float) -> "ComputeProfile":
+        """Uniform demand over ``[0, duration)``."""
+        return cls(times=np.array([0.0, duration]), rates=np.array([rate]))
+
+    @classmethod
+    def zero(cls, duration: float = 1.0) -> "ComputeProfile":
+        """No compute demand (network-only replay)."""
+        return cls.constant(0.0, duration)
+
+    @classmethod
+    def combine(
+        cls, profiles: list["ComputeProfile"], cap: float | None = None
+    ) -> "ComputeProfile":
+        """Sum of several profiles (concurrent applications).
+
+        ``cap`` bounds the combined rate: tasks that compute concurrently on
+        *separate* application-cluster processors do not stack their demand
+        beyond real time, so workflow apps cap at 1.0.
+        """
+        if not profiles:
+            return cls.zero()
+        breaks = np.unique(np.concatenate([p.times for p in profiles]))
+        mids = (breaks[:-1] + breaks[1:]) / 2.0
+        rates = np.zeros(len(mids))
+        for p in profiles:
+            idx = np.searchsorted(p.times, mids, side="right") - 1
+            valid = (idx >= 0) & (idx < len(p.rates))
+            rates[valid] += p.rates[idx[valid]]
+        if cap is not None:
+            rates = np.minimum(rates, cap)
+        return cls(times=breaks, rates=rates)
+
+    def cumulative(self, t) -> np.ndarray:
+        """``C(t)``: compute seconds demanded in ``[0, t)`` (vectorized)."""
+        t = np.asarray(t, dtype=np.float64)
+        return np.interp(t, self.times, self._cum)
+
+    @property
+    def total(self) -> float:
+        """Compute seconds demanded over the whole profile."""
+        return float(self._cum[-1])

@@ -1,0 +1,51 @@
+"""Deterministic event queue.
+
+A thin binary-heap wrapper ordering events by ``(time, sequence)``: ties in
+virtual time resolve by insertion order, so two runs that schedule events in
+the same order execute them in the same order — the determinism contract the
+whole experiment harness leans on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback, args)`` entries."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._popped = 0
+
+    def push(self, time: float, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` at ``time``."""
+        if time < 0:
+            raise ValueError("cannot schedule before time 0")
+        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
+
+    def pop(self) -> tuple[float, Callable, tuple]:
+        """Remove and return the earliest event."""
+        time, _, callback, args = heapq.heappop(self._heap)
+        self._popped += 1
+        return time, callback, args
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event (IndexError when empty)."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events popped so far."""
+        return self._popped

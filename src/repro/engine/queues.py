@@ -1,0 +1,110 @@
+"""Queue disciplines for emulated link buffers.
+
+The kernel models each link direction as a FIFO with a transmission
+backlog; a queue discipline decides whether an arriving train is admitted.
+Two classic disciplines are provided:
+
+- :class:`DropTail` — admit until the backlog exceeds a fixed horizon (the
+  kernel's historical ``queue_limit_s`` behaviour).
+- :class:`RED` — Random Early Detection (Floyd & Jacobson): probabilistic
+  drops ramp up between a low and a high backlog threshold, keeping average
+  queues short; the standard companion of the era's TCP studies.
+
+Disciplines are stateful per kernel (RED keeps a per-link-direction EWMA of
+the backlog), so construct a fresh instance per
+:class:`~repro.engine.kernel.EmulationKernel`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["QueueDiscipline", "DropTail", "RED"]
+
+
+class QueueDiscipline(abc.ABC):
+    """Admission policy for one emulation run's link buffers."""
+
+    @abc.abstractmethod
+    def admit(self, link_id: int, direction: int, backlog_s: float) -> bool:
+        """Whether a train joining ``backlog_s`` seconds of queue enters."""
+
+
+class DropTail(QueueDiscipline):
+    """Admit while the backlog is below a fixed horizon."""
+
+    def __init__(self, limit_s: float) -> None:
+        if limit_s <= 0:
+            raise ValueError("limit_s must be positive")
+        self.limit_s = float(limit_s)
+        self.drops = 0
+
+    def admit(self, link_id: int, direction: int, backlog_s: float) -> bool:
+        if backlog_s > self.limit_s:
+            self.drops += 1
+            return False
+        return True
+
+
+class RED(QueueDiscipline):
+    """Random Early Detection on the backlog (in seconds of transmission).
+
+    Parameters
+    ----------
+    min_th_s, max_th_s:
+        Average-backlog thresholds: below ``min_th`` everything is
+        admitted; above ``max_th`` everything is dropped; in between the
+        drop probability ramps linearly up to ``max_p``.
+    max_p:
+        Drop probability at the upper threshold.
+    ewma:
+        Weight of the newest sample in the average-backlog estimate.
+    seed:
+        Seed of the discipline's own RNG (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        min_th_s: float = 0.02,
+        max_th_s: float = 0.1,
+        max_p: float = 0.2,
+        ewma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < min_th_s < max_th_s:
+            raise ValueError("need 0 < min_th_s < max_th_s")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        if not 0 < ewma <= 1:
+            raise ValueError("ewma must be in (0, 1]")
+        self.min_th_s = float(min_th_s)
+        self.max_th_s = float(max_th_s)
+        self.max_p = float(max_p)
+        self.ewma = float(ewma)
+        self._avg: dict[tuple[int, int], float] = {}
+        self._rng = np.random.default_rng(seed)
+        self.drops = 0
+        self.early_drops = 0
+
+    def admit(self, link_id: int, direction: int, backlog_s: float) -> bool:
+        key = (link_id, direction)
+        avg = self._avg.get(key, 0.0)
+        avg = (1.0 - self.ewma) * avg + self.ewma * backlog_s
+        self._avg[key] = avg
+        if avg < self.min_th_s:
+            return True
+        if avg >= self.max_th_s:
+            self.drops += 1
+            return False
+        p = self.max_p * (avg - self.min_th_s) / (self.max_th_s - self.min_th_s)
+        if self._rng.random() < p:
+            self.drops += 1
+            self.early_drops += 1
+            return False
+        return True
+
+    def average_backlog(self, link_id: int, direction: int) -> float:
+        """Current EWMA backlog estimate for one link direction."""
+        return self._avg.get((link_id, direction), 0.0)

@@ -1,0 +1,207 @@
+"""Event traces: the kernel's compact record of everything it executed.
+
+An :class:`EventTrace` stores one row per kernel event in parallel numpy
+arrays — virtual time, node, forwarding target, packet count, flow id — plus
+the realized transfers.  Mapping evaluation, profiling aggregation, replay,
+and the fine-grained load plots are all vectorized queries over these
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EventTrace", "TraceRecorder", "DELIVERED", "INJECTED"]
+
+# Sentinels for the next_node column.
+DELIVERED = -1  # event delivered the train at its destination host
+INJECTED = -2   # event is an application injection (request arriving at the
+                # emulator from the live application)
+
+
+@dataclass
+class EventTrace:
+    """Immutable columnar event log of one emulation run.
+
+    Attributes
+    ----------
+    time:
+        ``float64[E]`` virtual timestamps (non-decreasing).
+    node:
+        ``int32[E]`` node executing the event.
+    next_node:
+        ``int32[E]`` forwarding target, or :data:`DELIVERED` /
+        :data:`INJECTED`.
+    packets:
+        ``int32[E]`` packets accounted to the event (kernel events are
+        per-packet in MaSSF; trains carry their packet count).
+    flow:
+        ``int32[E]`` flow id.
+    span:
+        ``float64[E]`` serialization span of the event's train on its
+        outgoing link — the virtual interval over which the per-packet work
+        actually occurs.  0 for deliveries/injections.
+    duration:
+        Virtual end time of the run.
+    n_nodes:
+        Size of the emulated network.
+    """
+
+    time: np.ndarray
+    node: np.ndarray
+    next_node: np.ndarray
+    packets: np.ndarray
+    flow: np.ndarray
+    span: np.ndarray
+    duration: float
+    n_nodes: int
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_events(self) -> int:
+        return len(self.time)
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.packets.sum())
+
+    def node_loads(self) -> np.ndarray:
+        """Packets processed per node, shape ``(n_nodes,)``."""
+        out = np.zeros(self.n_nodes, dtype=np.float64)
+        np.add.at(out, self.node, self.packets)
+        return out
+
+    def link_loads(self) -> dict[tuple[int, int], int]:
+        """Packets forwarded over each directed adjacency ``(u, v)``."""
+        mask = self.next_node >= 0
+        out: dict[tuple[int, int], int] = {}
+        for u, v, p in zip(
+            self.node[mask], self.next_node[mask], self.packets[mask]
+        ):
+            key = (int(u), int(v))
+            out[key] = out.get(key, 0) + int(p)
+        return out
+
+    def interval_series(self, interval: float) -> np.ndarray:
+        """Per-node packet counts binned by virtual time.
+
+        Returns ``float64[n_nodes, n_bins]`` with
+        ``n_bins = ceil(duration / interval)``.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        n_bins = max(1, int(np.ceil(self.duration / interval)))
+        bins = np.minimum((self.time / interval).astype(np.int64), n_bins - 1)
+        out = np.zeros((self.n_nodes, n_bins), dtype=np.float64)
+        np.add.at(out, (self.node, bins), self.packets)
+        return out
+
+    def slice(self, t0: float, t1: float) -> "EventTrace":
+        """Sub-trace of events with ``t0 <= time < t1``.
+
+        Times are rebased to start at 0 and the duration becomes
+        ``t1 - t0`` — the shape epoch-by-epoch evaluation (dynamic
+        remapping) needs.
+        """
+        if not 0.0 <= t0 < t1:
+            raise ValueError("need 0 <= t0 < t1")
+        mask = (self.time >= t0) & (self.time < t1)
+        return EventTrace(
+            time=self.time[mask] - t0,
+            node=self.node[mask],
+            next_node=self.next_node[mask],
+            packets=self.packets[mask],
+            flow=self.flow[mask],
+            span=self.span[mask],
+            duration=float(t1 - t0),
+            n_nodes=self.n_nodes,
+        )
+
+    def validate(self) -> None:
+        """Check columnar invariants (sorted times, ranges, lengths)."""
+        arrays = (self.time, self.node, self.next_node, self.packets,
+                  self.flow, self.span)
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError("trace columns have differing lengths")
+        if self.n_events and np.any(np.diff(self.time) < 0):
+            raise ValueError("trace times must be non-decreasing")
+        if self.n_events and (
+            self.node.min() < 0 or self.node.max() >= self.n_nodes
+        ):
+            raise ValueError("trace node id out of range")
+        if self.n_events and self.packets.min() < 0:
+            raise ValueError("negative packet count")
+
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Persist to an ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            time=self.time, node=self.node, next_node=self.next_node,
+            packets=self.packets, flow=self.flow, span=self.span,
+            meta=np.array([self.duration, float(self.n_nodes)]),
+        )
+
+    @classmethod
+    def load(cls, path) -> "EventTrace":
+        """Load from an ``.npz`` file produced by :meth:`save`."""
+        data = np.load(path)
+        return cls(
+            time=data["time"], node=data["node"],
+            next_node=data["next_node"], packets=data["packets"],
+            flow=data["flow"], span=data["span"],
+            duration=float(data["meta"][0]),
+            n_nodes=int(data["meta"][1]),
+        )
+
+
+class TraceRecorder:
+    """Append-only builder the kernel writes into."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self._time: list[float] = []
+        self._node: list[int] = []
+        self._next: list[int] = []
+        self._packets: list[int] = []
+        self._flow: list[int] = []
+        self._span: list[float] = []
+
+    def record(
+        self,
+        time: float,
+        node: int,
+        next_node: int,
+        packets: int,
+        flow: int,
+        span: float = 0.0,
+    ) -> None:
+        self._time.append(time)
+        self._node.append(node)
+        self._next.append(next_node)
+        self._packets.append(packets)
+        self._flow.append(flow)
+        self._span.append(span)
+
+    def __len__(self) -> int:
+        return len(self._time)
+
+    def finish(self, duration: float) -> EventTrace:
+        """Freeze into an :class:`EventTrace` sorted by time."""
+        time = np.asarray(self._time, dtype=np.float64)
+        order = np.argsort(time, kind="stable")
+        trace = EventTrace(
+            time=time[order],
+            node=np.asarray(self._node, dtype=np.int32)[order],
+            next_node=np.asarray(self._next, dtype=np.int32)[order],
+            packets=np.asarray(self._packets, dtype=np.int32)[order],
+            flow=np.asarray(self._flow, dtype=np.int32)[order],
+            span=np.asarray(self._span, dtype=np.float64)[order],
+            duration=float(duration),
+            n_nodes=self.n_nodes,
+        )
+        trace.validate()
+        return trace

@@ -1,0 +1,28 @@
+"""End-to-end experiment harness regenerating the paper's evaluation.
+
+- :mod:`repro.experiments.setups` — the Table 1 configurations plus the
+  §4.2.3 large-network setup.
+- :mod:`repro.experiments.workloads` — background + foreground workload
+  construction with per-topology scaling.
+- :mod:`repro.experiments.runner` — profile run → mapping → evaluation run
+  → metrics, for each approach.
+- :mod:`repro.experiments.report` — table/series rendering for every figure
+  and table.
+"""
+
+from repro.experiments import report, runner, setups, workloads
+from repro.experiments.runner import ApproachEvaluation, evaluate_setup
+from repro.experiments.setups import ExperimentSetup
+from repro.experiments.workloads import Workload, build_workload
+
+__all__ = [
+    "setups",
+    "workloads",
+    "runner",
+    "report",
+    "ExperimentSetup",
+    "Workload",
+    "build_workload",
+    "evaluate_setup",
+    "ApproachEvaluation",
+]

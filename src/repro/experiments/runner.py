@@ -1,0 +1,209 @@
+"""End-to-end experiment runner.
+
+The full pipeline for one setup (mirroring the paper's methodology):
+
+1. Build the network and routing; prepare the workload (fix populations).
+2. **Profiling run** — emulate once under the TOP partition with NetFlow
+   collection enabled, using different arrival randomness than the
+   evaluation run (the paper profiles an *initial* experiment, then runs
+   the real one; traffic structure repeats, exact arrivals do not).
+3. Build the TOP / PLACE / PROFILE mappings.
+4. **Evaluation run** — emulate once (the virtual traffic is mapping
+   independent) and score every mapping against its trace: load imbalance,
+   application emulation time, isolated network emulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.mapper import Mapper, MapperConfig, MappingResult
+from repro.engine.costmodel import CostModel
+from repro.engine.kernel import EmulationKernel
+from repro.engine.parallel import EmulationMetrics, evaluate_mapping
+from repro.engine.trace import EventTrace
+from repro.experiments.setups import ExperimentSetup
+from repro.experiments.workloads import Workload
+from repro.metrics.summary import ApproachOutcome
+from repro.profiling.aggregate import ProfileData
+from repro.profiling.netflow import NetFlowCollector
+from repro.replay.trace import TransferTrace
+from repro.routing.spf import build_routing
+from repro.routing.tables import RoutingTables
+
+__all__ = [
+    "RunnerConfig",
+    "EmulationRun",
+    "ApproachEvaluation",
+    "run_emulation",
+    "evaluate_setup",
+    "evaluate_workload",
+]
+
+#: Seed offset separating the profiling run's arrivals from the evaluation
+#: run's (same workload structure, different randomness).
+PROFILE_SEED_OFFSET = 10_000
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Harness-wide knobs."""
+
+    train_packets: int = 16
+    profile_interval: float = 5.0
+    cost: CostModel = field(default_factory=CostModel)
+    mapper: MapperConfig = field(default_factory=MapperConfig)
+    netflow_granularity: str = "flow"
+
+
+@dataclass
+class EmulationRun:
+    """One kernel execution's artifacts."""
+
+    trace: EventTrace
+    transfers: TransferTrace
+    profile: ProfileData | None
+
+
+def run_emulation(
+    net,
+    tables: RoutingTables,
+    workload: Workload,
+    seed: int,
+    config: RunnerConfig | None = None,
+    collect_netflow: bool = False,
+) -> EmulationRun:
+    """Execute one emulation of ``workload`` (prepared already)."""
+    config = config or RunnerConfig()
+    collector = (
+        NetFlowCollector(config.netflow_granularity) if collect_netflow else None
+    )
+    kernel = EmulationKernel(
+        net, tables, train_packets=config.train_packets, collector=collector
+    )
+    rng = np.random.default_rng(seed)
+    workload.install(kernel, rng)
+    trace = kernel.run(until=workload.duration)
+    profile = None
+    if collector is not None:
+        profile = ProfileData.from_run(
+            collector, trace, net, interval=config.profile_interval
+        )
+    return EmulationRun(
+        trace=trace,
+        transfers=TransferTrace.from_kernel(kernel, workload.duration),
+        profile=profile,
+    )
+
+
+@dataclass
+class ApproachEvaluation:
+    """Everything measured for one approach in one setup."""
+
+    mapping: MappingResult
+    metrics: EmulationMetrics
+    replay_metrics: EmulationMetrics
+    outcome: ApproachOutcome
+
+
+def evaluate_setup(
+    setup: ExperimentSetup,
+    approaches: tuple[str, ...] = ("top", "place", "profile"),
+    seed: int = 0,
+    config: RunnerConfig | None = None,
+) -> dict[str, ApproachEvaluation]:
+    """Run the full pipeline for one setup; returns approach → evaluation."""
+    workload = setup.build_workload(seed)
+    return evaluate_workload(
+        setup.network, workload, setup.n_engine_nodes,
+        approaches=approaches, seed=seed, config=config,
+    )
+
+
+def evaluate_workload(
+    net,
+    workload: Workload,
+    k: int,
+    approaches: tuple[str, ...] = ("top", "place", "profile"),
+    seed: int = 0,
+    config: RunnerConfig | None = None,
+    tables: RoutingTables | None = None,
+) -> dict[str, ApproachEvaluation]:
+    """Run the profiling → mapping → evaluation pipeline for any network +
+    workload pair (the spec-file / CLI entry point)."""
+    config = config or RunnerConfig()
+    if tables is None:
+        tables = build_routing(net)
+
+    workload.prepare(net, np.random.default_rng(seed))
+
+    mapper = Mapper(net, n_parts=k, tables=tables, config=config.mapper)
+    mappings: dict[str, MappingResult] = {}
+    compute = workload.compute_profile()
+
+    top_mapping = mapper.map_top()
+    if "top" in approaches:
+        mappings["top"] = top_mapping
+    if "place" in approaches:
+        mappings["place"] = mapper.map_place(workload.background, workload.apps)
+    if "profile" in approaches:
+        profile_run = run_emulation(
+            net, tables, workload, seed + PROFILE_SEED_OFFSET,
+            config=config, collect_netflow=True,
+        )
+        assert profile_run.profile is not None
+        # Model selection on the profiling data: §3.3's segment clustering
+        # helps when the run has genuine stages, and amplifies noise when
+        # it does not.  Both candidate mappings are scored against the
+        # profiling run's own trace (the only data PROFILE may look at)
+        # and the better one ships.
+        candidates: list[tuple[float, MappingResult]] = []
+        for use_segments in (config.mapper.use_segments, False):
+            cand_mapper = Mapper(
+                net, n_parts=k, tables=tables,
+                config=replace(config.mapper, use_segments=use_segments),
+            )
+            cand = cand_mapper.map_profile(
+                profile_run.profile, initial_parts=top_mapping.parts
+            )
+            score = evaluate_mapping(
+                profile_run.trace, net, cand.parts, cost=config.cost,
+                compute=compute,
+            ).wall_app
+            cand.diagnostics["profiling_run_score"] = score
+            candidates.append((score, cand))
+            if not config.mapper.use_segments:
+                break  # segments disabled: one candidate only
+        candidates.sort(key=lambda item: item[0])
+        mappings["profile"] = candidates[0][1]
+
+    eval_run = run_emulation(net, tables, workload, seed, config=config)
+
+    results: dict[str, ApproachEvaluation] = {}
+    for name in approaches:
+        mapping = mappings[name]
+        metrics = evaluate_mapping(
+            eval_run.trace, net, mapping.parts, cost=config.cost,
+            compute=compute,
+        )
+        replay_metrics = evaluate_mapping(
+            eval_run.trace, net, mapping.parts, cost=config.cost, compute=None
+        )
+        results[name] = ApproachEvaluation(
+            mapping=mapping,
+            metrics=metrics,
+            replay_metrics=replay_metrics,
+            outcome=ApproachOutcome(
+                approach=name,
+                load_imbalance=metrics.load_imbalance,
+                app_emulation_time=metrics.wall_app,
+                network_emulation_time=replay_metrics.wall_network,
+                edge_cut=mapping.partition.weighted_cut,
+                remote_packets=metrics.remote_packets,
+                lookahead=metrics.lookahead,
+                diagnostics=dict(mapping.diagnostics),
+            ),
+        )
+    return results

@@ -1,0 +1,122 @@
+"""Experiment setups: Table 1 and the §4.2.3 scalability configuration.
+
+=============  =======  =====  =====================
+Topology       Routers  Hosts  Emulation engine nodes
+=============  =======  =====  =====================
+Campus         20       40     3
+TeraGrid       27       150    5
+Brite          160      132    8
+Brite (large)  200      364    20
+=============  =======  =====  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.workloads import Workload, build_workload
+from repro.topology.brite import brite_network
+from repro.topology.campus import campus_network
+from repro.topology.network import Network
+from repro.topology.teragrid import teragrid_network
+
+__all__ = [
+    "ExperimentSetup",
+    "campus_setup",
+    "teragrid_setup",
+    "brite_setup",
+    "large_brite_setup",
+    "table1_setups",
+]
+
+
+@dataclass
+class ExperimentSetup:
+    """One (topology, engine-node count, workload) configuration.
+
+    The network is built lazily and cached; workloads are rebuilt per seed
+    so repeated runs with different seeds vary arrivals but keep structure.
+    """
+
+    name: str
+    network_factory: Callable[[], Network]
+    n_engine_nodes: int
+    app_name: str = "scalapack"
+    intensity: str = "moderate"
+    workload_kwargs: dict = field(default_factory=dict)
+    _network: Network | None = field(default=None, repr=False)
+
+    @property
+    def network(self) -> Network:
+        if self._network is None:
+            self._network = self.network_factory()
+        return self._network
+
+    def build_workload(self, seed: int = 0) -> Workload:
+        return build_workload(
+            self.network, app_name=self.app_name, intensity=self.intensity,
+            seed=seed, **self.workload_kwargs,
+        )
+
+    def describe(self) -> str:
+        net = self.network
+        return (
+            f"{self.name}: {len(net.routers())} routers / "
+            f"{len(net.hosts())} hosts on {self.n_engine_nodes} engine "
+            f"nodes, app={self.app_name}"
+        )
+
+
+def campus_setup(app: str = "scalapack", **kwargs) -> ExperimentSetup:
+    """Campus: 20 routers / 40 hosts / 3 engine nodes.
+
+    Defaults to heavy background: on a 10 Mbps-edge LAN the paper's
+    "moderate" absolute rates already saturate.
+    """
+    kwargs.setdefault("intensity", "heavy")
+    return ExperimentSetup(
+        name="campus", network_factory=campus_network, n_engine_nodes=3,
+        app_name=app, **kwargs,
+    )
+
+
+def teragrid_setup(app: str = "scalapack", **kwargs) -> ExperimentSetup:
+    """TeraGrid: 27 routers / 150 hosts / 5 engine nodes."""
+    return ExperimentSetup(
+        name="teragrid", network_factory=teragrid_network, n_engine_nodes=5,
+        app_name=app, **kwargs,
+    )
+
+
+def brite_setup(app: str = "scalapack", seed: int = 0, **kwargs) -> ExperimentSetup:
+    """Brite: 160 routers / 132 hosts / 8 engine nodes."""
+    return ExperimentSetup(
+        name="brite",
+        network_factory=lambda: brite_network(
+            n_routers=160, n_hosts=132, seed=seed
+        ),
+        n_engine_nodes=8, app_name=app, **kwargs,
+    )
+
+
+def large_brite_setup(app: str = "scalapack", seed: int = 0, **kwargs) -> ExperimentSetup:
+    """§4.2.3 scalability: 200 routers / 364 hosts / 20 engine nodes,
+    single AS, higher background intensity."""
+    kwargs.setdefault("intensity", "heavy")
+    return ExperimentSetup(
+        name="brite-large",
+        network_factory=lambda: brite_network(
+            n_routers=200, n_hosts=364, seed=seed
+        ),
+        n_engine_nodes=20, app_name=app, **kwargs,
+    )
+
+
+def table1_setups(app: str = "scalapack", **kwargs) -> list[ExperimentSetup]:
+    """The three Table 1 rows for one application."""
+    return [
+        campus_setup(app, **kwargs),
+        teragrid_setup(app, **kwargs),
+        brite_setup(app, **kwargs),
+    ]

@@ -1,0 +1,113 @@
+"""Seed sweeps: mean ± spread statistics over repeated experiments.
+
+The paper reports single runs; a reproduction should show its orderings are
+not seed luck.  :func:`sweep_setup` repeats ``evaluate_setup`` across seeds
+and aggregates each §4.1.1 metric per approach; :func:`ordering_confidence`
+reports how often the expected ordering (TOP worst, PROFILE best) held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.runner import RunnerConfig, evaluate_setup
+from repro.experiments.setups import ExperimentSetup
+
+__all__ = ["MetricStats", "SweepResult", "sweep_setup", "ordering_confidence"]
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean / std / min / max of one metric across seeds."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def of(cls, values: list[float]) -> "MetricStats":
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            mean=float(arr.mean()), std=float(arr.std()),
+            min=float(arr.min()), max=float(arr.max()),
+            values=tuple(float(v) for v in arr),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+@dataclass
+class SweepResult:
+    """Per-approach metric statistics for one setup across seeds."""
+
+    setup_name: str
+    seeds: tuple[int, ...]
+    imbalance: dict[str, MetricStats]
+    app_time: dict[str, MetricStats]
+    network_time: dict[str, MetricStats]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.setup_name} over seeds {list(self.seeds)}",
+            f"{'approach':10s} {'imbalance':>18s} {'app time [s]':>22s} "
+            f"{'net time [s]':>22s}",
+        ]
+        for name in self.imbalance:
+            lines.append(
+                f"{name:10s} {str(self.imbalance[name]):>18s} "
+                f"{self.app_time[name].mean:11.1f} ± "
+                f"{self.app_time[name].std:6.1f} "
+                f"{self.network_time[name].mean:11.1f} ± "
+                f"{self.network_time[name].std:6.1f}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_setup(
+    setup: ExperimentSetup,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    approaches: tuple[str, ...] = ("top", "place", "profile"),
+    config: RunnerConfig | None = None,
+) -> SweepResult:
+    """Run ``evaluate_setup`` once per seed and aggregate the metrics."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    imbalance: dict[str, list[float]] = {a: [] for a in approaches}
+    app_time: dict[str, list[float]] = {a: [] for a in approaches}
+    net_time: dict[str, list[float]] = {a: [] for a in approaches}
+    for seed in seeds:
+        results = evaluate_setup(
+            setup, approaches=approaches, seed=seed, config=config
+        )
+        for name in approaches:
+            outcome = results[name].outcome
+            imbalance[name].append(outcome.load_imbalance)
+            app_time[name].append(outcome.app_emulation_time)
+            net_time[name].append(outcome.network_emulation_time)
+    return SweepResult(
+        setup_name=setup.describe(),
+        seeds=tuple(seeds),
+        imbalance={a: MetricStats.of(v) for a, v in imbalance.items()},
+        app_time={a: MetricStats.of(v) for a, v in app_time.items()},
+        network_time={a: MetricStats.of(v) for a, v in net_time.items()},
+    )
+
+
+def ordering_confidence(
+    result: SweepResult,
+    metric: str = "imbalance",
+    better: str = "profile",
+    worse: str = "top",
+) -> float:
+    """Fraction of seeds in which ``better`` beat ``worse`` on ``metric``."""
+    stats = getattr(result, metric)
+    if better not in stats or worse not in stats:
+        raise ValueError("approach missing from the sweep")
+    b = np.asarray(stats[better].values)
+    w = np.asarray(stats[worse].values)
+    return float((b < w).mean())

@@ -1,0 +1,24 @@
+"""Evaluation metrics (§4.1.1) and result records.
+
+- :func:`repro.metrics.imbalance.load_imbalance` — normalized standard
+  deviation of per-engine-node kernel event rates.
+- :func:`repro.metrics.imbalance.fine_grained_imbalance` — the Figure 8
+  series: imbalance per fixed-length interval.
+- :mod:`repro.metrics.summary` — experiment result records and text-table
+  rendering used by the benchmark harness.
+"""
+
+from repro.metrics.imbalance import (
+    fine_grained_imbalance,
+    load_imbalance,
+    lp_interval_loads,
+)
+from repro.metrics.summary import ApproachOutcome, ExperimentTable
+
+__all__ = [
+    "load_imbalance",
+    "fine_grained_imbalance",
+    "lp_interval_loads",
+    "ApproachOutcome",
+    "ExperimentTable",
+]

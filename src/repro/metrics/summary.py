@@ -1,0 +1,95 @@
+"""Experiment result records and text-table rendering.
+
+The benchmark harness prints tables shaped like the paper's figures; these
+helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ApproachOutcome", "ExperimentTable", "format_series"]
+
+
+@dataclass
+class ApproachOutcome:
+    """All §4.1.1 metrics for one (setup, approach) cell.
+
+    ``load_imbalance`` — normalized std-dev of engine-node loads;
+    ``app_emulation_time`` — Figures 6/7;
+    ``network_emulation_time`` — replay, Figures 9/10.
+    """
+
+    approach: str
+    load_imbalance: float
+    app_emulation_time: float
+    network_emulation_time: float
+    edge_cut: float = 0.0
+    remote_packets: int = 0
+    lookahead: float = 0.0
+    diagnostics: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentTable:
+    """A figure/table: rows = setups, columns = approaches."""
+
+    title: str
+    row_names: list[str]
+    col_names: list[str]
+    values: np.ndarray  # (rows, cols)
+    unit: str = ""
+
+    def render(self, fmt: str = "{:.3f}") -> str:
+        """Plain-text table."""
+        widths = [max(10, len(c) + 2) for c in self.col_names]
+        name_w = max([len(r) for r in self.row_names] + [8]) + 2
+        lines = [self.title + (f"  [{self.unit}]" if self.unit else "")]
+        header = " " * name_w + "".join(
+            c.rjust(w) for c, w in zip(self.col_names, widths)
+        )
+        lines.append(header)
+        for i, row in enumerate(self.row_names):
+            cells = "".join(
+                fmt.format(self.values[i, j]).rjust(w)
+                for j, w in enumerate(widths)
+            )
+            lines.append(row.ljust(name_w) + cells)
+        return "\n".join(lines)
+
+    def relative_to(self, baseline_col: int = 0) -> "ExperimentTable":
+        """Values normalized to one column (e.g. TOP = 1.0)."""
+        base = self.values[:, baseline_col : baseline_col + 1]
+        safe = np.where(base > 0, base, 1.0)
+        return ExperimentTable(
+            title=self.title + " (relative)",
+            row_names=list(self.row_names),
+            col_names=list(self.col_names),
+            values=self.values / safe,
+            unit="x",
+        )
+
+
+def format_series(
+    title: str, xs: np.ndarray, series: dict[str, np.ndarray],
+    x_label: str = "t", max_points: int = 30,
+) -> str:
+    """Render named series as aligned text columns (figure stand-in).
+
+    Long series are decimated to ``max_points`` for readability.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    step = max(1, len(xs) // max_points)
+    idx = np.arange(0, len(xs), step)
+    lines = [title]
+    header = x_label.rjust(10) + "".join(name.rjust(14) for name in series)
+    lines.append(header)
+    for i in idx:
+        row = f"{xs[i]:10.1f}"
+        for values in series.values():
+            v = values[i]
+            row += ("      nan".rjust(14) if np.isnan(v) else f"{v:14.3f}")
+        lines.append(row)
+    return "\n".join(lines)

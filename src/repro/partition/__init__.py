@@ -1,0 +1,32 @@
+"""Graph partitioning substrate (METIS stand-in).
+
+The paper maps emulated networks onto engine nodes with METIS.  METIS is not
+available in this environment, so this package provides a from-scratch
+multilevel k-way partitioner with multi-constraint vertex weights, plus the
+baseline partitioners discussed in the paper's related work:
+
+- :func:`repro.partition.api.part_graph` — the facade; ``algorithm=`` selects
+  ``"multilevel"`` (default), ``"recursive"``, ``"spectral"``, ``"random"``,
+  ``"linear"`` or ``"greedy-kcluster"``.
+- :class:`repro.partition.csr.CSRGraph` — the shared graph representation.
+- :mod:`repro.partition.metrics` — edge cut / balance diagnostics.
+"""
+
+from repro.partition.api import PartitionResult, part_graph
+from repro.partition.csr import CSRGraph
+from repro.partition.metrics import (
+    edge_cut,
+    max_imbalance,
+    part_weights,
+    weighted_edge_cut,
+)
+
+__all__ = [
+    "CSRGraph",
+    "PartitionResult",
+    "part_graph",
+    "edge_cut",
+    "weighted_edge_cut",
+    "part_weights",
+    "max_imbalance",
+]

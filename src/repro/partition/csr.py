@@ -1,0 +1,267 @@
+"""Compressed-sparse-row graph representation for partitioning.
+
+All partitioning algorithms in :mod:`repro.partition` operate on
+:class:`CSRGraph`, an undirected weighted graph in CSR (adjacency-array)
+form, the same layout METIS uses:
+
+- ``xadj``   — ``int64[n + 1]``; the neighbours of vertex ``v`` are
+  ``adjncy[xadj[v]:xadj[v + 1]]``.
+- ``adjncy`` — ``int64[2m]``; each undirected edge appears twice.
+- ``adjwgt`` — ``float64[2m]``; symmetric edge weights.
+- ``vwgt``   — ``float64[n, ncon]``; one column per balance constraint.
+
+Vertex and edge weights are floats (the emulation weights are bandwidth and
+latency figures, not counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass
+class CSRGraph:
+    """Undirected weighted graph in CSR form.
+
+    Instances are conceptually immutable: algorithms build new graphs rather
+    than mutating ``xadj``/``adjncy`` in place.
+    """
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    adjwgt: np.ndarray
+    vwgt: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.xadj = np.ascontiguousarray(self.xadj, dtype=np.int64)
+        self.adjncy = np.ascontiguousarray(self.adjncy, dtype=np.int64)
+        self.adjwgt = np.ascontiguousarray(self.adjwgt, dtype=np.float64)
+        vwgt = np.ascontiguousarray(self.vwgt, dtype=np.float64)
+        if vwgt.ndim == 1:
+            vwgt = vwgt[:, None]
+        self.vwgt = vwgt
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.xadj) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self.adjncy) // 2
+
+    @property
+    def ncon(self) -> int:
+        """Number of balance constraints (vertex-weight columns)."""
+        return self.vwgt.shape[1]
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of the neighbour ids of ``v``."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """View of the edge weights incident to ``v`` (parallel to
+        :meth:`neighbors`)."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def total_vwgt(self) -> np.ndarray:
+        """Column sums of the vertex weights, shape ``(ncon,)``."""
+        return self.vwgt.sum(axis=0)
+
+    def total_adjwgt(self) -> float:
+        """Total undirected edge weight (each edge counted once)."""
+        return float(self.adjwgt.sum()) / 2.0
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ValueError` on failure.
+
+        Invariants: monotone ``xadj``; neighbour ids in range; no self
+        loops; symmetric adjacency with symmetric weights; ``vwgt`` has one
+        row per vertex and is non-negative.
+        """
+        if self.xadj[0] != 0 or self.xadj[-1] != len(self.adjncy):
+            raise ValueError("xadj does not span adjncy")
+        if np.any(np.diff(self.xadj) < 0):
+            raise ValueError("xadj must be non-decreasing")
+        if len(self.adjwgt) != len(self.adjncy):
+            raise ValueError("adjwgt length mismatch")
+        if self.vwgt.shape[0] != self.n:
+            raise ValueError("vwgt must have one row per vertex")
+        if np.any(self.vwgt < 0):
+            raise ValueError("vertex weights must be non-negative")
+        n = self.n
+        if len(self.adjncy) and (self.adjncy.min() < 0 or self.adjncy.max() >= n):
+            raise ValueError("neighbour id out of range")
+        for v in range(n):
+            nbrs = self.neighbors(v)
+            if np.any(nbrs == v):
+                raise ValueError(f"self loop at vertex {v}")
+        # Symmetry: every (u, v, w) must have a matching (v, u, w).
+        fwd: dict[tuple[int, int], float] = {}
+        for v in range(n):
+            for u, w in zip(self.neighbors(v), self.neighbor_weights(v)):
+                key = (v, int(u))
+                if key in fwd:
+                    raise ValueError(f"duplicate edge {key}")
+                fwd[key] = float(w)
+        for (v, u), w in fwd.items():
+            back = fwd.get((u, v))
+            if back is None:
+                raise ValueError(f"edge ({v},{u}) missing reverse")
+            if not np.isclose(back, w):
+                raise ValueError(f"asymmetric weight on edge ({v},{u})")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int, float]],
+        vwgt: np.ndarray | Sequence[float] | None = None,
+    ) -> "CSRGraph":
+        """Build a graph from an undirected edge list.
+
+        Parameters
+        ----------
+        n:
+            Number of vertices (ids ``0..n-1``).
+        edges:
+            ``(u, v, weight)`` triples; each undirected edge listed once.
+            Parallel edges are merged by summing weights; self loops are
+            dropped.
+        vwgt:
+            Vertex weights, shape ``(n,)`` or ``(n, ncon)``; defaults to
+            all-ones.
+        """
+        merged: dict[tuple[int, int], float] = {}
+        for u, v, w in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+            key = (u, v) if u < v else (v, u)
+            merged[key] = merged.get(key, 0.0) + float(w)
+
+        deg = np.zeros(n, dtype=np.int64)
+        for u, v in merged:
+            deg[u] += 1
+            deg[v] += 1
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=xadj[1:])
+        adjncy = np.zeros(xadj[-1], dtype=np.int64)
+        adjwgt = np.zeros(xadj[-1], dtype=np.float64)
+        cursor = xadj[:-1].copy()
+        for (u, v), w in merged.items():
+            adjncy[cursor[u]] = v
+            adjwgt[cursor[u]] = w
+            cursor[u] += 1
+            adjncy[cursor[v]] = u
+            adjwgt[cursor[v]] = w
+            cursor[v] += 1
+
+        if vwgt is None:
+            vw = np.ones((n, 1), dtype=np.float64)
+        else:
+            vw = np.asarray(vwgt, dtype=np.float64)
+            if vw.ndim == 1:
+                vw = vw[:, None]
+            if vw.shape[0] != n:
+                raise ValueError("vwgt must have one row per vertex")
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vw)
+
+    @classmethod
+    def from_networkx(
+        cls,
+        graph,
+        weight: str = "weight",
+        vwgt_attr: str | None = None,
+    ) -> tuple["CSRGraph", list]:
+        """Convert a :mod:`networkx` graph.
+
+        Returns the CSR graph and the node list giving CSR-id → node mapping.
+        Edge weights default to 1.0 when the attribute is absent; vertex
+        weights come from ``vwgt_attr`` when given.
+        """
+        nodes = list(graph.nodes())
+        index: Mapping = {node: i for i, node in enumerate(nodes)}
+        edges = [
+            (index[u], index[v], float(data.get(weight, 1.0)))
+            for u, v, data in graph.edges(data=True)
+        ]
+        vwgt = None
+        if vwgt_attr is not None:
+            vwgt = np.array(
+                [float(graph.nodes[node].get(vwgt_attr, 1.0)) for node in nodes]
+            )
+        return cls.from_edges(len(nodes), edges, vwgt=vwgt), nodes
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def with_vwgt(self, vwgt: np.ndarray) -> "CSRGraph":
+        """Copy of this graph with replaced vertex weights."""
+        vw = np.asarray(vwgt, dtype=np.float64)
+        if vw.ndim == 1:
+            vw = vw[:, None]
+        if vw.shape[0] != self.n:
+            raise ValueError("vwgt must have one row per vertex")
+        return CSRGraph(self.xadj, self.adjncy, self.adjwgt, vw)
+
+    def with_adjwgt(self, adjwgt: np.ndarray) -> "CSRGraph":
+        """Copy of this graph with replaced edge weights (CSR-parallel)."""
+        aw = np.asarray(adjwgt, dtype=np.float64)
+        if aw.shape != self.adjncy.shape:
+            raise ValueError("adjwgt must be parallel to adjncy")
+        return CSRGraph(self.xadj, self.adjncy, aw, self.vwgt)
+
+    def edge_list(self) -> list[tuple[int, int, float]]:
+        """Undirected edge list, each edge once with ``u < v``."""
+        out: list[tuple[int, int, float]] = []
+        for v in range(self.n):
+            for u, w in zip(self.neighbors(v), self.neighbor_weights(v)):
+                if v < u:
+                    out.append((v, int(u), float(w)))
+        return out
+
+    def connected_components(self) -> list[np.ndarray]:
+        """Connected components as arrays of vertex ids (BFS)."""
+        seen = np.zeros(self.n, dtype=bool)
+        comps: list[np.ndarray] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            comp = [start]
+            while stack:
+                v = stack.pop()
+                for u in self.neighbors(v):
+                    if not seen[u]:
+                        seen[u] = True
+                        comp.append(int(u))
+                        stack.append(int(u))
+            comps.append(np.array(sorted(comp), dtype=np.int64))
+        return comps
+
+    def is_connected(self) -> bool:
+        """True when the graph has a single connected component."""
+        return self.n <= 1 or len(self.connected_components()) == 1

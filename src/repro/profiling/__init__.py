@@ -1,0 +1,28 @@
+"""NetFlow-like traffic profiling (the PROFILE approach's data source).
+
+§3.3: "we implement the Cisco NetFlow-like function on each emulated router.
+This functionality is used to record every traffic flow on each router to a
+local file.  The dump files record the average bandwidth and duration of
+every flow on every router."
+
+- :class:`repro.profiling.netflow.NetFlowCollector` — hooked into the
+  emulation kernel; accumulates per-router flow records at a configurable
+  granularity.
+- :mod:`repro.profiling.dump` — dump-file writer/parser (one file per
+  router, plain text).
+- :class:`repro.profiling.aggregate.ProfileData` — parsed records turned
+  into per-link / per-node packet loads and per-node time series.
+"""
+
+from repro.profiling.aggregate import ProfileData
+from repro.profiling.dump import load_dump_dir, parse_records, write_dump_dir
+from repro.profiling.netflow import FlowRecord, NetFlowCollector
+
+__all__ = [
+    "NetFlowCollector",
+    "FlowRecord",
+    "ProfileData",
+    "write_dump_dir",
+    "load_dump_dir",
+    "parse_records",
+]

@@ -1,0 +1,91 @@
+"""NetFlow dump files: writer and parser.
+
+MaSSF routers "record every traffic flow ... to a local file"; the PROFILE
+pipeline then parses those files.  The format is one whitespace-separated
+record per line after a header::
+
+    # massf-netflow v1
+    # router src dst flow out_link packets bytes first last
+    3 20 45 17 6 134 200000.0 12.500000 13.250000
+
+One file per router (``router_<id>.flow``) in a dump directory mirrors the
+"local file" arrangement; a concatenated single file parses identically.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.profiling.netflow import FlowRecord, NetFlowCollector
+
+__all__ = [
+    "format_records",
+    "parse_records",
+    "write_dump_dir",
+    "load_dump_dir",
+]
+
+_HEADER = "# massf-netflow v1"
+_COLUMNS = "# router src dst flow out_link packets bytes first last"
+
+
+def format_records(records: list[FlowRecord]) -> str:
+    """Serialize records to dump text."""
+    lines = [_HEADER, _COLUMNS]
+    for r in records:
+        lines.append(
+            f"{int(r.router)} {int(r.src)} {int(r.dst)} {int(r.flow_id)} "
+            f"{int(r.out_link)} {int(r.packets)} {float(r.nbytes)!r} "
+            f"{float(r.first)!r} {float(r.last)!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_records(text: str) -> list[FlowRecord]:
+    """Parse dump text back into records."""
+    records: list[FlowRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 9:
+            raise ValueError(f"line {lineno}: expected 9 fields, got {len(fields)}")
+        records.append(
+            FlowRecord(
+                router=int(fields[0]), src=int(fields[1]), dst=int(fields[2]),
+                flow_id=int(fields[3]), out_link=int(fields[4]),
+                packets=int(fields[5]), nbytes=float(fields[6]),
+                first=float(fields[7]), last=float(fields[8]),
+            )
+        )
+    return records
+
+
+def write_dump_dir(collector: NetFlowCollector, directory) -> list[Path]:
+    """Write one dump file per router into ``directory``.
+
+    Returns the files written.  Routers with no traffic produce no file
+    (their NetFlow cache is empty), as on a real deployment.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_router: dict[int, list[FlowRecord]] = {}
+    for rec in collector.records():
+        by_router.setdefault(rec.router, []).append(rec)
+    written = []
+    for router, recs in sorted(by_router.items()):
+        path = directory / f"router_{router}.flow"
+        path.write_text(format_records(recs), encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def load_dump_dir(directory) -> list[FlowRecord]:
+    """Parse every ``*.flow`` file in a dump directory."""
+    directory = Path(directory)
+    records: list[FlowRecord] = []
+    for path in sorted(directory.glob("*.flow")):
+        records.extend(parse_records(path.read_text(encoding="utf-8")))
+    return records

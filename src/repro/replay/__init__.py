@@ -1,0 +1,21 @@
+"""Trace-based replay — "network emulation time in isolation".
+
+§4.1.1: "MaSSF records all network traffic trace of an emulation execution,
+and then replays it without real computation in the application.  When
+replaying, it tries to send out traffic as fast as possible, but still
+follows the real application causality and message logic order.  This is a
+direct measurement of the mapping approaches."
+
+- :class:`repro.replay.trace.TransferTrace` — the recorded traffic trace
+  (every transfer's source, destination, size, injection time).
+- :func:`repro.replay.replayer.replay` — re-executes the trace through the
+  emulation kernel (open loop: injection times come from the recording, so
+  causal order is preserved) and scores a mapping with zero compute demand;
+  idle virtual time costs nothing, i.e. the replay runs as fast as the
+  network emulation allows.
+"""
+
+from repro.replay.replayer import ReplayResult, replay
+from repro.replay.trace import TransferTrace
+
+__all__ = ["TransferTrace", "replay", "ReplayResult"]

@@ -1,0 +1,76 @@
+"""The recorded network traffic trace (transfer log) of an emulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.kernel import EmulationKernel
+
+__all__ = ["TransferTrace"]
+
+
+@dataclass
+class TransferTrace:
+    """Columnar record of every transfer injected during a run.
+
+    Attributes
+    ----------
+    time, src, dst, nbytes, flow:
+        Parallel arrays, one row per transfer, ordered by injection time.
+    tags:
+        Transfer labels (kept as a list of str — small, human-oriented).
+    duration:
+        Virtual horizon of the recorded run.
+    """
+
+    time: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    nbytes: np.ndarray
+    flow: np.ndarray
+    tags: list[str]
+    duration: float
+
+    @property
+    def n_transfers(self) -> int:
+        return len(self.time)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.nbytes.sum())
+
+    @classmethod
+    def from_kernel(cls, kernel: EmulationKernel, duration: float) -> "TransferTrace":
+        """Capture the transfer log of a finished kernel run."""
+        log = sorted(kernel.transfer_log)
+        return cls(
+            time=np.array([e[0] for e in log], dtype=np.float64),
+            src=np.array([e[1] for e in log], dtype=np.int32),
+            dst=np.array([e[2] for e in log], dtype=np.int32),
+            nbytes=np.array([e[3] for e in log], dtype=np.float64),
+            flow=np.array([e[4] for e in log], dtype=np.int32),
+            tags=[e[5] for e in log],
+            duration=float(duration),
+        )
+
+    def save(self, path) -> None:
+        """Persist to ``.npz`` (tags joined with newlines)."""
+        np.savez_compressed(
+            path, time=self.time, src=self.src, dst=self.dst,
+            nbytes=self.nbytes, flow=self.flow,
+            tags=np.array("\n".join(self.tags)),
+            duration=np.array(self.duration),
+        )
+
+    @classmethod
+    def load(cls, path) -> "TransferTrace":
+        data = np.load(path)
+        tags_blob = str(data["tags"])
+        return cls(
+            time=data["time"], src=data["src"], dst=data["dst"],
+            nbytes=data["nbytes"], flow=data["flow"],
+            tags=tags_blob.split("\n") if tags_blob else [],
+            duration=float(data["duration"]),
+        )

@@ -1,0 +1,21 @@
+"""Routing substrate: shortest-path tables, memory model, ICMP/traceroute.
+
+- :func:`repro.routing.spf.build_routing` — all-pairs next-hop computation
+  (Dijkstra via :mod:`scipy.sparse.csgraph`).
+- :class:`repro.routing.tables.RoutingTables` — path queries + the paper's
+  per-router routing-table memory model (``10 + x²`` for AS size ``x``).
+- :func:`repro.routing.icmp.traceroute` — hop-by-hop TTL walk, the mechanism
+  PLACE uses to discover routes between traffic endpoints.
+"""
+
+from repro.routing.icmp import discover_routes, traceroute
+from repro.routing.spf import build_routing
+from repro.routing.tables import RoutingTables, memory_weights
+
+__all__ = [
+    "build_routing",
+    "RoutingTables",
+    "memory_weights",
+    "traceroute",
+    "discover_routes",
+]

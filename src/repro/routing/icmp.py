@@ -1,0 +1,125 @@
+"""ICMP and traceroute over the emulated network.
+
+§3.2: "To get the routing information, we implement the ICMP protocol inside
+the MaSSF, and use the real Linux traceroute tool to discover the routing
+paths between each source-destination pair.  To reduce the number of
+traceroute executions required, we could use one representative endpoint for
+each sub-network and only discover the route paths between those sub-network
+representatives."
+
+:func:`traceroute` performs the same hop-by-hop TTL walk the real tool does:
+probes with increasing TTL, and each router that decrements TTL to zero
+answers with a TIME_EXCEEDED carrying its id.  :func:`discover_routes` adds
+the representative-endpoint optimization keyed on the nodes' ``site`` label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.tables import RoutingTables
+
+__all__ = ["IcmpReply", "probe", "traceroute", "discover_routes"]
+
+
+@dataclass(frozen=True)
+class IcmpReply:
+    """Reply to a TTL-limited probe."""
+
+    kind: str  # "time-exceeded" | "echo-reply" | "unreachable"
+    responder: int
+    rtt_s: float
+
+
+def probe(tables: RoutingTables, src: int, dst: int, ttl: int) -> IcmpReply:
+    """Send one TTL-limited probe from ``src`` toward ``dst``.
+
+    Walks the forwarding path decrementing TTL per hop, exactly as the
+    emulated routers would.  RTT is twice the accumulated one-way latency to
+    the responding node.
+    """
+    if ttl < 1:
+        raise ValueError("ttl must be >= 1")
+    cur = src
+    lat = 0.0
+    for _ in range(ttl):
+        nxt = tables.hop(cur, dst)
+        if nxt < 0:
+            return IcmpReply("unreachable", cur, 2.0 * lat)
+        lat += tables.link_between(cur, nxt).latency_s
+        cur = nxt
+        if cur == dst:
+            return IcmpReply("echo-reply", cur, 2.0 * lat)
+    return IcmpReply("time-exceeded", cur, 2.0 * lat)
+
+
+def traceroute(
+    tables: RoutingTables, src: int, dst: int, max_ttl: int = 64
+) -> list[int]:
+    """Hop list from ``src`` to ``dst`` inclusive, discovered by TTL walk."""
+    hops = [src]
+    for ttl in range(1, max_ttl + 1):
+        reply = probe(tables, src, dst, ttl)
+        if reply.kind == "unreachable":
+            raise ValueError(f"no route {src} -> {dst}")
+        hops.append(reply.responder)
+        if reply.kind == "echo-reply":
+            return hops
+    raise RuntimeError(f"traceroute {src} -> {dst} exceeded {max_ttl} hops")
+
+
+def discover_routes(
+    tables: RoutingTables,
+    pairs: list[tuple[int, int]],
+    use_representatives: bool = False,
+) -> tuple[dict[tuple[int, int], list[int]], int]:
+    """Traceroute a set of endpoint pairs.
+
+    With ``use_representatives`` the walk runs once per (site(src),
+    site(dst)) pair — the paper's optimization — and the router-level core
+    of that representative path is reused for every endpoint pair attached
+    to the same access routers.  Pairs whose access routers differ from the
+    representatives' (and pairs sharing a site) fall back to a direct walk,
+    so the returned routes are always valid forwarding paths.
+
+    Returns ``(routes, n_traceroutes)`` — the second element is the number
+    of actual traceroute executions, the cost the optimization reduces.
+    """
+    routes: dict[tuple[int, int], list[int]] = {}
+    n_walks = 0
+    if not use_representatives:
+        for src, dst in pairs:
+            routes[(src, dst)] = traceroute(tables, src, dst)
+            n_walks += 1
+        return routes, n_walks
+
+    site_of = {
+        n.node_id: (n.site or f"node{n.node_id}") for n in tables.net.nodes
+    }
+    rep_paths: dict[tuple[str, str], list[int]] = {}
+    for src, dst in pairs:
+        s_site, d_site = site_of[src], site_of[dst]
+        key = (s_site, d_site)
+        if s_site != d_site and key not in rep_paths:
+            rep_paths[key] = traceroute(tables, src, dst)
+            n_walks += 1
+            routes[(src, dst)] = rep_paths[key]
+            continue
+        if s_site == d_site:
+            routes[(src, dst)] = traceroute(tables, src, dst)
+            n_walks += 1
+            continue
+        rep = rep_paths[key]
+        # Reuse the representative's path when this pair enters and leaves
+        # the core at the same points (same access hops).
+        src_hop = tables.hop(src, dst)
+        if (
+            len(rep) >= 3
+            and src_hop == rep[1]
+            and tables.hop(rep[-2], dst) == dst
+        ):
+            routes[(src, dst)] = [src] + rep[1:-1] + [dst]
+        else:
+            routes[(src, dst)] = traceroute(tables, src, dst)
+            n_walks += 1
+    return routes, n_walks

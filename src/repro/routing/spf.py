@@ -1,0 +1,70 @@
+"""Shortest-path-first route computation.
+
+MaSSF instantiates the emulated network and generates routing tables from
+routing protocols; our stand-in computes all-pairs shortest paths over the
+link graph with a configurable metric and materializes a dense next-hop
+matrix (the union of every node's routing table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import shortest_path
+
+from repro.routing.tables import RoutingTables
+from repro.topology.network import Network
+
+__all__ = ["build_routing", "METRICS"]
+
+METRICS = ("latency", "hops", "inv-bandwidth")
+
+
+def _link_cost(link, metric: str) -> float:
+    if metric == "latency":
+        return link.latency_s
+    if metric == "hops":
+        return 1.0
+    if metric == "inv-bandwidth":
+        # OSPF-style reference-bandwidth cost (reference 100 Gbps).
+        return 1e11 / link.bandwidth_bps
+    raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def build_routing(net: Network, metric: str = "latency") -> RoutingTables:
+    """Compute all-pairs routes for ``net``.
+
+    Returns a :class:`RoutingTables` with the distance matrix (in metric
+    units) and the dense next-hop matrix.  Ties are broken deterministically
+    by scipy's Dijkstra implementation given the fixed adjacency ordering.
+    """
+    n = net.n_nodes
+    rows, cols, costs = [], [], []
+    for link in net.links:
+        cost = _link_cost(link, metric)
+        rows.extend((link.u, link.v))
+        cols.extend((link.v, link.u))
+        costs.extend((cost, cost))
+    graph = sp.csr_matrix(
+        (np.array(costs), (np.array(rows), np.array(cols))), shape=(n, n)
+    )
+    dist, pred = shortest_path(
+        graph, method="D", directed=False, return_predecessors=True
+    )
+
+    # next_hop[i, j]: first hop on the path i -> j.  Fill per source in
+    # order of increasing distance so each entry is O(1):
+    #   next_hop[i, j] = j                      if pred[i, j] == i
+    #                  = next_hop[i, pred[i,j]] otherwise.
+    next_hop = np.full((n, n), -1, dtype=np.int32)
+    order = np.argsort(dist, axis=1, kind="stable")
+    for i in range(n):
+        nh = next_hop[i]
+        pi = pred[i]
+        for j in order[i]:
+            j = int(j)
+            if j == i or pi[j] < 0:
+                continue
+            p = int(pi[j])
+            nh[j] = j if p == i else nh[p]
+    return RoutingTables(net=net, metric=metric, dist=dist, next_hop=next_hop)

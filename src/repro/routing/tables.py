@@ -1,0 +1,107 @@
+"""Routing tables: path queries and the memory model.
+
+§2.2.2 of the paper: "The memory requirement is mainly based on the routing
+table size.  The routing table size is in the order of O(n²), where n is the
+number of routers in an AS" and §5: "we use m = 10 + x·x as the memory
+requirement for a router, where x is the size of an AS."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.elements import Link
+from repro.topology.network import Network
+
+__all__ = ["RoutingTables", "memory_weights", "HOST_MEMORY_WEIGHT"]
+
+HOST_MEMORY_WEIGHT = 1.0  # hosts keep a default route only
+
+
+@dataclass
+class RoutingTables:
+    """All-pairs routing state for one network.
+
+    Attributes
+    ----------
+    net:
+        The routed network.
+    metric:
+        Link-cost metric the routes were computed with.
+    dist:
+        ``float64[n, n]`` metric distance matrix.
+    next_hop:
+        ``int32[n, n]``; ``next_hop[i, j]`` is the neighbour ``i`` forwards
+        to when heading for ``j`` (``-1`` on the diagonal / unreachable).
+    """
+
+    net: Network
+    metric: str
+    dist: np.ndarray
+    next_hop: np.ndarray
+
+    def __post_init__(self) -> None:
+        # (u, v) -> Link lookup used in the emulator's forwarding fast path.
+        self._link_of: dict[tuple[int, int], Link] = {}
+        for link in self.net.links:
+            self._link_of[(link.u, link.v)] = link
+            self._link_of[(link.v, link.u)] = link
+
+    def hop(self, src: int, dst: int) -> int:
+        """Next hop from ``src`` toward ``dst`` (-1 when src == dst)."""
+        return int(self.next_hop[src, dst])
+
+    def link_between(self, u: int, v: int) -> Link:
+        """The link connecting two adjacent nodes."""
+        try:
+            return self._link_of[(u, v)]
+        except KeyError:
+            raise ValueError(f"nodes {u} and {v} are not adjacent") from None
+
+    def path(self, src: int, dst: int, max_hops: int = 10_000) -> list[int]:
+        """Node id sequence from ``src`` to ``dst`` inclusive."""
+        if src == dst:
+            return [src]
+        path = [src]
+        cur = src
+        for _ in range(max_hops):
+            nxt = self.hop(cur, dst)
+            if nxt < 0:
+                raise ValueError(f"no route {src} -> {dst}")
+            path.append(nxt)
+            if nxt == dst:
+                return path
+            cur = nxt
+        raise RuntimeError("routing loop detected")
+
+    def path_links(self, src: int, dst: int) -> list[Link]:
+        """The links along the path from ``src`` to ``dst``."""
+        nodes = self.path(src, dst)
+        return [self.link_between(u, v) for u, v in zip(nodes, nodes[1:])]
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """One-way propagation latency along the route (seconds)."""
+        return float(sum(l.latency_s for l in self.path_links(src, dst)))
+
+    def table_size(self, node_id: int) -> int:
+        """Number of distinct destinations with a concrete next hop."""
+        return int((self.next_hop[node_id] >= 0).sum())
+
+
+def memory_weights(net: Network) -> np.ndarray:
+    """Per-node memory requirement (the paper's magic formula).
+
+    Routers: ``10 + x²`` where ``x`` is the number of routers in the node's
+    AS.  Hosts: a small constant (:data:`HOST_MEMORY_WEIGHT`).
+    """
+    as_sizes = net.as_sizes()
+    out = np.empty(net.n_nodes, dtype=np.float64)
+    for node in net.nodes:
+        if node.is_router:
+            x = as_sizes.get(node.as_id, 0)
+            out[node.node_id] = 10.0 + float(x) * float(x)
+        else:
+            out[node.node_id] = HOST_MEMORY_WEIGHT
+    return out

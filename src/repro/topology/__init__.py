@@ -1,0 +1,30 @@
+"""Virtual-network model and the paper's topology families.
+
+- :mod:`repro.topology.elements` / :mod:`repro.topology.network` — hosts,
+  routers, links, and the :class:`~repro.topology.network.Network` container.
+- :func:`repro.topology.campus.campus_network` — the Campus network
+  (20 routers / 40 hosts, Table 1).
+- :func:`repro.topology.teragrid.teragrid_network` — the 5-site TeraGrid
+  (27 routers / 150 hosts, 40 Gbps backbone, Table 1 / Figure 3).
+- :func:`repro.topology.brite.brite_network` — BRITE-like Internet topology
+  generator (Barabási–Albert or Waxman), used for the 160-router and
+  200-router experiments.
+- :mod:`repro.topology.dml` — the network description file format
+  (MaSSF stores networks in DML; we provide a round-trippable equivalent).
+"""
+
+from repro.topology.brite import brite_network
+from repro.topology.campus import campus_network
+from repro.topology.elements import Link, NetNode, NodeKind
+from repro.topology.network import Network
+from repro.topology.teragrid import teragrid_network
+
+__all__ = [
+    "NodeKind",
+    "NetNode",
+    "Link",
+    "Network",
+    "campus_network",
+    "teragrid_network",
+    "brite_network",
+]

@@ -1,0 +1,220 @@
+"""BRITE-like Internet topology generator.
+
+The paper's third topology family is produced with a generator adapted from
+the BRITE toolkit (Medina et al., MASCOTS'01).  BRITE places routers on a
+plane and wires them with either the Barabási–Albert preferential-attachment
+model or the Waxman model; we implement both, then attach hosts to the
+low-degree (edge) routers and assign link capacities by tier, which mirrors
+BRITE's bandwidth-assignment step.
+
+Per the paper's scalability section, all routers live in a single AS (the
+BRITE tool of the time could not create BGP inter-AS topologies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.elements import Gbps, Mbps, ms, us
+from repro.topology.network import Network
+
+__all__ = ["BriteConfig", "brite_network"]
+
+
+@dataclass(frozen=True)
+class BriteConfig:
+    """Generator parameters.
+
+    Attributes
+    ----------
+    n_routers, n_hosts:
+        Table 1 uses 160/132; the scalability experiment uses 200/364.
+    model:
+        ``"ba"`` (Barabási–Albert, default — heavy-tailed degrees) or
+        ``"waxman"``.
+    ba_m:
+        Edges added per new router in the BA model.
+    waxman_alpha, waxman_beta:
+        Waxman edge-probability parameters.
+    plane_size_km:
+        Side of the square placement plane; latency = distance / (2/3 c).
+    n_as:
+        Autonomous systems.  The paper's BRITE could only build a single AS
+        ("the current BRITE tool cannot create networks using BGP routers"),
+        which capped their experiments at ~200 routers because the per-
+        router routing-table memory grows as 10 + x² with AS size x.  With
+        ``n_as > 1`` routers are assigned to ASes by spatial clustering,
+        shrinking x and the memory footprint; forwarding still uses the
+        global shortest-path tables (an interior-gateway view — inter-AS
+        policy routing is out of scope).
+    seed:
+        RNG seed; the generator is fully deterministic given the config.
+    """
+
+    n_routers: int = 160
+    n_hosts: int = 132
+    model: str = "ba"
+    ba_m: int = 2
+    waxman_alpha: float = 0.15
+    waxman_beta: float = 0.2
+    plane_size_km: float = 4000.0
+    n_as: int = 1
+    seed: int = 0
+
+
+_SPEED_KM_PER_S = 2.0e5  # signal speed in fibre, ~2/3 c
+
+
+def _latency_from_distance(dist_km: float) -> float:
+    """Propagation latency for a fibre run of ``dist_km`` (floor 1 ms —
+    the emulator models links at millisecond granularity)."""
+    return max(dist_km / _SPEED_KM_PER_S, 1.0e-3)
+
+
+def _ba_edges(n: int, m: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Barabási–Albert preferential attachment edge list on ``n`` vertices."""
+    if n < m + 1:
+        raise ValueError("need n_routers > ba_m")
+    edges: list[tuple[int, int]] = []
+    # Seed clique of m+1 routers keeps the early graph connected.
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            edges.append((i, j))
+    # Repeated-endpoint list implements preferential attachment.
+    targets: list[int] = [v for e in edges for v in e]
+    for new in range(m + 1, n):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            pick = int(rng.choice(targets))
+            chosen.add(pick)
+        for t in chosen:
+            edges.append((t, new))
+            targets.extend((t, new))
+    return edges
+
+
+def _waxman_edges(
+    n: int,
+    pos: np.ndarray,
+    alpha: float,
+    beta: float,
+    plane: float,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Waxman random-graph edges: P(u,v) = α·exp(−d(u,v)/(β·L))."""
+    max_d = plane * np.sqrt(2.0)
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            d = float(np.hypot(*(pos[u] - pos[v])))
+            p = alpha * np.exp(-d / (beta * max_d))
+            if rng.random() < p:
+                edges.append((u, v))
+    # Stitch disconnected components with their geometrically closest pair.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    roots = {find(v) for v in range(n)}
+    while len(roots) > 1:
+        comp_of = {}
+        for v in range(n):
+            comp_of.setdefault(find(v), []).append(v)
+        comps = list(comp_of.values())
+        a, b = comps[0], comps[1]
+        best = min(
+            ((float(np.hypot(*(pos[u] - pos[v]))), u, v) for u in a for v in b)
+        )
+        _, u, v = best
+        edges.append((u, v))
+        parent[find(u)] = find(v)
+        roots = {find(x) for x in range(n)}
+    return edges
+
+
+def brite_network(config: BriteConfig | None = None, **overrides) -> Network:
+    """Generate a BRITE-like network.
+
+    ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
+    ``brite_network(n_routers=200, n_hosts=364, seed=7)``.
+    """
+    if config is None:
+        config = BriteConfig(**overrides)
+    elif overrides:
+        config = BriteConfig(**{**config.__dict__, **overrides})
+    rng = np.random.default_rng(config.seed)
+    n = config.n_routers
+
+    pos = rng.uniform(0.0, config.plane_size_km, size=(n, 2))
+    if config.model == "ba":
+        edges = _ba_edges(n, config.ba_m, rng)
+    elif config.model == "waxman":
+        edges = _waxman_edges(
+            n, pos, config.waxman_alpha, config.waxman_beta,
+            config.plane_size_km, rng,
+        )
+    else:
+        raise ValueError(f"unknown model {config.model!r}")
+
+    if config.n_as < 1:
+        raise ValueError("n_as must be >= 1")
+    # Spatial AS assignment: split the plane into vertical bands with equal
+    # router counts (clustered ASes, like geography-driven real ones).
+    as_of = np.zeros(n, dtype=np.int64)
+    if config.n_as > 1:
+        x_order = np.argsort(pos[:, 0], kind="stable")
+        for rank, router in enumerate(x_order):
+            as_of[router] = min(rank * config.n_as // n, config.n_as - 1)
+
+    net = Network(f"brite-{config.model}-{n}r{config.n_hosts}h")
+    routers = [
+        net.add_router(f"r{i}", as_id=int(as_of[i])) for i in range(n)
+    ]
+
+    degree = np.zeros(n, dtype=np.int64)
+    for u, v in edges:
+        degree[u] += 1
+        degree[v] += 1
+    # Tiered capacity assignment: the top-degree decile forms the backbone.
+    backbone_cut = np.quantile(degree, 0.9)
+    for u, v in edges:
+        d = float(np.hypot(*(pos[u] - pos[v])))
+        lat = _latency_from_distance(d)
+        if degree[u] >= backbone_cut and degree[v] >= backbone_cut:
+            bw = Gbps(10)
+        elif degree[u] >= backbone_cut or degree[v] >= backbone_cut:
+            bw = Gbps(2.5)
+        else:
+            bw = Mbps(622)  # OC-12 style regional link
+        net.add_link(routers[u], routers[v], bw, lat)
+
+    # Hosts attach to edge (below-median-degree) routers with Zipf-like
+    # weights: real stub networks come in very different sizes (a campus
+    # hangs hundreds of hosts off one router, a branch office two), and
+    # this clustering is what gives the traffic its spatial skew.
+    edge_router_ids = [i for i in range(n) if degree[i] <= np.median(degree)]
+    if not edge_router_ids:
+        edge_router_ids = list(range(n))
+    ranked = rng.permutation(len(edge_router_ids))
+    weights = (np.argsort(ranked) + 1.0) ** -1.1
+    weights /= weights.sum()
+    attachments = rng.choice(
+        len(edge_router_ids), size=config.n_hosts, replace=True, p=weights
+    )
+    for h in range(config.n_hosts):
+        attach = edge_router_ids[int(attachments[h])]
+        host = net.add_host(
+            f"h{h}", as_id=int(as_of[attach]), site=f"stub{attach}"
+        )
+        net.add_link(host, routers[attach], Mbps(100), ms(2.5))
+
+    net.validate()
+    return net

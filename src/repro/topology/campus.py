@@ -1,0 +1,63 @@
+"""The Campus network: a section of a university campus (Table 1).
+
+20 routers / 40 hosts, emulated on 3 engine nodes in the paper.  The
+construction is the standard three-tier campus design: a redundant core pair,
+six distribution routers in two buildings-groups, and twelve access routers
+with the hosts (labs/offices) hanging off them.  All values are
+deterministic; there is no randomness in this topology.
+"""
+
+from __future__ import annotations
+
+from repro.topology.elements import Gbps, Mbps, ms, us
+from repro.topology.network import Network
+
+__all__ = ["campus_network", "CAMPUS_ROUTERS", "CAMPUS_HOSTS"]
+
+CAMPUS_ROUTERS = 20
+CAMPUS_HOSTS = 40
+
+
+def campus_network() -> Network:
+    """Build the Campus topology (20 routers, 40 hosts).
+
+    Tiers (latencies reflect 2003-era store-and-forward campus gear)::
+
+        core[2]  --1G,  0.5 ms-- core ring
+        dist[6]  --155M,0.8 ms-- to both cores (redundant uplinks on dist0/3)
+        acc[12]  --100M,1.5 ms-- two access routers per distribution router
+        hosts[40]--10M, 0.5 ms-- 3-4 hosts per access router (shared LAN)
+    """
+    net = Network("campus")
+
+    cores = [net.add_router(f"core{i}", site="core") for i in range(2)]
+    net.add_link(cores[0], cores[1], Gbps(1), ms(0.5))
+
+    dists = [net.add_router(f"dist{i}", site=f"bldg{i // 3}") for i in range(6)]
+    for i, dist in enumerate(dists):
+        # Primary uplink to the nearer core.
+        net.add_link(dist, cores[i % 2], Mbps(155), ms(0.8))
+        # Redundant uplink for the first distribution router in each group.
+        if i % 3 == 0:
+            net.add_link(dist, cores[(i + 1) % 2], Mbps(155), ms(0.9))
+
+    accs = []
+    for i in range(12):
+        acc = net.add_router(f"acc{i}", site=f"bldg{(i // 6)}")
+        accs.append(acc)
+        net.add_link(acc, dists[i % 6], Mbps(100), ms(1.5))
+
+    # 40 hosts, unevenly distributed (dense lab subnets vs sparse offices) —
+    # the heterogeneity a real campus section has.
+    host_counts = [8, 6, 5, 4, 4, 3, 2, 2, 2, 2, 1, 1]  # sums to 40
+    hid = 0
+    for acc, count in zip(accs, host_counts):
+        for _ in range(count):
+            host = net.add_host(f"h{hid}", site=acc.site)
+            net.add_link(host, acc, Mbps(10), ms(0.5))
+            hid += 1
+
+    assert len(net.routers()) == CAMPUS_ROUTERS
+    assert len(net.hosts()) == CAMPUS_HOSTS
+    net.validate()
+    return net

@@ -1,0 +1,162 @@
+"""Network description file format (DML-style).
+
+MaSSF stores the emulated network in a DML file (§2.2.1: "this information
+is stored in the network description file and can be easily translated to a
+vertex and adjacent edge graph").  We implement an equivalent bracketed
+key–value format that round-trips :class:`~repro.topology.network.Network`::
+
+    net [
+      name "campus"
+      node [ id 0 name "core0" kind router as 0 site "core" ]
+      ...
+      link [ id 0 from 0 to 1 bandwidth 1e10 latency 1e-4 ]
+      ...
+    ]
+
+Tokens are whitespace-separated; strings are double-quoted; brackets nest.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterator
+
+from repro.topology.elements import NodeKind
+from repro.topology.network import Network
+
+__all__ = ["dumps", "loads", "dump", "load", "DMLError"]
+
+
+class DMLError(ValueError):
+    """Raised on malformed DML input."""
+
+
+# --------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------- #
+def dumps(net: Network) -> str:
+    """Serialize a network to DML text."""
+    out = io.StringIO()
+    out.write("net [\n")
+    out.write(f'  name "{net.name}"\n')
+    for node in net.nodes:
+        out.write(
+            f"  node [ id {node.node_id} name \"{node.name}\" "
+            f"kind {node.kind.value} as {node.as_id} site \"{node.site}\" ]\n"
+        )
+    for link in net.links:
+        out.write(
+            f"  link [ id {link.link_id} from {link.u} to {link.v} "
+            f"bandwidth {link.bandwidth_bps!r} latency {link.latency_s!r} ]\n"
+        )
+    out.write("]\n")
+    return out.getvalue()
+
+
+def dump(net: Network, path) -> None:
+    """Serialize to a file path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(net))
+
+
+# --------------------------------------------------------------------- #
+# Tokenizer + parser
+# --------------------------------------------------------------------- #
+def _tokenize(text: str) -> Iterator[str]:
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "[]":
+            yield c
+            i += 1
+        elif c == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise DMLError("unterminated string")
+            yield text[i : j + 1]
+            i = j + 1
+        elif c == "#":  # comment to end of line
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "[]":
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def _parse_block(tokens: list[str], pos: int) -> tuple[dict, int]:
+    """Parse tokens after an opening '[' into a multimap dict."""
+    result: dict[str, list] = {}
+    while pos < len(tokens):
+        tok = tokens[pos]
+        if tok == "]":
+            return result, pos + 1
+        key = tok
+        pos += 1
+        if pos >= len(tokens):
+            raise DMLError(f"dangling key {key!r}")
+        if tokens[pos] == "[":
+            value, pos = _parse_block(tokens, pos + 1)
+        else:
+            value = tokens[pos]
+            pos += 1
+        result.setdefault(key, []).append(value)
+    raise DMLError("unbalanced brackets")
+
+
+def _scalar(block: dict, key: str, default=None):
+    values = block.get(key)
+    if not values:
+        if default is not None:
+            return default
+        raise DMLError(f"missing key {key!r}")
+    value = values[0]
+    if isinstance(value, str) and value.startswith('"'):
+        return value[1:-1]
+    return value
+
+
+def loads(text: str) -> Network:
+    """Parse DML text into a :class:`Network`."""
+    tokens = list(_tokenize(text))
+    if len(tokens) < 3 or tokens[0] != "net" or tokens[1] != "[":
+        raise DMLError("expected top-level 'net [ ... ]'")
+    block, pos = _parse_block(tokens, 2)
+    if pos != len(tokens):
+        raise DMLError("trailing tokens after net block")
+
+    net = Network(str(_scalar(block, "name", default="net")))
+    nodes = sorted(block.get("node", []), key=lambda b: int(_scalar(b, "id")))
+    for i, nb in enumerate(nodes):
+        if int(_scalar(nb, "id")) != i:
+            raise DMLError("node ids must be dense and start at 0")
+        kind = str(_scalar(nb, "kind"))
+        try:
+            node_kind = NodeKind(kind)
+        except ValueError:
+            raise DMLError(f"unknown node kind {kind!r}") from None
+        net.add_node(
+            str(_scalar(nb, "name")),
+            node_kind,
+            as_id=int(_scalar(nb, "as", default="0")),
+            site=str(_scalar(nb, "site", default="")),
+        )
+    links = sorted(block.get("link", []), key=lambda b: int(_scalar(b, "id")))
+    for lb in links:
+        net.add_link(
+            int(_scalar(lb, "from")),
+            int(_scalar(lb, "to")),
+            float(_scalar(lb, "bandwidth")),
+            float(_scalar(lb, "latency")),
+        )
+    return net
+
+
+def load(path) -> Network:
+    """Parse a DML file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,110 @@
+"""Network element records: nodes (hosts/routers) and links.
+
+Units used throughout the package:
+
+- bandwidth — bits per second (``bps``)
+- latency — seconds (one-way propagation delay)
+- sizes — bytes
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["NodeKind", "NetNode", "Link", "Mbps", "Gbps", "ms", "us"]
+
+# Unit helpers — keep literal topologies readable.
+def Mbps(x: float) -> float:
+    """Megabits/second to bits/second."""
+    return float(x) * 1e6
+
+
+def Gbps(x: float) -> float:
+    """Gigabits/second to bits/second."""
+    return float(x) * 1e9
+
+
+def ms(x: float) -> float:
+    """Milliseconds to seconds."""
+    return float(x) * 1e-3
+
+
+def us(x: float) -> float:
+    """Microseconds to seconds."""
+    return float(x) * 1e-6
+
+
+class NodeKind(enum.Enum):
+    """Virtual node kind; routers carry routing tables, hosts attach apps."""
+
+    HOST = "host"
+    ROUTER = "router"
+
+
+@dataclass(frozen=True)
+class NetNode:
+    """A virtual network node.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id; doubles as the partition-graph vertex id.
+    name:
+        Human-readable name (unique within a network).
+    kind:
+        Host or router.
+    as_id:
+        Autonomous-system id; the routing-table memory model is per-AS.
+    site:
+        Optional site/subnet label (e.g. TeraGrid site) used for placement.
+    """
+
+    node_id: int
+    name: str
+    kind: NodeKind
+    as_id: int = 0
+    site: str = ""
+
+    @property
+    def is_router(self) -> bool:
+        return self.kind is NodeKind.ROUTER
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind is NodeKind.HOST
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected virtual link (full-duplex).
+
+    Attributes
+    ----------
+    link_id:
+        Dense integer id.
+    u, v:
+        Endpoint node ids (``u < v`` by construction in ``Network``).
+    bandwidth_bps:
+        Link capacity in bits/second (per direction).
+    latency_s:
+        One-way propagation delay in seconds.
+    """
+
+    link_id: int
+    u: int
+    v: int
+    bandwidth_bps: float
+    latency_s: float
+
+    def other(self, node_id: int) -> int:
+        """Endpoint opposite ``node_id``."""
+        if node_id == self.u:
+            return self.v
+        if node_id == self.v:
+            return self.u
+        raise ValueError(f"node {node_id} not on link {self.link_id}")
+
+    def tx_time(self, nbytes: float) -> float:
+        """Transmission (serialization) time for ``nbytes`` bytes."""
+        return nbytes * 8.0 / self.bandwidth_bps

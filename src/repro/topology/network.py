@@ -1,0 +1,226 @@
+"""The :class:`Network` container: virtual nodes + links + queries.
+
+A ``Network`` is the emulated (virtual) network: the input to routing, to
+traffic generation, to the emulation engine, and — via
+:mod:`repro.core.graphbuild` — to the partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.elements import Link, NetNode, NodeKind
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Mutable builder + immutable-ish queries for a virtual network.
+
+    Node and link ids are dense and assigned in insertion order, which keeps
+    them stable across runs (determinism) and directly usable as array
+    indices everywhere else in the package.
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._nodes: list[NetNode] = []
+        self._links: list[Link] = []
+        self._by_name: dict[str, int] = {}
+        # adjacency: node id -> list of (neighbor id, link)
+        self._adj: list[list[tuple[int, Link]]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        name: str,
+        kind: NodeKind,
+        as_id: int = 0,
+        site: str = "",
+    ) -> NetNode:
+        """Add a node; names must be unique."""
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = NetNode(
+            node_id=len(self._nodes), name=name, kind=kind, as_id=as_id,
+            site=site,
+        )
+        self._nodes.append(node)
+        self._by_name[name] = node.node_id
+        self._adj.append([])
+        return node
+
+    def add_host(self, name: str, as_id: int = 0, site: str = "") -> NetNode:
+        """Add a host node."""
+        return self.add_node(name, NodeKind.HOST, as_id=as_id, site=site)
+
+    def add_router(self, name: str, as_id: int = 0, site: str = "") -> NetNode:
+        """Add a router node."""
+        return self.add_node(name, NodeKind.ROUTER, as_id=as_id, site=site)
+
+    def add_link(
+        self,
+        u: int | str | NetNode,
+        v: int | str | NetNode,
+        bandwidth_bps: float,
+        latency_s: float,
+    ) -> Link:
+        """Add an undirected link between two existing nodes."""
+        uid, vid = self._resolve(u), self._resolve(v)
+        if uid == vid:
+            raise ValueError("self-links are not allowed")
+        if bandwidth_bps <= 0 or latency_s <= 0:
+            raise ValueError("bandwidth and latency must be positive")
+        if vid < uid:
+            uid, vid = vid, uid
+        link = Link(
+            link_id=len(self._links), u=uid, v=vid,
+            bandwidth_bps=float(bandwidth_bps), latency_s=float(latency_s),
+        )
+        self._links.append(link)
+        self._adj[uid].append((vid, link))
+        self._adj[vid].append((uid, link))
+        return link
+
+    def _resolve(self, ref: int | str | NetNode) -> int:
+        if isinstance(ref, NetNode):
+            return ref.node_id
+        if isinstance(ref, str):
+            try:
+                return self._by_name[ref]
+            except KeyError:
+                raise KeyError(f"no node named {ref!r}") from None
+        node_id = int(ref)
+        if not 0 <= node_id < len(self._nodes):
+            raise IndexError(f"node id {node_id} out of range")
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def nodes(self) -> list[NetNode]:
+        return list(self._nodes)
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links)
+
+    def node(self, ref: int | str) -> NetNode:
+        """Node by id or name."""
+        return self._nodes[self._resolve(ref)]
+
+    def link(self, link_id: int) -> Link:
+        return self._links[link_id]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def neighbors(self, ref: int | str) -> list[tuple[int, Link]]:
+        """``(neighbor id, link)`` pairs incident to a node."""
+        return list(self._adj[self._resolve(ref)])
+
+    def degree(self, ref: int | str) -> int:
+        return len(self._adj[self._resolve(ref)])
+
+    def hosts(self) -> list[NetNode]:
+        """All host nodes, in id order."""
+        return [n for n in self._nodes if n.is_host]
+
+    def routers(self) -> list[NetNode]:
+        """All router nodes, in id order."""
+        return [n for n in self._nodes if n.is_router]
+
+    def as_sizes(self) -> dict[int, int]:
+        """Router count per AS (the ``x`` in the memory model 10 + x²)."""
+        sizes: dict[int, int] = {}
+        for node in self._nodes:
+            if node.is_router:
+                sizes[node.as_id] = sizes.get(node.as_id, 0) + 1
+        return sizes
+
+    def node_total_bandwidth(self, ref: int | str) -> float:
+        """Sum of incident link capacities — the TOP vertex weight."""
+        return float(
+            sum(link.bandwidth_bps for _, link in self._adj[self._resolve(ref)])
+        )
+
+    def find_link(self, u: int | str, v: int | str) -> Link | None:
+        """Link between two nodes, or None."""
+        uid, vid = self._resolve(u), self._resolve(v)
+        for nbr, link in self._adj[uid]:
+            if nbr == vid:
+                return link
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Validation / conversion
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the network is non-empty, connected, and well-formed."""
+        if self.n_nodes == 0:
+            raise ValueError("empty network")
+        seen_pairs: set[tuple[int, int]] = set()
+        for link in self._links:
+            pair = (link.u, link.v)
+            if pair in seen_pairs:
+                raise ValueError(f"parallel link between {pair}")
+            seen_pairs.add(pair)
+        for host in self.hosts():
+            if self.degree(host.node_id) == 0:
+                raise ValueError(f"host {host.name} is disconnected")
+        if not self.is_connected():
+            raise ValueError("network is not connected")
+
+    def is_connected(self) -> bool:
+        if self.n_nodes <= 1:
+            return True
+        seen = np.zeros(self.n_nodes, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            v = stack.pop()
+            for u, _ in self._adj[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(u)
+        return bool(seen.all())
+
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a networkx graph (node/link attributes preserved)."""
+        graph = nx.Graph(name=self.name)
+        for node in self._nodes:
+            graph.add_node(
+                node.node_id, name=node.name, kind=node.kind.value,
+                as_id=node.as_id, site=node.site,
+            )
+        for link in self._links:
+            graph.add_edge(
+                link.u, link.v, link_id=link.link_id,
+                bandwidth_bps=link.bandwidth_bps, latency_s=link.latency_s,
+            )
+        return graph
+
+    def summary(self) -> str:
+        """Table-1-style one-liner."""
+        return (
+            f"{self.name}: {len(self.routers())} routers, "
+            f"{len(self.hosts())} hosts, {self.n_links} links"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network {self.summary()}>"

@@ -1,0 +1,82 @@
+"""The TeraGrid network (Table 1 / Figure 3).
+
+27 routers / 150 hosts over five sites (SDSC, NCSA, ANL, Caltech, PSC),
+emulated on 5 engine nodes in the paper.  Each site follows the Figure 3
+site architecture — a border router into the 40 Gbps backbone, a redundant
+pair of site core routers, and cluster switches with the compute hosts —
+and the backbone joins the sites through the two TeraGrid hubs (Los
+Angeles and Chicago).
+
+Router budget (27): 2 hub routers + 5 sites × (1 border + 2 core + 2
+cluster) = 2 + 25 = 27.  Host budget (150): 30 compute hosts per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.elements import Gbps, Mbps, ms, us
+from repro.topology.network import Network
+
+__all__ = ["teragrid_network", "TERAGRID_SITES", "SiteSpec"]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One TeraGrid site: name, hub it homes to, and hub latency."""
+
+    name: str
+    hub: str
+    hub_latency_s: float
+    n_hosts: int = 30
+
+
+# One-way latencies approximate the real fibre routes (2003 era).
+TERAGRID_SITES: tuple[SiteSpec, ...] = (
+    SiteSpec("sdsc", "hub-la", ms(2.0)),
+    SiteSpec("caltech", "hub-la", ms(1.0)),
+    SiteSpec("ncsa", "hub-chi", ms(2.5)),
+    SiteSpec("anl", "hub-chi", ms(1.0)),
+    SiteSpec("psc", "hub-chi", ms(5.5)),
+)
+
+
+def teragrid_network() -> Network:
+    """Build the 5-site TeraGrid topology (27 routers, 150 hosts)."""
+    net = Network("teragrid")
+
+    hub_la = net.add_router("hub-la", site="backbone")
+    hub_chi = net.add_router("hub-chi", site="backbone")
+    # The LA—Chicago backbone: 40 Gbps, ~10 ms one way.
+    net.add_link(hub_la, hub_chi, Gbps(40), ms(10.0))
+    hubs = {"hub-la": hub_la, "hub-chi": hub_chi}
+
+    for spec in TERAGRID_SITES:
+        border = net.add_router(f"{spec.name}-border", site=spec.name)
+        net.add_link(border, hubs[spec.hub], Gbps(40), spec.hub_latency_s)
+
+        cores = [
+            net.add_router(f"{spec.name}-core{i}", site=spec.name)
+            for i in range(2)
+        ]
+        for core in cores:
+            net.add_link(core, border, Gbps(10), ms(0.8))
+        net.add_link(cores[0], cores[1], Gbps(10), ms(0.5))
+
+        clusters = [
+            net.add_router(f"{spec.name}-sw{i}", site=spec.name)
+            for i in range(2)
+        ]
+        for i, sw in enumerate(clusters):
+            net.add_link(sw, cores[i], Gbps(10), ms(0.5))
+
+        per_switch = spec.n_hosts // 2
+        for h in range(spec.n_hosts):
+            host = net.add_host(f"{spec.name}-n{h}", site=spec.name)
+            net.add_link(host, clusters[h // per_switch if h // per_switch < 2
+                                        else 1], Mbps(100), ms(0.5))
+
+    assert len(net.routers()) == 27, len(net.routers())
+    assert len(net.hosts()) == 150, len(net.hosts())
+    net.validate()
+    return net

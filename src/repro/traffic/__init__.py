@@ -1,0 +1,29 @@
+"""Traffic generation: background models and foreground applications.
+
+Background (§4.1.4): :class:`repro.traffic.http.HttpTraffic` (the paper's
+HTTP workload description), plus CBR and Poisson generators.  Each generator
+exposes the two faces the mapping approaches need:
+
+- ``install(kernel, rng)`` — drive the emulation (closed-loop where the real
+  generator is closed-loop);
+- ``predicted_flows(net, tables)`` — the user-suppliable average-bandwidth
+  prediction PLACE consumes.
+
+Foreground: :class:`repro.traffic.apps.scalapack.ScaLapackApp` and
+:class:`repro.traffic.apps.gridnpb.GridNPBApp` model the paper's two live
+Grid applications as traffic + compute-demand generators with explicit
+injection points.
+"""
+
+from repro.traffic.cbr import CbrTraffic
+from repro.traffic.flows import PredictedFlow, TrafficGenerator
+from repro.traffic.http import HttpTraffic
+from repro.traffic.poisson import PoissonTraffic
+
+__all__ = [
+    "PredictedFlow",
+    "TrafficGenerator",
+    "HttpTraffic",
+    "CbrTraffic",
+    "PoissonTraffic",
+]

@@ -1,0 +1,14 @@
+"""Foreground application traffic models (the paper's live Grid apps)."""
+
+from repro.traffic.apps.base import ForegroundApp, WorkflowApp, WorkflowEdge, WorkflowTask
+from repro.traffic.apps.gridnpb import GridNPBApp
+from repro.traffic.apps.scalapack import ScaLapackApp
+
+__all__ = [
+    "ForegroundApp",
+    "WorkflowTask",
+    "WorkflowEdge",
+    "WorkflowApp",
+    "ScaLapackApp",
+    "GridNPBApp",
+]

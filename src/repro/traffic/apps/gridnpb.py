@@ -1,0 +1,177 @@
+"""GridNPB 3.0 foreground traffic model (HC + VP + MB).
+
+The paper runs the NAS Grid Benchmarks as "a workflow style composition in
+data flow graphs encapsulating an instance of a slightly modified NPB task
+in each graph node, which communicates with other nodes by sending/receiving
+initialization data", using Helical Chain (HC), Visualization Pipeline (VP)
+and Mixed Bag (MB) concurrently at class S, for ~15 virtual minutes.
+
+The mapping-relevant property is the opposite of ScaLapack's: traffic is
+*irregular and stage-varying* — bursts between changing endpoint pairs at
+stage boundaries, so the node dominating the emulation load changes over
+time (Figures 2 and 8) and the PLACE all-to-all-even approximation is poor.
+
+Dataflow graphs follow the NGB 1.0 spec shapes:
+
+- **HC** — nine tasks BT→SP→LU→BT→SP→LU→BT→SP→LU in a chain.
+- **VP** — three pipelined columns BT→MG→FT (flow, mixing, visualization).
+- **MB** — a 3×3 layered mix of LU/MG/FT with full fan-out between layers
+  and deliberately uneven task sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.compute import ComputeProfile
+from repro.engine.kernel import EmulationKernel
+from repro.traffic.apps.base import (
+    ForegroundApp,
+    WorkflowApp,
+    WorkflowEdge,
+    WorkflowTask,
+)
+
+__all__ = ["GridNPBApp", "build_hc", "build_vp", "build_mb"]
+
+# Per-task compute time (virtual s) and inter-task volumes (bytes), scaled
+# so the combined run lasts ~900 s like the paper's.  NPB kernel types get
+# different weights: BT/SP/LU are heavy solvers, MG/FT lighter.
+_TASK_SECONDS = {"BT": 85.0, "SP": 70.0, "LU": 95.0, "MG": 45.0, "FT": 55.0}
+# Class-S tasks are small solvers that spend part of their window blocked on
+# workflow I/O, so per-task demand sits below real time.
+_TASK_RATE = {"BT": 0.55, "SP": 0.5, "LU": 0.6, "MG": 0.4, "FT": 0.45}
+
+
+def build_hc(endpoints: list[int], volume: float, start: float) -> WorkflowApp:
+    """Helical Chain: 9 tasks in sequence, hopping endpoints round-robin."""
+    kinds = ["BT", "SP", "LU"] * 3
+    tasks = [
+        WorkflowTask(
+            name=f"hc{i}-{kind}", endpoint_idx=i % len(endpoints),
+            compute_s=_TASK_SECONDS[kind], compute_rate=_TASK_RATE[kind],
+        )
+        for i, kind in enumerate(kinds)
+    ]
+    edges = [
+        WorkflowEdge(tasks[i].name, tasks[i + 1].name, volume)
+        for i in range(len(tasks) - 1)
+    ]
+    return WorkflowApp("gridnpb-hc", endpoints, tasks, edges, start_time=start)
+
+
+def build_vp(endpoints: list[int], volume: float, start: float) -> WorkflowApp:
+    """Visualization Pipeline: three BT→MG→FT columns, pipelined."""
+    tasks: list[WorkflowTask] = []
+    edges: list[WorkflowEdge] = []
+    n_ep = len(endpoints)
+    for col in range(3):
+        for row, kind in enumerate(("BT", "MG", "FT")):
+            tasks.append(
+                WorkflowTask(
+                    name=f"vp{col}-{kind}",
+                    endpoint_idx=(col * 3 + row) % n_ep,
+                    compute_s=_TASK_SECONDS[kind],
+                    compute_rate=_TASK_RATE[kind],
+                )
+            )
+        edges.append(WorkflowEdge(f"vp{col}-BT", f"vp{col}-MG", volume))
+        edges.append(WorkflowEdge(f"vp{col}-MG", f"vp{col}-FT", volume * 0.6))
+        if col > 0:  # pipeline coupling: column feeds the next column's BT
+            edges.append(
+                WorkflowEdge(f"vp{col - 1}-BT", f"vp{col}-BT", volume * 0.4)
+            )
+    return WorkflowApp("gridnpb-vp", endpoints, tasks, edges, start_time=start)
+
+
+def build_mb(endpoints: list[int], volume: float, start: float) -> WorkflowApp:
+    """Mixed Bag: 3 layers × 3 tasks with full fan-out and uneven sizes."""
+    tasks: list[WorkflowTask] = []
+    edges: list[WorkflowEdge] = []
+    n_ep = len(endpoints)
+    layers = (("LU", "LU", "LU"), ("MG", "MG", "MG"), ("FT", "FT", "FT"))
+    # Unevenness: scale factors per column (the "mixed bag").
+    scale = (1.6, 1.0, 0.5)
+    for layer, kinds in enumerate(layers):
+        for col, kind in enumerate(kinds):
+            tasks.append(
+                WorkflowTask(
+                    name=f"mb{layer}{col}-{kind}",
+                    endpoint_idx=(layer * 3 + col) % n_ep,
+                    compute_s=_TASK_SECONDS[kind] * scale[col],
+                    compute_rate=_TASK_RATE[kind],
+                )
+            )
+    for layer in range(2):
+        for src_col in range(3):
+            for dst_col in range(3):
+                src = f"mb{layer}{src_col}-{layers[layer][src_col]}"
+                dst = f"mb{layer + 1}{dst_col}-{layers[layer + 1][dst_col]}"
+                edges.append(
+                    WorkflowEdge(src, dst, volume * scale[src_col] / 3.0)
+                )
+    return WorkflowApp("gridnpb-mb", endpoints, tasks, edges, start_time=start)
+
+
+@dataclass
+class GridNPBApp(ForegroundApp):
+    """The paper's combined HC + VP + MB GridNPB workload.
+
+    Attributes
+    ----------
+    endpoints:
+        Host node ids where GridNPB processes attach (paper: a handful of
+        Grid nodes; 9 works well — each MB/VP task gets its own endpoint).
+    volume:
+        Base inter-task transfer size in bytes (class-S initialization data
+        scaled up to exercise the network, per the substitution notes in
+        DESIGN.md).
+    stagger_s:
+        Start offsets of the three sub-benchmarks.
+    """
+
+    endpoints: list[int]
+    volume: float = 12e6
+    stagger_s: float = 60.0
+    name: str = "gridnpb"
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.endpoints) < 3:
+            raise ValueError("GridNPB needs at least three endpoints")
+        self._parts = [
+            build_hc(self.endpoints, self.volume, self.start_time),
+            build_vp(
+                self.endpoints, self.volume * 0.8,
+                self.start_time + self.stagger_s,
+            ),
+            build_mb(
+                self.endpoints, self.volume * 1.2,
+                self.start_time + 2 * self.stagger_s,
+            ),
+        ]
+
+    @property
+    def sub_benchmarks(self) -> list[WorkflowApp]:
+        return list(self._parts)
+
+    @property
+    def duration(self) -> float:
+        return max(p.makespan_end for p in self._parts) - self.start_time
+
+    def install(self, kernel: EmulationKernel, rng: np.random.Generator) -> None:
+        for part in self._parts:
+            part.install(kernel, rng)
+
+    def compute_profile(self) -> ComputeProfile:
+        # Concurrent workflow tasks run on separate application-cluster
+        # nodes, so their combined demand caps at real time (rate 1.0).
+        return ComputeProfile.combine(
+            [p.compute_profile() for p in self._parts], cap=1.0
+        )
+
+    def offered_bytes(self) -> float:
+        """Aggregate inter-task volume (users know their dataflow sizes)."""
+        return float(sum(p.offered_bytes() for p in self._parts))

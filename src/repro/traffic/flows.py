@@ -1,0 +1,64 @@
+"""Traffic-generator interface and predicted-flow records.
+
+§3.2: "it is reasonable that all traffic generators can provide some
+prediction of their generated traffic load, for example, specifying the
+average traffic bandwidth between two endpoints."  A
+:class:`PredictedFlow` is exactly that record; PLACE routes each one and
+accumulates per-link load.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.kernel import EmulationKernel
+from repro.routing.tables import RoutingTables
+from repro.topology.network import Network
+
+__all__ = ["PredictedFlow", "TrafficGenerator"]
+
+
+@dataclass(frozen=True)
+class PredictedFlow:
+    """User-level prediction of one aggregate flow.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node ids.
+    bytes_per_s:
+        Predicted average bandwidth of the flow.
+    """
+
+    src: int
+    dst: int
+    bytes_per_s: float
+
+
+class TrafficGenerator(abc.ABC):
+    """Base class for background traffic generators.
+
+    Lifecycle: :meth:`prepare` fixes any random population choices (so the
+    PLACE prediction can be read before the run), then :meth:`install`
+    schedules the generator's events on a kernel.
+    """
+
+    def prepare(self, net: Network, rng: np.random.Generator) -> None:
+        """Fix population choices; default is a no-op."""
+
+    @abc.abstractmethod
+    def install(self, kernel: EmulationKernel, rng: np.random.Generator) -> None:
+        """Schedule the generator's initial events on the kernel."""
+
+    @abc.abstractmethod
+    def predicted_flows(
+        self, net: Network, tables: RoutingTables
+    ) -> list[PredictedFlow]:
+        """The average-bandwidth prediction the user would supply to PLACE."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for experiment logs."""
+        return type(self).__name__

@@ -1,0 +1,231 @@
+"""Traffic specification files — the paper's §4.1.4 user interface.
+
+MaSSF users describe background traffic with blocks like::
+
+    Traffic [ name HTTP
+      request_size       200KByte
+      think_time         12
+      client_per_server  10
+      server_number      107
+    ]
+
+This module parses that exact syntax (plus CBR/Poisson/TCP blocks and an
+``Application`` block for the foreground app) into a ready
+:class:`~repro.experiments.workloads.Workload`.  Sizes accept the paper's
+unit spellings (``200KByte``, ``1.5MB``, ``64kb`` …); bare numbers are
+seconds or counts depending on the key.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.topology.network import Network
+
+__all__ = ["parse_spec", "parse_size", "SpecError"]
+
+
+class SpecError(ValueError):
+    """Raised on malformed traffic specifications."""
+
+
+_SIZE_RE = re.compile(
+    r"^(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[a-zA-Z]*)$"
+)
+_SIZE_UNITS = {
+    "": 1.0,
+    "b": 1.0, "byte": 1.0, "bytes": 1.0,
+    "kb": 1e3, "kbyte": 1e3, "kbytes": 1e3, "k": 1e3,
+    "mb": 1e6, "mbyte": 1e6, "mbytes": 1e6, "m": 1e6,
+    "gb": 1e9, "gbyte": 1e9, "gbytes": 1e9, "g": 1e9,
+}
+
+
+def parse_size(text: str) -> float:
+    """Parse ``200KByte`` / ``1.5MB`` / ``512`` into bytes."""
+    match = _SIZE_RE.match(text.strip())
+    if not match:
+        raise SpecError(f"cannot parse size {text!r}")
+    unit = match.group("unit").lower()
+    if unit not in _SIZE_UNITS:
+        raise SpecError(f"unknown size unit {match.group('unit')!r}")
+    return float(match.group("num")) * _SIZE_UNITS[unit]
+
+
+# --------------------------------------------------------------------- #
+# Tokenizer (shares the DML bracket grammar)
+# --------------------------------------------------------------------- #
+def _tokenize(text: str):
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "[]":
+            yield c
+            i += 1
+        elif c == "#":
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "[]#":
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def _parse_blocks(text: str) -> list[tuple[str, dict[str, str]]]:
+    tokens = list(_tokenize(text))
+    blocks: list[tuple[str, dict[str, str]]] = []
+    i = 0
+    while i < len(tokens):
+        kind = tokens[i]
+        if i + 1 >= len(tokens) or tokens[i + 1] != "[":
+            raise SpecError(f"expected '[' after {kind!r}")
+        i += 2
+        body: dict[str, str] = {}
+        while i < len(tokens) and tokens[i] != "]":
+            key = tokens[i]
+            if i + 1 >= len(tokens) or tokens[i + 1] in "[]":
+                raise SpecError(f"key {key!r} has no value")
+            body[key.lower()] = tokens[i + 1]
+            i += 2
+        if i >= len(tokens):
+            raise SpecError("unterminated block")
+        i += 1  # skip ']'
+        blocks.append((kind.lower(), body))
+    return blocks
+
+
+# --------------------------------------------------------------------- #
+# Block builders
+# --------------------------------------------------------------------- #
+def _pairs_from(body: dict[str, str], net: Network,
+                rng: np.random.Generator, n_default: int = 4):
+    hosts = [h.node_id for h in net.hosts()]
+    count = int(body.get("pairs", n_default))
+    if count > len(hosts) // 2:
+        raise SpecError(f"not enough hosts for {count} pairs")
+    picks = rng.choice(hosts, size=2 * count, replace=False)
+    return [(int(picks[2 * i]), int(picks[2 * i + 1])) for i in range(count)]
+
+
+def _build_http(body, net, rng, duration):
+    from repro.traffic.http import HttpTraffic
+
+    return HttpTraffic(
+        request_size=parse_size(body.get("request_size", "200KByte")),
+        think_time=float(body.get("think_time", 12.0)),
+        clients_per_server=int(body.get("client_per_server", 10)),
+        n_servers=int(body.get("server_number", 4)),
+        duration=float(body.get("duration", duration)),
+        site_skew=float(body.get("site_skew", 0.0)),
+    )
+
+
+def _build_cbr(body, net, rng, duration):
+    from repro.traffic.cbr import CbrTraffic
+
+    return CbrTraffic(
+        pairs=_pairs_from(body, net, rng),
+        nbytes=parse_size(body.get("size", "100KByte")),
+        period=float(body.get("period", 5.0)),
+        duration=float(body.get("duration", duration)),
+    )
+
+
+def _build_poisson(body, net, rng, duration):
+    from repro.traffic.poisson import PoissonTraffic
+
+    return PoissonTraffic(
+        pairs=_pairs_from(body, net, rng),
+        mean_nbytes=parse_size(body.get("mean_size", "50KByte")),
+        rate=float(body.get("rate", 0.5)),
+        duration=float(body.get("duration", duration)),
+    )
+
+
+def _build_tcp(body, net, rng, duration):
+    from repro.traffic.tcp import TcpTraffic
+
+    return TcpTraffic(
+        pairs=_pairs_from(body, net, rng),
+        nbytes=parse_size(body.get("size", "500KByte")),
+        period=float(body.get("period", 20.0)),
+        duration=float(body.get("duration", duration)),
+    )
+
+
+_TRAFFIC_BUILDERS = {
+    "http": _build_http,
+    "cbr": _build_cbr,
+    "poisson": _build_poisson,
+    "tcp": _build_tcp,
+}
+
+
+def _build_app(body, net, rng):
+    from repro.experiments.workloads import packed_endpoints, spread_endpoints
+    from repro.traffic.apps.gridnpb import GridNPBApp
+    from repro.traffic.apps.scalapack import ScaLapackApp
+
+    name = body.get("name", "scalapack").lower()
+    nodes = int(body.get("nodes", 10 if name == "scalapack" else 9))
+    placement = body.get("placement", "packed")
+    place = packed_endpoints if placement == "packed" else spread_endpoints
+    endpoints = place(net, nodes, rng)
+    if name == "scalapack":
+        kwargs = {}
+        if "panel_size" in body:
+            kwargs["panel_bytes"] = parse_size(body["panel_size"])
+        if "duration" in body:
+            kwargs["duration_s"] = float(body["duration"])
+        return ScaLapackApp(endpoints=endpoints, **kwargs)
+    if name == "gridnpb":
+        kwargs = {}
+        if "volume" in body:
+            kwargs["volume"] = parse_size(body["volume"])
+        return GridNPBApp(endpoints=endpoints, **kwargs)
+    raise SpecError(f"unknown application {name!r}")
+
+
+def parse_spec(text: str, net: Network, seed: int = 0):
+    """Parse a traffic specification into a Workload.
+
+    At most one ``Application`` block; any number of ``Traffic`` blocks.
+    """
+    from repro.experiments.workloads import Workload
+
+    rng = np.random.default_rng(seed)
+    background = []
+    app = None
+    duration_hint = 300.0
+    for kind, body in _parse_blocks(text):
+        if kind == "traffic":
+            name = body.get("name", "").lower()
+            builder = _TRAFFIC_BUILDERS.get(name)
+            if builder is None:
+                raise SpecError(
+                    f"unknown traffic model {body.get('name')!r}; "
+                    f"choose from {sorted(_TRAFFIC_BUILDERS)}"
+                )
+            background.append(builder(body, net, rng, duration_hint))
+        elif kind == "application":
+            if app is not None:
+                raise SpecError("multiple Application blocks")
+            app = _build_app(body, net, rng)
+        elif kind == "experiment":
+            duration_hint = float(body.get("duration", duration_hint))
+        else:
+            raise SpecError(f"unknown block {kind!r}")
+
+    duration = duration_hint
+    if app is not None:
+        duration = max(duration, app.duration * 1.05)
+    return Workload(
+        background=background, app=app, duration=duration,
+        name=f"{net.name}/spec",
+    )

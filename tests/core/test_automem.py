@@ -1,0 +1,69 @@
+"""Tests for automatic memory-weight adjustment (§5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.automem import (
+    AutoMemoryResult,
+    auto_memory_map,
+    predict_part_memory,
+)
+from repro.routing.tables import memory_weights
+from repro.topology.brite import brite_network
+from repro.topology.campus import campus_network
+
+
+@pytest.fixture(scope="module")
+def skewed_net():
+    """Single-AS BRITE: routers are memory-heavy (10 + 120²)."""
+    return brite_network(n_routers=120, n_hosts=60, seed=5)
+
+
+def test_predict_part_memory(campus):
+    parts = (np.arange(campus.n_nodes) % 3).astype(np.int64)
+    pm = predict_part_memory(campus, parts, 3)
+    assert pm.sum() == pytest.approx(memory_weights(campus).sum())
+
+
+def test_auto_memory_fits_with_generous_budget(skewed_net):
+    total = memory_weights(skewed_net).sum()
+    result = auto_memory_map(skewed_net, 8, memory_budget=total)
+    assert result.fits
+    assert result.iterations == 1
+
+
+def test_auto_memory_escalates_weight(skewed_net):
+    """A tight budget forces the loop to raise the memory weight."""
+    total = memory_weights(skewed_net).sum()
+    tight = total / 8 * 1.25  # only 25 % slack over the perfect split
+    result = auto_memory_map(skewed_net, 8, memory_budget=tight)
+    assert result.fits
+    assert result.part_memory.max() <= tight
+    # It needed more than the default weight to get there.
+    assert result.iterations >= 1
+    assert "fits" in result.summary()
+
+
+def test_auto_memory_infeasible_budget(skewed_net):
+    total = memory_weights(skewed_net).sum()
+    with pytest.raises(ValueError, match="infeasible"):
+        auto_memory_map(skewed_net, 8, memory_budget=total / 16)
+
+
+def test_auto_memory_validation(campus):
+    with pytest.raises(ValueError):
+        auto_memory_map(campus, 3, memory_budget=0.0)
+    with pytest.raises(ValueError):
+        auto_memory_map(campus, 3, memory_budget=1e9, growth=1.0)
+
+
+def test_auto_memory_reports_failure(skewed_net):
+    """With a budget only *just* above infeasible and one iteration, the
+    result may honestly report not fitting."""
+    total = memory_weights(skewed_net).sum()
+    result = auto_memory_map(
+        skewed_net, 8, memory_budget=total / 8 * 1.01, max_iterations=1
+    )
+    assert isinstance(result, AutoMemoryResult)
+    if not result.fits:
+        assert "OVER BUDGET" in result.summary()

@@ -1,0 +1,206 @@
+"""Tests for the TOP/PLACE/PROFILE approaches and the Mapper facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapper import Mapper, MapperConfig
+from repro.core.place import (
+    build_place_inputs,
+    estimate_traffic,
+    foreground_placement_flows,
+)
+from repro.core.profile_map import build_profile_inputs
+from repro.core.top import build_top_inputs
+from repro.engine.kernel import EmulationKernel
+from repro.profiling.aggregate import ProfileData
+from repro.profiling.netflow import NetFlowCollector
+from repro.traffic.apps.scalapack import ScaLapackApp
+from repro.traffic.cbr import CbrTraffic
+from repro.traffic.flows import PredictedFlow
+
+
+@pytest.fixture
+def host_ids(campus):
+    return [h.node_id for h in campus.hosts()]
+
+
+# --------------------------------------------------------------------- #
+# TOP
+# --------------------------------------------------------------------- #
+def test_top_inputs(campus):
+    inputs = build_top_inputs(campus)
+    assert inputs.vwgt.shape == (campus.n_nodes, 1)
+    assert inputs.link_weights.shape == (campus.n_links,)
+    assert inputs.diagnostics["approach"] == "top"
+
+
+def test_top_mapping_produces_k_parts(campus):
+    mapper = Mapper(campus, n_parts=3)
+    result = mapper.map_top()
+    assert result.approach == "top"
+    assert len(np.unique(result.parts)) == 3
+
+
+# --------------------------------------------------------------------- #
+# PLACE
+# --------------------------------------------------------------------- #
+def test_foreground_placement_flows(campus, host_ids):
+    app = ScaLapackApp(endpoints=host_ids[:5])
+    flows = foreground_placement_flows(campus, app)
+    # All ordered pairs.
+    assert len(flows) == 5 * 4
+    # Evenly distributed: each source splits its per-endpoint rate 4 ways,
+    # where the rate is the access link capped by the app's offered-load
+    # hint.
+    hint_rate = 2.0 * app.offered_bytes() / (5 * app.duration)
+    rates = {}
+    for f in flows:
+        rates.setdefault(f.src, set()).add(f.bytes_per_s)
+    for src, values in rates.items():
+        assert len(values) == 1
+        expected = min(campus.node_total_bandwidth(src) / 8.0, hint_rate) / 4
+        assert values.pop() == pytest.approx(expected)
+
+
+def test_foreground_placement_full_link_without_hint(campus, host_ids):
+    """Apps without an offered-load hint get the paper's literal
+    full-utilization assumption."""
+
+    class OpaqueApp(ScaLapackApp):
+        def offered_bytes(self):
+            return None
+
+    app = OpaqueApp(endpoints=host_ids[:5])
+    flows = foreground_placement_flows(campus, app)
+    src = flows[0].src
+    expected = campus.node_total_bandwidth(src) / 8.0 / 4
+    assert flows[0].bytes_per_s == pytest.approx(expected)
+
+
+def test_estimate_traffic_routes_flows(campus_routed, host_ids):
+    net, tables = campus_routed
+    flows = [PredictedFlow(host_ids[0], host_ids[-1], 1000.0)]
+    est = estimate_traffic(net, tables, flows, use_representatives=False)
+    path_links = tables.path_links(host_ids[0], host_ids[-1])
+    for link in path_links:
+        assert est.link_rate[link.link_id] == pytest.approx(1000.0)
+    # Off-path links carry nothing.
+    assert est.link_rate.sum() == pytest.approx(1000.0 * len(path_links))
+    # Every node on the path accumulates the rate.
+    for node in tables.path(host_ids[0], host_ids[-1]):
+        assert est.node_rate[node] == pytest.approx(1000.0)
+
+
+def test_estimate_merges_duplicate_pairs(campus_routed, host_ids):
+    net, tables = campus_routed
+    flows = [
+        PredictedFlow(host_ids[0], host_ids[-1], 700.0),
+        PredictedFlow(host_ids[0], host_ids[-1], 300.0),
+    ]
+    est = estimate_traffic(net, tables, flows, use_representatives=False)
+    assert est.n_routes == 1
+    first_link = tables.path_links(host_ids[0], host_ids[-1])[0]
+    assert est.link_rate[first_link.link_id] == pytest.approx(1000.0)
+
+
+def test_place_inputs_and_mapping(campus_routed, host_ids, rng):
+    net, tables = campus_routed
+    cbr = CbrTraffic(pairs=[(host_ids[0], host_ids[20])], nbytes=50e3,
+                     period=1.0)
+    app = ScaLapackApp(endpoints=host_ids[:6])
+    inputs = build_place_inputs(net, tables, [cbr], [app])
+    assert inputs.vwgt.shape == (net.n_nodes, 1)
+    assert inputs.link_weights_traffic.max() > 0
+    mapper = Mapper(net, n_parts=3, tables=tables)
+    result = mapper.map_place([cbr], [app])
+    assert result.approach == "place"
+    assert "c_latency" in result.diagnostics
+
+
+# --------------------------------------------------------------------- #
+# PROFILE
+# --------------------------------------------------------------------- #
+def make_profile(campus_routed, host_ids, rng, interval=5.0):
+    net, tables = campus_routed
+    collector = NetFlowCollector()
+    kern = EmulationKernel(net, tables, collector=collector)
+    cbr = CbrTraffic(
+        pairs=[(host_ids[0], host_ids[30]), (host_ids[5], host_ids[35])],
+        nbytes=100e3, period=2.0, duration=60.0,
+    )
+    cbr.install(kern, rng)
+    trace = kern.run(until=60.0)
+    return ProfileData.from_run(collector, trace, net, interval=interval)
+
+
+def test_profile_inputs_single_constraint(campus_routed, host_ids, rng):
+    net, _ = campus_routed
+    profile = make_profile(campus_routed, host_ids, rng)
+    inputs = build_profile_inputs(net, profile, use_segments=False)
+    assert inputs.vwgt.shape == (net.n_nodes, 1)
+    assert inputs.n_segments == 0
+    assert np.allclose(inputs.link_weights_traffic, profile.link_packets)
+
+
+def test_profile_inputs_with_segments(campus_routed, host_ids, rng):
+    net, _ = campus_routed
+    profile = make_profile(campus_routed, host_ids, rng)
+    initial = (np.arange(net.n_nodes) % 3).astype(np.int64)
+    inputs = build_profile_inputs(net, profile, initial_parts=initial,
+                                  use_segments=True, max_segments=4)
+    assert inputs.vwgt.shape[1] >= 1
+    assert inputs.vwgt.shape[1] == max(1, inputs.n_segments)
+
+
+def test_profile_mapping(campus_routed, host_ids, rng):
+    net, tables = campus_routed
+    profile = make_profile(campus_routed, host_ids, rng)
+    mapper = Mapper(net, n_parts=3, tables=tables)
+    initial = mapper.map_top()
+    result = mapper.map_profile(profile, initial_parts=initial.parts)
+    assert result.approach == "profile"
+    assert len(np.unique(result.parts)) == 3
+
+
+# --------------------------------------------------------------------- #
+# Facade
+# --------------------------------------------------------------------- #
+def test_map_network_dispatch(campus_routed, host_ids, rng):
+    net, tables = campus_routed
+    mapper = Mapper(net, n_parts=2, tables=tables)
+    assert mapper.map_network("top").approach == "top"
+    with pytest.raises(ValueError, match="PROFILE requires"):
+        mapper.map_network("profile")
+    with pytest.raises(ValueError, match="unknown approach"):
+        mapper.map_network("magic")
+
+
+def test_mapper_validates_n_parts(campus):
+    with pytest.raises(ValueError):
+        Mapper(campus, n_parts=0)
+
+
+def test_mapper_deterministic(campus_routed):
+    net, tables = campus_routed
+    a = Mapper(net, n_parts=3, tables=tables).map_top()
+    b = Mapper(net, n_parts=3, tables=tables).map_top()
+    assert np.array_equal(a.parts, b.parts)
+
+
+def test_mapper_config_latency_priority(campus_routed, host_ids):
+    """p=1 ignores traffic; p=0 ignores latency — different partitions for
+    a traffic pattern concentrated on one subnet."""
+    net, tables = campus_routed
+    cbr = CbrTraffic(
+        pairs=[(host_ids[i], host_ids[i + 1]) for i in range(0, 8, 2)],
+        nbytes=1e6, period=1.0,
+    )
+    app = ScaLapackApp(endpoints=host_ids[:4])
+    lat_only = Mapper(net, 3, tables=tables,
+                      config=MapperConfig(latency_priority=1.0))
+    bw_only = Mapper(net, 3, tables=tables,
+                     config=MapperConfig(latency_priority=0.0))
+    a = lat_only.map_place([cbr], [app])
+    b = bw_only.map_place([cbr], [app])
+    assert a.diagnostics["latency_priority"] == 1.0
+    assert b.diagnostics["latency_priority"] == 0.0

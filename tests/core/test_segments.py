@@ -1,0 +1,89 @@
+"""Tests for the §3.3 segment clustering algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.segments import find_segments, segment_weights
+
+
+def test_single_dominating_node_one_segment():
+    series = np.zeros((3, 20))
+    series[0, :] = 10.0  # LP 0 dominates throughout
+    series[1, :] = 1.0
+    segs = find_segments(series, min_segment_bins=2)
+    assert len(segs) == 1
+    assert segs[0].sum() == 20
+
+
+def test_dominating_change_splits():
+    series = np.ones((2, 30)) * 0.5
+    series[0, :15] = 10.0
+    series[1, 15:] = 10.0
+    segs = find_segments(series, smooth_bins=1, min_segment_bins=2)
+    assert len(segs) == 2
+    assert segs[0][:15].all() and not segs[0][15:].any()
+    assert segs[1][15:].all()
+
+
+def test_low_traffic_bins_removed():
+    series = np.zeros((2, 30))
+    series[0, 5:25] = 10.0
+    series[1, 5:25] = 2.0
+    # Bins 0-4 and 25-29 are silent.
+    segs = find_segments(series, smooth_bins=1)
+    covered = np.zeros(30, dtype=bool)
+    for s in segs:
+        covered |= s
+    assert not covered[:5].any()
+    assert not covered[25:].any()
+    assert covered[5:25].all()
+
+
+def test_short_segments_merged():
+    series = np.ones((2, 30)) * 0.5
+    series[0, :] = 5.0
+    series[1, 10:12] = 20.0  # 2-bin blip of LP 1 dominance
+    segs = find_segments(series, smooth_bins=1, min_segment_bins=4)
+    assert len(segs) == 1
+
+
+def test_max_segments_cap():
+    rng = np.random.default_rng(3)
+    series = rng.uniform(1, 10, size=(4, 120))
+    segs = find_segments(series, smooth_bins=1, min_segment_bins=1,
+                         max_segments=3)
+    assert 1 <= len(segs) <= 3
+
+
+def test_segments_disjoint_and_cover_active():
+    rng = np.random.default_rng(9)
+    series = rng.uniform(0.5, 5, size=(3, 60))
+    segs = find_segments(series, smooth_bins=3, min_segment_bins=3)
+    stack = np.stack(segs)
+    assert (stack.sum(axis=0) <= 1).all()  # disjoint
+
+
+def test_all_zero_series_no_segments():
+    assert find_segments(np.zeros((2, 10))) == []
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(ValueError):
+        find_segments(np.zeros(10))
+
+
+def test_segment_weights_columns():
+    node_series = np.arange(12, dtype=np.float64).reshape(3, 4)
+    segs = [
+        np.array([True, True, False, False]),
+        np.array([False, False, True, True]),
+    ]
+    w = segment_weights(node_series, segs)
+    assert w.shape == (3, 2)
+    assert np.allclose(w[:, 0], node_series[:, :2].sum(axis=1))
+    assert np.allclose(w[:, 1], node_series[:, 2:].sum(axis=1))
+
+
+def test_segment_weights_requires_segments():
+    with pytest.raises(ValueError):
+        segment_weights(np.zeros((2, 4)), [])

@@ -1,0 +1,109 @@
+"""Cross-validation of the analytic cost model against the operational
+cluster simulation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.clustersim import simulate_cluster
+from repro.engine.costmodel import CostModel
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import Transfer
+from repro.engine.parallel import evaluate_mapping
+
+
+@pytest.fixture(scope="module")
+def busy_trace():
+    from repro.routing.spf import build_routing
+    from repro.topology.campus import campus_network
+
+    net = campus_network()
+    tables = build_routing(net)
+    kern = EmulationKernel(net, tables, train_packets=8)
+    hosts = [h.node_id for h in net.hosts()]
+    rng = np.random.default_rng(11)
+    for _ in range(250):
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        kern.submit_transfer(
+            Transfer(src=int(src), dst=int(dst),
+                     nbytes=float(rng.uniform(2e4, 3e5))),
+            float(rng.uniform(0, 50)),
+        )
+    return net, kern.run(until=70.0)
+
+
+def mappings_for(net):
+    rng = np.random.default_rng(4)
+    natural = (np.arange(net.n_nodes) % 3).astype(np.int64)
+    shuffled = rng.permutation(net.n_nodes) % 3
+    skewed = np.zeros(net.n_nodes, dtype=np.int64)
+    skewed[:2] = [1, 2]
+    return {"natural": natural, "shuffled": shuffled.astype(np.int64),
+            "skewed": skewed}
+
+
+def test_operational_below_analytic(busy_trace):
+    """The analytic model serializes whole chunks, so it upper-bounds the
+    pipelined operational execution."""
+    net, trace = busy_trace
+    for name, parts in mappings_for(net).items():
+        analytic = evaluate_mapping(trace, net, parts).wall_network
+        operational = simulate_cluster(trace, net, parts).wall
+        assert operational <= analytic * 1.001, name
+
+
+def test_operational_above_critical_path(busy_trace):
+    """No engine node can beat its own total work."""
+    net, trace = busy_trace
+    for parts in mappings_for(net).values():
+        sim = simulate_cluster(trace, net, parts)
+        assert sim.wall >= sim.busy.max() - 1e-9
+
+
+def test_models_agree_within_factor(busy_trace):
+    net, trace = busy_trace
+    for parts in mappings_for(net).values():
+        analytic = evaluate_mapping(trace, net, parts).wall_network
+        operational = simulate_cluster(trace, net, parts).wall
+        assert operational > 0.3 * analytic
+
+
+def test_models_rank_mappings_identically(busy_trace):
+    """The validation that matters: both models agree on which mapping
+    wins, so conclusions drawn from the analytic model stand."""
+    net, trace = busy_trace
+    maps = mappings_for(net)
+    analytic = {n: evaluate_mapping(trace, net, p).wall_network
+                for n, p in maps.items()}
+    operational = {n: simulate_cluster(trace, net, p).wall
+                   for n, p in maps.items()}
+    rank_a = sorted(analytic, key=analytic.get)
+    rank_o = sorted(operational, key=operational.get)
+    assert rank_a == rank_o
+
+
+def test_skew_relaxation_speeds_up_operational(busy_trace):
+    net, trace = busy_trace
+    parts = mappings_for(net)["natural"]
+    tight = simulate_cluster(trace, net, parts, cost=CostModel(skew_windows=1))
+    loose = simulate_cluster(trace, net, parts, cost=CostModel(skew_windows=64))
+    assert loose.wall <= tight.wall + 1e-9
+
+
+def test_busy_accounting(busy_trace):
+    """Total busy seconds equal work plus per-window sync charges and are
+    identical for mappings with the same per-LP assignment."""
+    net, trace = busy_trace
+    parts = mappings_for(net)["natural"]
+    a = simulate_cluster(trace, net, parts)
+    b = simulate_cluster(trace, net, parts)
+    assert np.allclose(a.busy, b.busy)
+    assert (a.utilization <= 1.0 + 1e-9).all()
+
+
+def test_empty_trace(tiny_routed):
+    from repro.engine.trace import TraceRecorder
+
+    net, _ = tiny_routed
+    trace = TraceRecorder(net.n_nodes).finish(1.0)
+    sim = simulate_cluster(trace, net, np.zeros(net.n_nodes, dtype=int))
+    assert sim.wall == 0.0

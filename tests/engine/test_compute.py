@@ -1,0 +1,58 @@
+"""Tests for compute-demand profiles."""
+
+import numpy as np
+import pytest
+
+from repro.engine.compute import ComputeProfile
+
+
+def test_constant_profile():
+    p = ComputeProfile.constant(0.5, 10.0)
+    assert p.total == pytest.approx(5.0)
+    assert p.cumulative(5.0) == pytest.approx(2.5)
+    assert p.cumulative(20.0) == pytest.approx(5.0)  # clamps past the end
+
+
+def test_zero_profile():
+    assert ComputeProfile.zero(7.0).total == 0.0
+
+
+def test_piecewise_cumulative():
+    p = ComputeProfile(times=[0.0, 2.0, 5.0], rates=[1.0, 0.2])
+    assert p.total == pytest.approx(2.0 + 0.6)
+    assert p.cumulative(1.0) == pytest.approx(1.0)
+    assert p.cumulative(3.5) == pytest.approx(2.0 + 0.3)
+
+
+def test_cumulative_vectorized():
+    p = ComputeProfile.constant(2.0, 4.0)
+    out = p.cumulative(np.array([0.0, 1.0, 4.0]))
+    assert np.allclose(out, [0.0, 2.0, 8.0])
+
+
+def test_combine_sums():
+    a = ComputeProfile(times=[0.0, 2.0], rates=[1.0])
+    b = ComputeProfile(times=[1.0, 3.0], rates=[1.0])
+    c = ComputeProfile.combine([a, b])
+    assert c.total == pytest.approx(4.0)
+    assert c.cumulative(1.5) == pytest.approx(1.5 + 0.5)
+
+
+def test_combine_with_cap():
+    a = ComputeProfile(times=[0.0, 2.0], rates=[0.8])
+    b = ComputeProfile(times=[0.0, 2.0], rates=[0.8])
+    c = ComputeProfile.combine([a, b], cap=1.0)
+    assert c.total == pytest.approx(2.0)
+
+
+def test_combine_empty():
+    assert ComputeProfile.combine([]).total == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ComputeProfile(times=[0.0, 1.0], rates=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        ComputeProfile(times=[1.0, 0.5], rates=[1.0])
+    with pytest.raises(ValueError):
+        ComputeProfile(times=[0.0, 1.0], rates=[-1.0])

@@ -1,0 +1,50 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.engine.eventq import EventQueue
+
+
+def test_time_ordering():
+    q = EventQueue()
+    order = []
+    q.push(2.0, order.append, "b")
+    q.push(1.0, order.append, "a")
+    q.push(3.0, order.append, "c")
+    while q:
+        _, cb, args = q.pop()
+        cb(*args)
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_tie_break():
+    q = EventQueue()
+    seen = []
+    for name in "xyz":
+        q.push(1.0, seen.append, name)
+    while q:
+        _, cb, args = q.pop()
+        cb(*args)
+    assert seen == ["x", "y", "z"]
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, print)
+
+
+def test_peek_and_counters():
+    q = EventQueue()
+    q.push(5.0, print)
+    q.push(2.0, print)
+    assert q.peek_time() == 2.0
+    assert len(q) == 2
+    q.pop()
+    assert q.processed == 1
+    assert len(q) == 1
+
+
+def test_peek_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().peek_time()

@@ -1,0 +1,113 @@
+"""Property-based invariants of the emulation kernel (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import Transfer
+from repro.engine.trace import DELIVERED, INJECTED
+from repro.routing.spf import build_routing
+from repro.topology.elements import Mbps, ms
+from repro.topology.network import Network
+
+
+def small_net():
+    net = Network("prop")
+    routers = [net.add_router(f"r{i}") for i in range(3)]
+    net.add_link(routers[0], routers[1], Mbps(50), ms(1))
+    net.add_link(routers[1], routers[2], Mbps(50), ms(1))
+    net.add_link(routers[0], routers[2], Mbps(10), ms(5))
+    hosts = []
+    for i, r in enumerate(routers):
+        for j in range(2):
+            h = net.add_host(f"h{i}{j}")
+            hosts.append(h.node_id)
+            net.add_link(h, r, Mbps(10), ms(0.5))
+    return net, build_routing(net), hosts
+
+
+NET, TABLES, HOSTS = small_net()
+
+
+@st.composite
+def transfer_plans(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    plans = []
+    for _ in range(n):
+        src, dst = draw(
+            st.sampled_from([(a, b) for a in HOSTS for b in HOSTS if a != b])
+        )
+        nbytes = draw(st.floats(min_value=100.0, max_value=2e5))
+        start = draw(st.floats(min_value=0.0, max_value=5.0))
+        plans.append((src, dst, nbytes, start))
+    return plans
+
+
+@given(transfer_plans(), st.integers(min_value=1, max_value=32))
+@settings(max_examples=40, deadline=None)
+def test_packet_conservation(plans, train):
+    """Every injected packet is eventually delivered (no-loss network), and
+    deliveries never exceed injections."""
+    kern = EmulationKernel(NET, TABLES, train_packets=train)
+    expected = 0
+    for src, dst, nbytes, start in plans:
+        t = Transfer(src=src, dst=dst, nbytes=nbytes)
+        expected += t.n_packets
+        kern.submit_transfer(t, start)
+    trace = kern.run(until=500.0)
+    delivered = trace.packets[trace.next_node == DELIVERED].sum()
+    assert delivered == expected
+    assert kern.stats.transfers_delivered == len(plans)
+
+
+@given(transfer_plans())
+@settings(max_examples=30, deadline=None)
+def test_hop_counts_match_routes(plans):
+    """Per flow, forwarded packets equal n_packets × (path length − 1):
+    every packet is processed once at the source and at each intermediate
+    router."""
+    kern = EmulationKernel(NET, TABLES, train_packets=64)
+    transfers = []
+    for src, dst, nbytes, start in plans:
+        t = Transfer(src=src, dst=dst, nbytes=nbytes)
+        transfers.append(t)
+        kern.submit_transfer(t, start)
+    trace = kern.run(until=500.0)
+    fwd = trace.next_node >= 0
+    for t in transfers:
+        mask = (trace.flow == t.flow_id) & fwd
+        hops = len(TABLES.path(t.src, t.dst))
+        assert trace.packets[mask].sum() == t.n_packets * (hops - 1)
+
+
+@given(transfer_plans())
+@settings(max_examples=25, deadline=None)
+def test_causality_times_nondecreasing_per_flow(plans):
+    """Within a flow, delivery happens after injection, and per-train event
+    times along the path are non-decreasing."""
+    kern = EmulationKernel(NET, TABLES, train_packets=16)
+    for src, dst, nbytes, start in plans:
+        kern.submit_transfer(Transfer(src=src, dst=dst, nbytes=nbytes), start)
+    trace = kern.run(until=500.0)
+    for flow_id in np.unique(trace.flow):
+        mask = trace.flow == flow_id
+        times = trace.time[mask]
+        kinds = trace.next_node[mask]
+        inj_times = times[kinds == INJECTED]
+        del_times = times[kinds == DELIVERED]
+        if len(inj_times) and len(del_times):
+            assert del_times.max() >= inj_times.min()
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_train_size_invariance_of_totals(train):
+    """Total delivered packets are independent of train granularity."""
+    kern = EmulationKernel(NET, TABLES, train_packets=train)
+    kern.submit_transfer(
+        Transfer(src=HOSTS[0], dst=HOSTS[5], nbytes=123_456), 0.0
+    )
+    kern.run(until=500.0)
+    assert kern.stats.packets_delivered == 83  # ceil(123456 / 1500)

@@ -1,0 +1,65 @@
+"""Tests for per-link accounting in the kernel."""
+
+import numpy as np
+import pytest
+
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import MTU_BYTES, Transfer
+
+
+def test_link_packets_and_bytes(tiny_routed):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables, train_packets=4)
+    src, dst = 4, 6  # h0 -> h2 across the r0..r3 spine
+    kern.submit_transfer(Transfer(src=src, dst=dst, nbytes=30_000), 0.0)
+    kern.run(until=30.0)
+    path_links = [l.link_id for l in tables.path_links(src, dst)]
+    n_packets = Transfer(src=src, dst=dst, nbytes=30_000).n_packets
+    for link_id in path_links:
+        assert kern.link_packets[link_id] == n_packets
+        assert kern.link_bytes[link_id] == pytest.approx(30_000)
+    off_path = set(range(net.n_links)) - set(path_links)
+    assert all(kern.link_packets[l] == 0 for l in off_path)
+
+
+def test_link_busy_matches_tx_time(tiny_routed):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables, train_packets=1)
+    kern.submit_transfer(Transfer(src=4, dst=6, nbytes=MTU_BYTES), 0.0)
+    kern.run(until=10.0)
+    for link in tables.path_links(4, 6):
+        assert kern.link_busy_s[link.link_id] == pytest.approx(
+            link.tx_time(MTU_BYTES)
+        )
+
+
+def test_link_utilization(tiny_routed):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables, train_packets=8)
+    kern.submit_transfer(Transfer(src=4, dst=6, nbytes=1e6), 0.0)
+    kern.run(until=10.0)
+    util = kern.link_utilization()
+    assert util.shape == (net.n_links,)
+    assert util.max() <= 2.0 + 1e-9
+    # The 10 Mbps access link moving 1 MB in a 10 s window is ~8 % busy.
+    access = tables.path_links(4, 6)[0]
+    assert util[access.link_id] == pytest.approx(0.08, rel=0.05)
+
+
+def test_link_utilization_requires_run(tiny_routed):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables)
+    with pytest.raises(ValueError):
+        kern.link_utilization()
+
+
+def test_max_backlog_grows_under_contention(tiny_routed):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables, train_packets=1)
+    for i in range(5):
+        kern.submit_transfer(Transfer(src=4, dst=6, nbytes=50e3), 0.0)
+    kern.run(until=60.0)
+    # Five simultaneous transfers pile up on the source's 10 Mbps access
+    # link (downstream links only see the paced trickle).
+    access = tables.path_links(4, 6)[0]
+    assert kern.link_max_backlog_s[access.link_id] > 0.0

@@ -1,0 +1,68 @@
+"""Tests for transfers, packet trains, and packetization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.packet import MTU_BYTES, PacketTrain, Transfer, packetize
+
+
+def test_transfer_packet_count():
+    assert Transfer(src=0, dst=1, nbytes=1.0).n_packets == 1
+    assert Transfer(src=0, dst=1, nbytes=MTU_BYTES).n_packets == 1
+    assert Transfer(src=0, dst=1, nbytes=MTU_BYTES + 1).n_packets == 2
+
+
+def test_transfer_validation():
+    with pytest.raises(ValueError):
+        Transfer(src=1, dst=1, nbytes=10)
+    with pytest.raises(ValueError):
+        Transfer(src=0, dst=1, nbytes=0)
+
+
+def test_flow_ids_unique():
+    a = Transfer(src=0, dst=1, nbytes=10)
+    b = Transfer(src=0, dst=1, nbytes=10)
+    assert a.flow_id != b.flow_id
+
+
+def test_explicit_flow_id_preserved():
+    t = Transfer(src=0, dst=1, nbytes=10, flow_id=777)
+    assert t.flow_id == 777
+
+
+def test_packetize_single_train():
+    t = Transfer(src=0, dst=1, nbytes=3000)
+    trains = packetize(t, train_packets=8)
+    assert len(trains) == 1
+    assert trains[0].count == 2
+    assert trains[0].nbytes == pytest.approx(3000)
+    assert trains[0].last
+
+
+def test_packetize_splits_and_marks_last():
+    t = Transfer(src=0, dst=1, nbytes=10 * MTU_BYTES)
+    trains = packetize(t, train_packets=4)
+    assert [tr.count for tr in trains] == [4, 4, 2]
+    assert [tr.last for tr in trains] == [False, False, True]
+
+
+def test_packetize_requires_positive_train():
+    t = Transfer(src=0, dst=1, nbytes=10)
+    with pytest.raises(ValueError):
+        packetize(t, train_packets=0)
+
+
+@given(
+    nbytes=st.floats(min_value=1.0, max_value=5e7),
+    train=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_packetize_conserves_bytes_and_packets(nbytes, train):
+    """Property: packetization loses neither bytes nor packets."""
+    t = Transfer(src=0, dst=1, nbytes=nbytes)
+    trains = packetize(t, train_packets=train)
+    assert sum(tr.count for tr in trains) == t.n_packets
+    assert sum(tr.nbytes for tr in trains) == pytest.approx(nbytes)
+    assert sum(tr.last for tr in trains) == 1
+    assert trains[-1].last

@@ -1,0 +1,80 @@
+"""Tests for packed endpoint placement and workload knobs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    build_workload,
+    packed_endpoints,
+    spread_endpoints,
+)
+from repro.topology.brite import brite_network
+from repro.topology.campus import campus_network
+from repro.topology.teragrid import teragrid_network
+
+
+def test_packed_uses_few_sites():
+    net = teragrid_network()
+    rng = np.random.default_rng(0)
+    eps = packed_endpoints(net, 10, rng, max_sites=2)
+    sites = {net.node(e).site for e in eps}
+    assert len(sites) == 2
+    assert len(set(eps)) == 10
+
+
+def test_packed_vs_spread_site_counts():
+    net = teragrid_network()
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+    packed = packed_endpoints(net, 10, rng1)
+    spread = spread_endpoints(net, 10, rng2)
+    packed_sites = {net.node(e).site for e in packed}
+    spread_sites = {net.node(e).site for e in spread}
+    assert len(packed_sites) < len(spread_sites)
+
+
+def test_packed_handles_tiny_sites():
+    """BRITE stubs hold only a few hosts each; packing tops up from more
+    sites instead of failing."""
+    net = brite_network(n_routers=60, n_hosts=30, seed=2)
+    eps = packed_endpoints(net, 9, np.random.default_rng(3))
+    assert len(eps) == 9
+    assert len(set(eps)) == 9
+
+
+def test_packed_too_many_rejected():
+    net = campus_network()
+    with pytest.raises(ValueError):
+        packed_endpoints(net, 1000, np.random.default_rng(0))
+
+
+def test_build_workload_placement_modes():
+    net = teragrid_network()
+    packed = build_workload(net, "scalapack", seed=5, placement="packed")
+    spread = build_workload(net, "scalapack", seed=5, placement="spread")
+    packed_sites = {net.node(e).site for e in packed.app.endpoints}
+    spread_sites = {net.node(e).site for e in spread.app.endpoints}
+    assert len(packed_sites) < len(spread_sites)
+    with pytest.raises(ValueError):
+        build_workload(net, "scalapack", placement="quantum")
+
+
+def test_app_volumes_scale_with_access_bandwidth():
+    """The ScaLapack panel saturates its access link on both slow- and
+    fast-edge topologies (the §3.2 network-intensity premise)."""
+    campus_wl = build_workload(campus_network(), "scalapack", seed=1)
+    teragrid_wl = build_workload(teragrid_network(), "scalapack", seed=1)
+    assert teragrid_wl.app.panel_bytes > campus_wl.app.panel_bytes
+
+
+def test_http_server_site_skew():
+    """Server placement concentrates on a few sites (site_skew)."""
+    net = teragrid_network()
+    wl = build_workload(net, "none", seed=3, duration=100.0)
+    http = wl.background[0]
+    http.prepare(net, np.random.default_rng(3))
+    server_sites = [net.node(s).site for _, s in http.pairs]
+    from collections import Counter
+
+    counts = Counter(server_sites)
+    # The top site holds a clear plurality of the servers.
+    assert counts.most_common(1)[0][1] >= len(set(server_sites))

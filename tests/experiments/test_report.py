@@ -1,0 +1,57 @@
+"""Tests for the report/campaign layer (cheap paths only — the full
+figure regeneration lives in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import APPROACHES, Campaign, table1
+from repro.experiments.setups import campus_setup, table1_setups
+
+
+def test_table1_exact_values():
+    table = table1()
+    assert table.row_names == ["campus", "teragrid", "brite"]
+    assert np.array_equal(
+        table.values,
+        np.array([[20, 40, 3], [27, 150, 5], [160, 132, 8]], dtype=float),
+    )
+
+
+def test_table1_renders():
+    text = table1().render("{:.0f}")
+    assert "Table 1" in text
+    assert "160" in text
+
+
+def test_campaign_caches_results(monkeypatch):
+    calls = []
+
+    def fake_evaluate(setup, approaches, seed, config):
+        calls.append(setup.name)
+        return {name: object() for name in approaches}
+
+    monkeypatch.setattr(
+        "repro.experiments.report.evaluate_setup", fake_evaluate
+    )
+    campaign = Campaign(seed=1)
+    setup = campus_setup("scalapack")
+    campaign.results_for(setup)
+    campaign.results_for(setup)
+    assert calls == ["campus"]
+
+
+def test_campaign_setups_respect_intensity_override():
+    campaign = Campaign(seed=1, intensity="light")
+    setups = campaign._setups("scalapack")
+    assert all(s.intensity == "light" for s in setups)
+
+
+def test_campaign_setups_default_intensities():
+    campaign = Campaign(seed=1)
+    setups = {s.name: s for s in campaign._setups("scalapack")}
+    assert setups["campus"].intensity == "heavy"
+    assert setups["teragrid"].intensity == "moderate"
+
+
+def test_approaches_constant():
+    assert APPROACHES == ("top", "place", "profile")

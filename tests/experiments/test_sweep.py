@@ -1,0 +1,57 @@
+"""Tests for the seed-sweep statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.setups import campus_setup
+from repro.experiments.sweep import (
+    MetricStats,
+    SweepResult,
+    ordering_confidence,
+    sweep_setup,
+)
+
+
+def test_metric_stats():
+    stats = MetricStats.of([1.0, 2.0, 3.0])
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.min == 1.0 and stats.max == 3.0
+    assert "±" in str(stats)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    setup = campus_setup(
+        "scalapack", intensity="light",
+        workload_kwargs=dict(duration=50.0, http_servers=2,
+                             clients_per_server=2),
+    )
+    return sweep_setup(setup, seeds=(1, 2), approaches=("top", "profile"))
+
+
+def test_sweep_shapes(small_sweep):
+    assert small_sweep.seeds == (1, 2)
+    assert set(small_sweep.imbalance) == {"top", "profile"}
+    for stats in small_sweep.imbalance.values():
+        assert len(stats.values) == 2
+
+
+def test_sweep_render(small_sweep):
+    text = small_sweep.render()
+    assert "top" in text and "profile" in text
+    assert "±" in text
+
+
+def test_ordering_confidence(small_sweep):
+    conf = ordering_confidence(small_sweep, "imbalance", "profile", "top")
+    assert 0.0 <= conf <= 1.0
+
+
+def test_ordering_confidence_validates(small_sweep):
+    with pytest.raises(ValueError):
+        ordering_confidence(small_sweep, "imbalance", "place", "top")
+
+
+def test_sweep_requires_seeds():
+    with pytest.raises(ValueError):
+        sweep_setup(campus_setup(), seeds=())

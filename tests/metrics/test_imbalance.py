@@ -1,0 +1,83 @@
+"""Tests for the load-imbalance metrics (§4.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.trace import TraceRecorder
+from repro.metrics.imbalance import (
+    fine_grained_imbalance,
+    load_imbalance,
+    lp_interval_loads,
+)
+
+
+def test_perfect_balance_zero():
+    assert load_imbalance(np.array([5.0, 5.0, 5.0])) == 0.0
+
+
+def test_known_value():
+    # loads 0 and 2: mean 1, std 1 -> imbalance 1.
+    assert load_imbalance(np.array([0.0, 2.0])) == pytest.approx(1.0)
+
+
+def test_zero_and_empty_loads():
+    assert load_imbalance(np.zeros(4)) == 0.0
+    assert load_imbalance(np.array([])) == 0.0
+
+
+@given(
+    st.lists(st.floats(0.1, 100.0), min_size=2, max_size=20),
+    st.floats(0.5, 10.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_scale_invariance(loads, scale):
+    """Property: the normalized std-dev is scale invariant."""
+    loads = np.array(loads)
+    assert load_imbalance(loads * scale) == pytest.approx(
+        load_imbalance(loads), rel=1e-9
+    )
+
+
+def _trace_with_events(events, duration, n_nodes=4):
+    rec = TraceRecorder(n_nodes)
+    for t, node, packets in events:
+        rec.record(t, node, -1, packets, 1)
+    return rec.finish(duration)
+
+
+def test_lp_interval_loads_binning():
+    trace = _trace_with_events(
+        [(0.5, 0, 10), (1.5, 1, 20), (3.9, 0, 5)], duration=4.0
+    )
+    parts = np.array([0, 1, 0, 1])
+    series = lp_interval_loads(trace, parts, interval=1.0)
+    assert series.shape == (2, 4)
+    assert series[0, 0] == 10
+    assert series[1, 1] == 20
+    assert series[0, 3] == 5
+
+
+def test_fine_grained_series():
+    trace = _trace_with_events(
+        [(0.1, 0, 10), (0.2, 1, 10), (2.1, 0, 30)], duration=4.0
+    )
+    parts = np.array([0, 1, 0, 1])
+    series = fine_grained_imbalance(trace, parts, interval=2.0)
+    assert series.shape == (2,)
+    assert series[0] == pytest.approx(0.0)  # 10 vs 10
+    assert series[1] == pytest.approx(1.0)  # 30 vs 0
+
+
+def test_fine_grained_nan_on_silence():
+    trace = _trace_with_events([(0.1, 0, 10)], duration=4.0)
+    parts = np.array([0, 1, 0, 1])
+    series = fine_grained_imbalance(trace, parts, interval=1.0)
+    assert np.isnan(series[2])
+
+
+def test_interval_validation():
+    trace = _trace_with_events([(0.1, 0, 1)], duration=1.0)
+    with pytest.raises(ValueError):
+        lp_interval_loads(trace, np.zeros(4, dtype=int), interval=0.0)

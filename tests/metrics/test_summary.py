@@ -1,0 +1,56 @@
+"""Tests for result tables and series rendering."""
+
+import numpy as np
+
+from repro.metrics.summary import ApproachOutcome, ExperimentTable, format_series
+
+
+def make_table():
+    return ExperimentTable(
+        title="Figure X",
+        row_names=["campus", "teragrid"],
+        col_names=["TOP", "PLACE", "PROFILE"],
+        values=np.array([[1.0, 0.6, 0.4], [0.8, 0.5, 0.3]]),
+    )
+
+
+def test_render_contains_all_cells():
+    text = make_table().render()
+    assert "Figure X" in text
+    assert "campus" in text and "teragrid" in text
+    for v in ("1.000", "0.600", "0.300"):
+        assert v in text
+
+
+def test_relative_normalizes_to_baseline():
+    rel = make_table().relative_to(0)
+    assert np.allclose(rel.values[:, 0], 1.0)
+    assert rel.values[0, 2] == 0.4
+
+
+def test_relative_guards_zero_baseline():
+    t = make_table()
+    t.values[0, 0] = 0.0
+    rel = t.relative_to(0)
+    assert np.all(np.isfinite(rel.values))
+
+
+def test_format_series_decimates():
+    xs = np.arange(300, dtype=float)
+    text = format_series("S", xs, {"a": xs * 2}, max_points=10)
+    assert len(text.splitlines()) <= 14
+
+
+def test_format_series_handles_nan():
+    xs = np.array([0.0, 1.0])
+    text = format_series("S", xs, {"a": np.array([1.0, np.nan])})
+    assert "nan" in text
+
+
+def test_outcome_record_roundtrip():
+    o = ApproachOutcome(
+        approach="top", load_imbalance=0.5, app_emulation_time=10.0,
+        network_emulation_time=5.0,
+    )
+    assert o.approach == "top"
+    assert o.diagnostics == {}

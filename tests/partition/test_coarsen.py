@@ -1,0 +1,119 @@
+"""Tests for heavy-edge matching and graph contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.coarsen import (
+    coarsen_level,
+    coarsen_to,
+    contract,
+    heavy_edge_matching,
+    matching_to_cmap,
+)
+from repro.partition.csr import CSRGraph
+
+
+def star_graph(leaves: int) -> CSRGraph:
+    return CSRGraph.from_edges(
+        leaves + 1, [(0, i + 1, 1.0) for i in range(leaves)]
+    )
+
+
+def test_matching_is_symmetric(grid_graph, rng):
+    match = heavy_edge_matching(grid_graph, rng)
+    for v in range(grid_graph.n):
+        assert match[match[v]] == v
+
+
+def test_matching_prefers_heavy_edges(rng):
+    # Triangle with one heavy edge: the heavy pair should match.
+    g = CSRGraph.from_edges(3, [(0, 1, 10.0), (1, 2, 1.0), (0, 2, 1.0)])
+    match = heavy_edge_matching(g, rng)
+    assert match[0] == 1 and match[1] == 0
+
+
+def test_two_hop_matching_collapses_stars(rng):
+    """A 15-leaf star must shrink by ~half per level, not by one vertex."""
+    g = star_graph(15)
+    level = coarsen_level(g, rng)
+    assert level.coarse.n <= g.n * 0.6
+
+
+def test_contract_preserves_vertex_weight(weighted_graph, rng):
+    level = coarsen_level(weighted_graph, rng)
+    assert np.allclose(
+        level.coarse.total_vwgt(), weighted_graph.total_vwgt()
+    )
+
+
+def test_contract_preserves_external_edge_weight(rng):
+    # Two triangles joined by a bridge: contracting each triangle pairwise
+    # must keep the bridge weight.
+    g = CSRGraph.from_edges(
+        6,
+        [
+            (0, 1, 5.0), (1, 2, 5.0), (0, 2, 5.0),
+            (3, 4, 5.0), (4, 5, 5.0), (3, 5, 5.0),
+            (2, 3, 1.5),
+        ],
+    )
+    cmap = np.array([0, 0, 1, 2, 3, 3])
+    coarse = contract(g, cmap)
+    bridge = [w for u, v, w in coarse.edge_list() if {u, v} == {1, 2}]
+    assert bridge == [1.5]
+
+
+def test_contract_merges_parallel_coarse_edges(rng):
+    # Square 0-1-2-3; merge (0,1) and (2,3): two fine edges between the
+    # coarse pair must merge into one with summed weight.
+    g = CSRGraph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 3.0)]
+    )
+    coarse = contract(g, np.array([0, 0, 1, 1]))
+    assert coarse.n == 2
+    assert coarse.m == 1
+    assert coarse.total_adjwgt() == pytest.approx(5.0)
+
+
+def test_coarsen_to_target(grid_graph, rng):
+    levels = coarsen_to(grid_graph, 10, rng)
+    assert levels[-1].coarse.n <= max(10, 12)  # near target
+    # Hierarchy shrinks monotonically.
+    sizes = [grid_graph.n] + [lvl.coarse.n for lvl in levels]
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_coarsen_to_noop_when_small(rng):
+    g = star_graph(3)
+    assert coarsen_to(g, 10, rng) == []
+
+
+def test_projection_roundtrip(weighted_graph, rng):
+    """A coarse partition projected to the fine graph has the same cut."""
+    from repro.partition.metrics import weighted_edge_cut
+
+    levels = coarsen_to(weighted_graph, 10, rng)
+    coarse = levels[-1].coarse
+    coarse_parts = (np.arange(coarse.n) % 2).astype(np.int64)
+    cut_coarse = weighted_edge_cut(coarse, coarse_parts)
+    parts = coarse_parts
+    for level in reversed(levels):
+        parts = parts[level.cmap]
+    cut_fine = weighted_edge_cut(weighted_graph, parts)
+    assert cut_fine == pytest.approx(cut_coarse)
+
+
+@given(st.integers(min_value=2, max_value=30), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_cmap_is_dense(n, seed):
+    """Property: coarse ids form a dense 0..n_coarse-1 range."""
+    rng = np.random.default_rng(seed)
+    edges = [
+        (int(rng.integers(n)), int(rng.integers(n)), 1.0) for _ in range(n)
+    ]
+    g = CSRGraph.from_edges(n, edges)
+    match = heavy_edge_matching(g, rng)
+    cmap = matching_to_cmap(match)
+    assert set(cmap) == set(range(int(cmap.max()) + 1))

@@ -1,0 +1,129 @@
+"""Tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.csr import CSRGraph
+
+
+def test_from_edges_basic():
+    g = CSRGraph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+    assert g.n == 3
+    assert g.m == 2
+    assert g.degree(1) == 2
+    assert set(g.neighbors(1)) == {0, 2}
+    g.validate()
+
+
+def test_from_edges_merges_parallel_edges():
+    g = CSRGraph.from_edges(2, [(0, 1, 1.0), (1, 0, 2.5)])
+    assert g.m == 1
+    assert g.neighbor_weights(0)[0] == pytest.approx(3.5)
+
+
+def test_from_edges_drops_self_loops():
+    g = CSRGraph.from_edges(2, [(0, 0, 1.0), (0, 1, 1.0)])
+    assert g.m == 1
+
+
+def test_from_edges_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        CSRGraph.from_edges(2, [(0, 5, 1.0)])
+
+
+def test_vwgt_shape_normalized_to_2d():
+    g = CSRGraph.from_edges(3, [(0, 1, 1.0)], vwgt=[1.0, 2.0, 3.0])
+    assert g.vwgt.shape == (3, 1)
+    assert g.ncon == 1
+
+
+def test_multiconstraint_vwgt():
+    vw = np.ones((3, 2))
+    g = CSRGraph.from_edges(3, [(0, 1, 1.0)], vwgt=vw)
+    assert g.ncon == 2
+    assert np.allclose(g.total_vwgt(), [3.0, 3.0])
+
+
+def test_vwgt_wrong_rows_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph.from_edges(3, [(0, 1, 1.0)], vwgt=[1.0, 2.0])
+
+
+def test_total_adjwgt_counts_each_edge_once():
+    g = CSRGraph.from_edges(3, [(0, 1, 2.0), (1, 2, 4.0)])
+    assert g.total_adjwgt() == pytest.approx(6.0)
+
+
+def test_with_vwgt_replaces_weights():
+    g = CSRGraph.from_edges(2, [(0, 1, 1.0)])
+    g2 = g.with_vwgt(np.array([5.0, 7.0]))
+    assert g.vwgt[0, 0] == 1.0
+    assert g2.vwgt[0, 0] == 5.0
+    assert g2.xadj is g.xadj
+
+
+def test_with_adjwgt_requires_parallel_shape():
+    g = CSRGraph.from_edges(2, [(0, 1, 1.0)])
+    with pytest.raises(ValueError):
+        g.with_adjwgt(np.array([1.0]))
+
+
+def test_edge_list_roundtrip():
+    edges = [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 1.0)]
+    g = CSRGraph.from_edges(3, edges)
+    assert sorted(g.edge_list()) == sorted(edges)
+
+
+def test_connected_components():
+    g = CSRGraph.from_edges(5, [(0, 1, 1.0), (2, 3, 1.0)])
+    comps = g.connected_components()
+    assert [list(c) for c in comps] == [[0, 1], [2, 3], [4]]
+    assert not g.is_connected()
+
+
+def test_single_vertex_is_connected():
+    g = CSRGraph.from_edges(1, [])
+    assert g.is_connected()
+
+
+def test_validate_detects_asymmetry():
+    g = CSRGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    g.adjwgt[0] = 99.0  # corrupt one direction
+    with pytest.raises(ValueError, match="asymmetric"):
+        g.validate()
+
+
+def test_from_networkx_preserves_weights():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_edge("a", "b", weight=2.5)
+    g.add_node("c")
+    csr, nodes = CSRGraph.from_networkx(g)
+    assert csr.n == 3
+    assert set(nodes) == {"a", "b", "c"}
+    assert csr.total_adjwgt() == pytest.approx(2.5)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_from_edges_always_symmetric(n, data):
+    """Property: any edge list yields a valid symmetric CSR graph."""
+    n_edges = data.draw(st.integers(min_value=0, max_value=40))
+    edges = [
+        (
+            data.draw(st.integers(0, n - 1)),
+            data.draw(st.integers(0, n - 1)),
+            data.draw(st.floats(0.1, 10.0, allow_nan=False)),
+        )
+        for _ in range(n_edges)
+    ]
+    g = CSRGraph.from_edges(n, edges)
+    g.validate()
+    # Degree sum equals twice the edge count.
+    assert sum(g.degree(v) for v in range(n)) == 2 * g.m

@@ -1,0 +1,100 @@
+"""Tests for FM bisection refinement and greedy graph growing."""
+
+import numpy as np
+import pytest
+
+from repro.partition.csr import CSRGraph
+from repro.partition.fm import bisection_gains, fm_refine
+from repro.partition.initial import greedy_graph_growing, grow_bisection
+from repro.partition.metrics import max_imbalance, weighted_edge_cut
+
+
+def two_cliques(m: int = 6, bridge: float = 0.5) -> CSRGraph:
+    edges = []
+    for base in (0, m):
+        for i in range(m):
+            for j in range(i + 1, m):
+                edges.append((base + i, base + j, 2.0))
+    edges.append((m - 1, m, bridge))
+    return CSRGraph.from_edges(2 * m, edges)
+
+
+def test_gains_signs():
+    g = CSRGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    parts = np.array([0, 0, 1])
+    gains = bisection_gains(g, parts)
+    # Vertex 2 is fully external: moving it removes the cut.
+    assert gains[2] == pytest.approx(1.0)
+    # Vertex 0 is fully internal: moving it creates a cut.
+    assert gains[0] == pytest.approx(-1.0)
+
+
+def test_fm_never_worsens_cut(weighted_graph, rng):
+    parts = (np.arange(weighted_graph.n) % 2).astype(np.int64)
+    before = weighted_edge_cut(weighted_graph, parts)
+    refined = fm_refine(weighted_graph, parts, rng=rng)
+    after = weighted_edge_cut(weighted_graph, refined)
+    assert after <= before + 1e-9
+
+
+def test_fm_finds_clique_split(rng):
+    g = two_cliques()
+    # Start from a bad split mixing the cliques.
+    parts = (np.arange(g.n) % 2).astype(np.int64)
+    refined = fm_refine(g, parts, rng=rng)
+    assert weighted_edge_cut(g, refined) == pytest.approx(0.5)
+
+
+def test_fm_repairs_imbalance(rng):
+    g = two_cliques()
+    parts = np.zeros(g.n, dtype=np.int64)
+    parts[0] = 1  # extreme imbalance: 11 vs 1
+    refined = fm_refine(g, parts, target_frac=0.5, tolerance=1.1, rng=rng)
+    assert max_imbalance(g, refined, 2) <= 1.25
+
+
+def test_fm_input_unchanged(weighted_graph, rng):
+    parts = (np.arange(weighted_graph.n) % 2).astype(np.int64)
+    copy = parts.copy()
+    fm_refine(weighted_graph, parts, rng=rng)
+    assert np.array_equal(parts, copy)
+
+
+def test_grow_bisection_hits_target(weighted_graph, rng):
+    parts = grow_bisection(weighted_graph, 0.4, rng)
+    share = weighted_graph.vwgt[parts == 0].sum() / weighted_graph.vwgt.sum()
+    assert 0.2 <= share <= 0.6
+
+
+def test_grow_bisection_part0_connected_on_grid(grid_graph, rng):
+    """Grown regions on a connected graph are connected."""
+    parts = grow_bisection(grid_graph, 0.5, rng)
+    sub = [v for v in range(grid_graph.n) if parts[v] == 0]
+    # BFS within part 0.
+    seen = {sub[0]}
+    stack = [sub[0]]
+    while stack:
+        v = stack.pop()
+        for u in grid_graph.neighbors(v):
+            u = int(u)
+            if parts[u] == 0 and u not in seen:
+                seen.add(u)
+                stack.append(u)
+    assert seen == set(sub)
+
+
+def test_grow_bisection_rejects_bad_frac(grid_graph, rng):
+    with pytest.raises(ValueError):
+        grow_bisection(grid_graph, 1.5, rng)
+
+
+def test_greedy_graph_growing_picks_best_try(rng):
+    g = two_cliques()
+    parts = greedy_graph_growing(g, 0.5, rng, n_tries=6)
+    assert weighted_edge_cut(g, parts) == pytest.approx(0.5)
+
+
+def test_grow_bisection_covers_disconnected(rng):
+    g = CSRGraph.from_edges(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+    parts = grow_bisection(g, 0.5, rng)
+    assert (parts == 0).sum() >= 2  # kept growing across components

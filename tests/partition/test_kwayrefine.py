@@ -1,0 +1,53 @@
+"""Tests for greedy k-way refinement."""
+
+import numpy as np
+import pytest
+
+from repro.partition.csr import CSRGraph
+from repro.partition.kwayrefine import kway_refine, part_connectivity
+from repro.partition.metrics import max_imbalance, weighted_edge_cut
+
+
+def test_part_connectivity_sums_weights():
+    g = CSRGraph.from_edges(4, [(0, 1, 2.0), (0, 2, 3.0), (0, 3, 4.0)])
+    parts = np.array([0, 0, 1, 2])
+    conn = part_connectivity(g, parts, 0, 3)
+    assert np.allclose(conn, [2.0, 3.0, 4.0])
+
+
+def test_refine_never_worsens_cut(weighted_graph, rng):
+    parts = (np.arange(weighted_graph.n) % 3).astype(np.int64)
+    before = weighted_edge_cut(weighted_graph, parts)
+    refined = kway_refine(weighted_graph, parts, 3, rng=rng)
+    assert weighted_edge_cut(weighted_graph, refined) <= before + 1e-9
+
+
+def test_refine_repairs_gross_imbalance(grid_graph, rng):
+    parts = np.zeros(grid_graph.n, dtype=np.int64)
+    parts[:2] = [1, 2]  # parts 1 and 2 nearly empty
+    refined = kway_refine(grid_graph, parts, 3, tolerance=1.2, rng=rng)
+    assert max_imbalance(grid_graph, refined, 3) <= 1.5
+
+
+def test_refine_k1_noop(grid_graph, rng):
+    parts = np.zeros(grid_graph.n, dtype=np.int64)
+    refined = kway_refine(grid_graph, parts, 1, rng=rng)
+    assert np.array_equal(refined, parts)
+
+
+def test_refine_respects_target_fracs(grid_graph, rng):
+    """Uneven target shares are honoured (recursive bisection needs this)."""
+    parts = (np.arange(grid_graph.n) % 2).astype(np.int64)
+    target = np.array([0.75, 0.25])
+    refined = kway_refine(
+        grid_graph, parts, 2, target_fracs=target, tolerance=1.15, rng=rng
+    )
+    share = (refined == 0).sum() / grid_graph.n
+    assert 0.55 <= share <= 0.9
+
+
+def test_refine_input_unchanged(grid_graph, rng):
+    parts = (np.arange(grid_graph.n) % 3).astype(np.int64)
+    copy = parts.copy()
+    kway_refine(grid_graph, parts, 3, rng=rng)
+    assert np.array_equal(parts, copy)

@@ -1,0 +1,74 @@
+"""Tests for partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.partition.csr import CSRGraph
+from repro.partition.metrics import (
+    cut_edges,
+    edge_cut,
+    imbalance_vector,
+    is_balanced,
+    max_imbalance,
+    part_weights,
+    weighted_edge_cut,
+)
+
+
+@pytest.fixture
+def path_graph():
+    return CSRGraph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 5.0), (2, 3, 1.0)]
+    )
+
+
+def test_edge_cut_counts_crossings(path_graph):
+    parts = np.array([0, 0, 1, 1])
+    assert edge_cut(path_graph, parts) == 1
+    assert weighted_edge_cut(path_graph, parts) == pytest.approx(5.0)
+
+
+def test_zero_cut_for_single_part(path_graph):
+    parts = np.zeros(4, dtype=np.int64)
+    assert edge_cut(path_graph, parts) == 0
+    assert weighted_edge_cut(path_graph, parts) == 0.0
+
+
+def test_cut_edges_lists_straddlers(path_graph):
+    parts = np.array([0, 1, 1, 0])
+    cut = cut_edges(path_graph, parts)
+    assert sorted((u, v) for u, v, _ in cut) == [(0, 1), (2, 3)]
+
+
+def test_part_weights_sums_columns():
+    g = CSRGraph.from_edges(
+        3, [(0, 1, 1.0)], vwgt=np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+    )
+    pw = part_weights(g, np.array([0, 0, 1]), 2)
+    assert np.allclose(pw, [[3.0, 30.0], [3.0, 30.0]])
+
+
+def test_imbalance_perfect_split():
+    g = CSRGraph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    assert max_imbalance(g, np.array([0, 0, 1, 1]), 2) == pytest.approx(1.0)
+    assert is_balanced(g, np.array([0, 0, 1, 1]), 2)
+
+
+def test_imbalance_skewed_split():
+    g = CSRGraph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    imb = max_imbalance(g, np.array([0, 0, 0, 1]), 2)
+    assert imb == pytest.approx(1.5)
+    assert not is_balanced(g, np.array([0, 0, 0, 1]), 2)
+
+
+def test_imbalance_zero_total_constraint_is_one():
+    g = CSRGraph.from_edges(
+        2, [(0, 1, 1.0)], vwgt=np.zeros((2, 1))
+    )
+    vec = imbalance_vector(g, np.array([0, 1]), 2)
+    assert np.allclose(vec, 1.0)
+
+
+def test_parts_shape_checked(path_graph):
+    with pytest.raises(ValueError):
+        edge_cut(path_graph, np.array([0, 1]))

@@ -1,0 +1,57 @@
+"""Tests for recursive bisection and induced subgraphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.csr import CSRGraph
+from repro.partition.recursive import induced_subgraph, recursive_bisection
+
+
+def test_induced_subgraph_structure(weighted_graph):
+    vertices = np.array([0, 3, 5, 7, 9])
+    sub, back = induced_subgraph(weighted_graph, vertices)
+    assert sub.n == 5
+    assert list(back) == [0, 3, 5, 7, 9]
+    # Vertex weights carried over.
+    assert np.allclose(sub.vwgt, weighted_graph.vwgt[vertices])
+    # Every subgraph edge exists in the parent with the same weight.
+    for u, v, w in sub.edge_list():
+        pu, pv = int(back[u]), int(back[v])
+        nbrs = list(weighted_graph.neighbors(pu))
+        assert pv in nbrs
+        idx = nbrs.index(pv)
+        assert weighted_graph.neighbor_weights(pu)[idx] == pytest.approx(w)
+
+
+def test_induced_subgraph_dedupes_vertices(weighted_graph):
+    sub, back = induced_subgraph(weighted_graph, np.array([2, 2, 4]))
+    assert sub.n == 2
+
+
+def test_recursive_bisection_labels_dense(grid_graph):
+    for k in (2, 3, 5, 7):
+        parts = recursive_bisection(grid_graph, k)
+        assert set(np.unique(parts)) == set(range(k))
+
+
+def test_recursive_bisection_k1(grid_graph):
+    parts = recursive_bisection(grid_graph, 1)
+    assert np.array_equal(parts, np.zeros(grid_graph.n))
+
+
+def test_recursive_bisection_rejects_bad_k(grid_graph):
+    with pytest.raises(ValueError):
+        recursive_bisection(grid_graph, 0)
+
+
+@given(k=st.integers(2, 6), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_recursive_bisection_property(k, seed):
+    """Every vertex is assigned and every part non-empty on a ring."""
+    n = 24
+    g = CSRGraph.from_edges(n, [(i, (i + 1) % n, 1.0) for i in range(n)])
+    parts = recursive_bisection(g, k, rng=np.random.default_rng(seed))
+    assert parts.shape == (n,)
+    assert len(np.unique(parts)) == k

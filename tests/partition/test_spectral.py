@@ -1,0 +1,59 @@
+"""Tests for the spectral partitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.partition.csr import CSRGraph
+from repro.partition.metrics import weighted_edge_cut
+from repro.partition.spectral import (
+    fiedler_vector,
+    spectral_bisection,
+    spectral_partition,
+)
+
+
+def two_cliques(m=8, bridge=0.2):
+    edges = []
+    for base in (0, m):
+        for i in range(m):
+            for j in range(i + 1, m):
+                edges.append((base + i, base + j, 1.0))
+    edges.append((0, m, bridge))
+    return CSRGraph.from_edges(2 * m, edges)
+
+
+def test_fiedler_separates_clusters(rng):
+    g = two_cliques()
+    f = fiedler_vector(g, rng)
+    left, right = f[:8], f[8:]
+    # The Fiedler vector has opposite signs on the two cliques.
+    assert np.sign(np.median(left)) != np.sign(np.median(right))
+
+
+def test_fiedler_orthogonal_to_ones(rng):
+    g = two_cliques()
+    f = fiedler_vector(g, rng)
+    assert abs(f.sum()) < 1e-8
+
+
+def test_spectral_bisection_finds_bridge(rng):
+    g = two_cliques()
+    parts = spectral_bisection(g, 0.5, rng)
+    assert weighted_edge_cut(g, parts) == pytest.approx(0.2)
+
+
+def test_spectral_bisection_respects_target_frac(grid_graph, rng):
+    parts = spectral_bisection(grid_graph, 0.25, rng, tolerance=1.1)
+    share = (parts == 0).sum() / grid_graph.n
+    assert 0.15 <= share <= 0.4
+
+
+def test_spectral_partition_kway(grid_graph):
+    parts = spectral_partition(grid_graph, 4)
+    assert len(np.unique(parts)) == 4
+
+
+def test_spectral_tiny_graph(rng):
+    g = CSRGraph.from_edges(2, [(0, 1, 1.0)])
+    parts = spectral_bisection(g, 0.5, rng)
+    assert sorted(parts) == [0, 1]

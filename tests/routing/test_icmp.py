@@ -1,0 +1,77 @@
+"""Tests for ICMP probes and traceroute route discovery."""
+
+import pytest
+
+from repro.routing.icmp import discover_routes, probe, traceroute
+
+
+def test_probe_ttl_semantics(tiny_routed):
+    net, tables = tiny_routed
+    h0 = net.node("h0").node_id
+    h2 = net.node("h2").node_id
+    # TTL 1 reaches the access router.
+    reply = probe(tables, h0, h2, ttl=1)
+    assert reply.kind == "time-exceeded"
+    assert net.node(reply.responder).name == "r0"
+    # Large TTL reaches the destination.
+    reply = probe(tables, h0, h2, ttl=32)
+    assert reply.kind == "echo-reply"
+    assert reply.responder == h2
+
+
+def test_probe_rtt_monotone_in_ttl(campus_routed):
+    net, tables = campus_routed
+    h0 = net.node("h0").node_id
+    h39 = net.node("h39").node_id
+    rtts = [probe(tables, h0, h39, ttl).rtt_s for ttl in range(1, 6)]
+    assert all(a < b for a, b in zip(rtts, rtts[1:]))
+
+
+def test_traceroute_matches_tables_path(campus_routed):
+    net, tables = campus_routed
+    h0 = net.node("h0").node_id
+    h39 = net.node("h39").node_id
+    assert traceroute(tables, h0, h39) == tables.path(h0, h39)
+
+
+def test_traceroute_bad_ttl():
+    with pytest.raises(ValueError):
+        probe(None, 0, 1, ttl=0)
+
+
+def test_discover_routes_direct(campus_routed):
+    net, tables = campus_routed
+    hosts = [h.node_id for h in net.hosts()]
+    pairs = [(hosts[0], hosts[-1]), (hosts[1], hosts[2])]
+    routes, walks = discover_routes(tables, pairs)
+    assert walks == 2
+    for (s, d), path in routes.items():
+        assert path[0] == s and path[-1] == d
+
+
+def test_discover_routes_representatives_reduce_walks(campus_routed):
+    """Pairs between the same buildings reuse the representative walk."""
+    net, tables = campus_routed
+    bldg0 = [h.node_id for h in net.hosts() if h.site == "bldg0"]
+    bldg1 = [h.node_id for h in net.hosts() if h.site == "bldg1"]
+    pairs = [(s, d) for s in bldg0[:6] for d in bldg1[:6]]
+    direct_routes, direct_walks = discover_routes(tables, pairs)
+    rep_routes, rep_walks = discover_routes(
+        tables, pairs, use_representatives=True
+    )
+    assert rep_walks < direct_walks
+    # Representative paths remain valid link sequences.
+    for (s, d), path in rep_routes.items():
+        assert path[0] == s and path[-1] == d
+        for u, v in zip(path, path[1:]):
+            assert tables.link_between(u, v) is not None
+
+
+def test_discover_routes_same_site_always_direct(campus_routed):
+    net, tables = campus_routed
+    bldg0 = [h.node_id for h in net.hosts() if h.site == "bldg0"]
+    pairs = [(bldg0[0], bldg0[1]), (bldg0[2], bldg0[3])]
+    routes, walks = discover_routes(tables, pairs, use_representatives=True)
+    assert walks == 2
+    for (s, d), path in routes.items():
+        assert path == tables.path(s, d)

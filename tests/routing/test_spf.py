@@ -1,0 +1,120 @@
+"""Tests for shortest-path routing and the memory model."""
+
+import numpy as np
+import pytest
+
+from repro.routing.spf import build_routing
+from repro.routing.tables import HOST_MEMORY_WEIGHT, memory_weights
+from repro.topology.elements import Mbps, ms
+from repro.topology.network import Network
+
+
+def test_next_hop_on_line(tiny_routed):
+    net, tables = tiny_routed
+    # r0=0, r1=1, r2=2, r3=3 in a line.
+    assert tables.hop(0, 3) == 1
+    assert tables.hop(1, 3) == 2
+    assert tables.hop(3, 0) == 2
+
+
+def test_path_reconstruction(tiny_routed):
+    net, tables = tiny_routed
+    h0 = net.node("h0").node_id
+    h2 = net.node("h2").node_id
+    path = tables.path(h0, h2)
+    assert path[0] == h0 and path[-1] == h2
+    names = [net.node(v).name for v in path]
+    assert names == ["h0", "r0", "r1", "r2", "r3", "h2"]
+
+
+def test_path_self():
+    net = Network()
+    a, b = net.add_router("a"), net.add_router("b")
+    net.add_link(a, b, Mbps(10), ms(1))
+    tables = build_routing(net)
+    assert tables.path(0, 0) == [0]
+
+
+def test_latency_metric_prefers_fast_path():
+    """Triangle with a slow direct link: route via the fast detour."""
+    net = Network()
+    a, b, c = (net.add_router(x) for x in "abc")
+    net.add_link(a, b, Mbps(10), ms(10))  # slow direct
+    net.add_link(a, c, Mbps(10), ms(1))
+    net.add_link(c, b, Mbps(10), ms(1))
+    tables = build_routing(net, metric="latency")
+    assert tables.path(0, 1) == [0, 2, 1]
+
+
+def test_hops_metric_prefers_direct():
+    net = Network()
+    a, b, c = (net.add_router(x) for x in "abc")
+    net.add_link(a, b, Mbps(10), ms(10))
+    net.add_link(a, c, Mbps(10), ms(1))
+    net.add_link(c, b, Mbps(10), ms(1))
+    tables = build_routing(net, metric="hops")
+    assert tables.path(0, 1) == [0, 1]
+
+
+def test_inv_bandwidth_metric_prefers_fat_path():
+    net = Network()
+    a, b, c = (net.add_router(x) for x in "abc")
+    net.add_link(a, b, Mbps(1), ms(1))       # thin direct
+    net.add_link(a, c, Mbps(1000), ms(1))
+    net.add_link(c, b, Mbps(1000), ms(1))
+    tables = build_routing(net, metric="inv-bandwidth")
+    assert tables.path(0, 1) == [0, 2, 1]
+
+
+def test_unknown_metric_rejected(tiny_network):
+    with pytest.raises(ValueError, match="unknown metric"):
+        build_routing(tiny_network, metric="zorp")
+
+
+def test_path_latency_sums_links(tiny_routed):
+    net, tables = tiny_routed
+    # h0 -> r0 (0.1ms) -> r1 (1ms): 1.1 ms total.
+    h0 = net.node("h0").node_id
+    assert tables.path_latency(h0, 1) == pytest.approx(1.1e-3)
+
+
+def test_table_size_counts_destinations(tiny_routed):
+    net, tables = tiny_routed
+    assert tables.table_size(0) == net.n_nodes - 1
+
+
+def test_routes_consistent_with_distances(campus_routed):
+    """Walking next hops accumulates exactly the reported distance."""
+    net, tables = campus_routed
+    rng = np.random.default_rng(0)
+    nodes = rng.choice(net.n_nodes, size=10, replace=False)
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            walked = sum(
+                link.latency_s
+                for link in tables.path_links(int(src), int(dst))
+            )
+            assert walked == pytest.approx(tables.dist[src, dst])
+
+
+def test_memory_weights_formula(tiny_network):
+    mw = memory_weights(tiny_network)
+    # 4 routers in AS 0: router weight = 10 + 16 = 26.
+    for r in tiny_network.routers():
+        assert mw[r.node_id] == pytest.approx(26.0)
+    for h in tiny_network.hosts():
+        assert mw[h.node_id] == pytest.approx(HOST_MEMORY_WEIGHT)
+
+
+def test_memory_weights_per_as():
+    net = Network()
+    a = net.add_router("a", as_id=1)
+    b = net.add_router("b", as_id=2)
+    c = net.add_router("c", as_id=2)
+    net.add_link(a, b, Mbps(10), ms(1))
+    net.add_link(b, c, Mbps(10), ms(1))
+    mw = memory_weights(net)
+    assert mw[a.node_id] == pytest.approx(11.0)   # AS of 1 router
+    assert mw[b.node_id] == pytest.approx(14.0)   # AS of 2 routers

@@ -1,0 +1,114 @@
+"""Tests for the command-line tools."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import massf_emulate, massf_map, massf_netflow
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import Transfer
+from repro.profiling.dump import write_dump_dir
+from repro.profiling.netflow import NetFlowCollector
+from repro.topology import dml
+from repro.topology.campus import campus_network
+
+
+@pytest.fixture
+def campus_dml(tmp_path):
+    path = tmp_path / "campus.dml"
+    dml.dump(campus_network(), path)
+    return path
+
+
+def test_massf_map_top(campus_dml, tmp_path, capsys):
+    out = tmp_path / "parts.txt"
+    rc = massf_map([str(campus_dml), "-k", "3", "-o", str(out)])
+    assert rc == 0
+    lines = out.read_text().strip().splitlines()
+    assert lines[0].lower().startswith("# top")
+    assignments = [tuple(map(int, l.split())) for l in lines[1:]]
+    assert len(assignments) == 60
+    assert {p for _, p in assignments} == {0, 1, 2}
+
+
+def test_massf_map_stdout(campus_dml, capsys):
+    rc = massf_map([str(campus_dml), "-k", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 61
+
+
+def test_massf_map_profile_from_dumps(campus_dml, tmp_path, capsys):
+    # Produce a dump directory from a short emulation.
+    from repro.routing.spf import build_routing
+
+    net = campus_network()
+    tables = build_routing(net)
+    collector = NetFlowCollector()
+    kern = EmulationKernel(net, tables, collector=collector)
+    hosts = [h.node_id for h in net.hosts()]
+    for i in range(20):
+        kern.submit_transfer(
+            Transfer(src=hosts[i % 5], dst=hosts[10 + i % 7], nbytes=50e3),
+            float(i),
+        )
+    kern.run(until=40.0)
+    dump_dir = tmp_path / "dumps"
+    write_dump_dir(collector, dump_dir)
+
+    rc = massf_map([
+        str(campus_dml), "-k", "3", "--approach", "profile",
+        "--netflow-dir", str(dump_dir),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.lower().startswith("# profile")
+
+
+def test_massf_map_profile_requires_dumps(campus_dml):
+    with pytest.raises(SystemExit):
+        massf_map([str(campus_dml), "-k", "3", "--approach", "profile"])
+
+
+def test_massf_emulate_json(tmp_path):
+    out = tmp_path / "result.json"
+    rc = massf_emulate([
+        "--topology", "campus", "--app", "none", "--intensity", "light",
+        "--approaches", "top", "--seed", "3", "--duration", "40",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert "top" in payload["approaches"]
+    metrics = payload["approaches"]["top"]
+    assert metrics["load_imbalance"] >= 0.0
+    assert metrics["network_emulation_time_s"] > 0.0
+
+
+def test_massf_netflow_summary(tmp_path, capsys):
+    from repro.routing.spf import build_routing
+
+    net = campus_network()
+    tables = build_routing(net)
+    collector = NetFlowCollector()
+    kern = EmulationKernel(net, tables, collector=collector)
+    hosts = [h.node_id for h in net.hosts()]
+    for i in range(10):
+        kern.submit_transfer(
+            Transfer(src=hosts[0], dst=hosts[20], nbytes=30e3), float(i)
+        )
+    kern.run(until=30.0)
+    dump_dir = tmp_path / "dumps"
+    write_dump_dir(collector, dump_dir)
+
+    rc = massf_netflow([str(dump_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top routers" in out
+    assert "top flows" in out
+
+
+def test_massf_netflow_empty_dir(tmp_path, capsys):
+    rc = massf_netflow([str(tmp_path)])
+    assert rc == 1

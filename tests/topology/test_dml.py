@@ -1,0 +1,80 @@
+"""Tests for the DML network description format."""
+
+import pytest
+
+from repro.topology import dml
+from repro.topology.brite import brite_network
+from repro.topology.campus import campus_network
+
+
+def test_roundtrip_campus():
+    net = campus_network()
+    clone = dml.loads(dml.dumps(net))
+    assert clone.name == net.name
+    assert [n.name for n in clone.nodes] == [n.name for n in net.nodes]
+    assert [n.kind for n in clone.nodes] == [n.kind for n in net.nodes]
+    for a, b in zip(net.links, clone.links):
+        assert (a.u, a.v) == (b.u, b.v)
+        assert a.bandwidth_bps == pytest.approx(b.bandwidth_bps)
+        assert a.latency_s == pytest.approx(b.latency_s)
+
+
+def test_roundtrip_preserves_sites_and_as():
+    net = brite_network(n_routers=20, n_hosts=10, seed=5)
+    clone = dml.loads(dml.dumps(net))
+    assert [n.site for n in clone.nodes] == [n.site for n in net.nodes]
+    assert [n.as_id for n in clone.nodes] == [n.as_id for n in net.nodes]
+
+
+def test_file_roundtrip(tmp_path, tiny_network):
+    path = tmp_path / "net.dml"
+    dml.dump(tiny_network, path)
+    clone = dml.load(path)
+    assert clone.summary() == tiny_network.summary()
+
+
+def test_comments_and_whitespace_tolerated():
+    text = """
+net [
+  # a comment line
+  name "c"
+  node [ id 0 name "r" kind router as 0 site "" ]
+  node [ id 1 name "h" kind host as 0 site "x" ]
+  link [ id 0 from 0 to 1 bandwidth 1e6 latency 0.001 ]
+]
+"""
+    net = dml.loads(text)
+    assert net.n_nodes == 2
+    assert net.node("h").site == "x"
+
+
+def test_unbalanced_brackets_rejected():
+    with pytest.raises(dml.DMLError):
+        dml.loads("net [ name \"x\" ")
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(dml.DMLError):
+        dml.loads('net [ name "x ]')
+
+
+def test_missing_top_level_rejected():
+    with pytest.raises(dml.DMLError):
+        dml.loads("node [ id 0 ]")
+
+
+def test_non_dense_node_ids_rejected():
+    text = """
+net [ name "b"
+  node [ id 0 name "a" kind router ]
+  node [ id 2 name "b" kind router ]
+]
+"""
+    with pytest.raises(dml.DMLError, match="dense"):
+        dml.loads(text)
+
+
+def test_unknown_kind_rejected():
+    text = 'net [ name "b" node [ id 0 name "a" kind gateway ] ]'
+    with pytest.raises(dml.DMLError, match="kind"):
+        dml.loads(text)

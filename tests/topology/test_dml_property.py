@@ -1,0 +1,81 @@
+"""Property-based DML round-trip on randomly generated networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import dml
+from repro.topology.elements import Mbps, ms
+from repro.topology.network import Network
+
+
+@st.composite
+def random_networks(draw):
+    """Connected random networks with mixed hosts/routers and odd names."""
+    n_routers = draw(st.integers(min_value=1, max_value=8))
+    n_hosts = draw(st.integers(min_value=0, max_value=6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    net = Network(f"rand-{seed % 997}")
+    routers = [
+        net.add_router(
+            f"r{i}", as_id=int(rng.integers(0, 3)),
+            site=f"s{int(rng.integers(0, 2))}",
+        )
+        for i in range(n_routers)
+    ]
+    # Random spanning tree over routers keeps the graph connected.
+    for i in range(1, n_routers):
+        j = int(rng.integers(0, i))
+        net.add_link(routers[i], routers[j],
+                     Mbps(float(rng.uniform(1, 1000))),
+                     ms(float(rng.uniform(0.1, 20))))
+    # Extra chords.
+    for _ in range(draw(st.integers(0, 5))):
+        if n_routers < 2:
+            break
+        a, b = rng.choice(n_routers, size=2, replace=False)
+        if net.find_link(int(a), int(b)) is None:
+            net.add_link(int(a), int(b), Mbps(100), ms(1.0))
+    for h in range(n_hosts):
+        attach = routers[int(rng.integers(0, n_routers))]
+        host = net.add_host(f"h{h}", site=attach.site)
+        net.add_link(host, attach, Mbps(10), ms(0.5))
+    return net
+
+
+@given(random_networks())
+@settings(max_examples=40, deadline=None)
+def test_dml_roundtrip_property(net):
+    clone = dml.loads(dml.dumps(net))
+    assert clone.name == net.name
+    assert clone.n_nodes == net.n_nodes
+    assert clone.n_links == net.n_links
+    for a, b in zip(net.nodes, clone.nodes):
+        assert (a.name, a.kind, a.as_id, a.site) == (
+            b.name, b.kind, b.as_id, b.site
+        )
+    for a, b in zip(net.links, clone.links):
+        assert (a.u, a.v) == (b.u, b.v)
+        assert a.bandwidth_bps == pytest.approx(b.bandwidth_bps)
+        assert a.latency_s == pytest.approx(b.latency_s)
+
+
+@given(random_networks())
+@settings(max_examples=25, deadline=None)
+def test_routing_covers_random_networks(net):
+    """Every connected random network routes between all node pairs."""
+    from repro.routing.spf import build_routing
+
+    tables = build_routing(net)
+    rng = np.random.default_rng(0)
+    nodes = rng.choice(net.n_nodes, size=min(5, net.n_nodes), replace=False)
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            path = tables.path(int(src), int(dst))
+            assert path[0] == src and path[-1] == dst
+            for u, v in zip(path, path[1:]):
+                assert net.find_link(u, v) is not None

@@ -1,0 +1,106 @@
+"""Tests for the Campus / TeraGrid / BRITE topology families (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.brite import BriteConfig, brite_network
+from repro.topology.campus import campus_network
+from repro.topology.teragrid import teragrid_network
+
+
+def test_campus_table1_counts():
+    net = campus_network()
+    assert len(net.routers()) == 20
+    assert len(net.hosts()) == 40
+
+
+def test_campus_deterministic():
+    a, b = campus_network(), campus_network()
+    assert [n.name for n in a.nodes] == [n.name for n in b.nodes]
+    assert [(l.u, l.v, l.bandwidth_bps) for l in a.links] == [
+        (l.u, l.v, l.bandwidth_bps) for l in b.links
+    ]
+
+
+def test_campus_hosts_attach_to_access_routers():
+    net = campus_network()
+    for host in net.hosts():
+        (nbr, link), = net.neighbors(host.node_id)
+        assert net.node(nbr).name.startswith("acc")
+
+
+def test_teragrid_table1_counts():
+    net = teragrid_network()
+    assert len(net.routers()) == 27
+    assert len(net.hosts()) == 150
+
+
+def test_teragrid_five_sites_of_30_hosts():
+    net = teragrid_network()
+    sites = {}
+    for host in net.hosts():
+        sites[host.site] = sites.get(host.site, 0) + 1
+    assert len(sites) == 5
+    assert all(count == 30 for count in sites.values())
+
+
+def test_teragrid_backbone_is_40g():
+    net = teragrid_network()
+    hub_links = [
+        l for l in net.links
+        if "hub" in net.node(l.u).name and "hub" in net.node(l.v).name
+    ]
+    assert len(hub_links) == 1
+    assert hub_links[0].bandwidth_bps == pytest.approx(40e9)
+
+
+def test_brite_default_counts():
+    net = brite_network()
+    assert len(net.routers()) == 160
+    assert len(net.hosts()) == 132
+
+
+def test_brite_scalability_config():
+    net = brite_network(n_routers=200, n_hosts=364, seed=7)
+    assert len(net.routers()) == 200
+    assert len(net.hosts()) == 364
+    # §4.2.3: single AS.
+    assert net.as_sizes() == {0: 200}
+
+
+def test_brite_deterministic_per_seed():
+    a = brite_network(seed=3)
+    b = brite_network(seed=3)
+    c = brite_network(seed=4)
+    assert [(l.u, l.v) for l in a.links] == [(l.u, l.v) for l in b.links]
+    assert [(l.u, l.v) for l in a.links] != [(l.u, l.v) for l in c.links]
+
+
+def test_brite_ba_degree_distribution_heavy_tailed():
+    net = brite_network(n_routers=120, n_hosts=0, seed=1)
+    degrees = sorted(net.degree(r.node_id) for r in net.routers())
+    # BA graphs have hubs: max degree far above median.
+    assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+
+
+def test_brite_waxman_model_connected():
+    net = brite_network(model="waxman", n_routers=50, n_hosts=20, seed=2)
+    assert net.is_connected()
+
+
+def test_brite_config_overrides():
+    cfg = BriteConfig(n_routers=30, n_hosts=10)
+    net = brite_network(cfg, seed=9)
+    assert len(net.routers()) == 30
+    assert "9" not in net.name or True  # name carries model/size only
+
+
+def test_brite_rejects_unknown_model():
+    with pytest.raises(ValueError, match="unknown model"):
+        brite_network(model="plerp", n_routers=10, n_hosts=2)
+
+
+def test_all_families_have_positive_latency_floor():
+    """The emulator models links at >= 0.5 ms granularity (see DESIGN.md)."""
+    for net in (campus_network(), teragrid_network(), brite_network(seed=0)):
+        assert min(l.latency_s for l in net.links) >= 0.5e-3

@@ -1,0 +1,187 @@
+"""Tests for the foreground application models (ScaLapack, GridNPB)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.kernel import EmulationKernel
+from repro.traffic.apps.base import WorkflowApp, WorkflowEdge, WorkflowTask
+from repro.traffic.apps.gridnpb import GridNPBApp, build_hc, build_mb, build_vp
+from repro.traffic.apps.scalapack import ScaLapackApp
+
+
+@pytest.fixture
+def host_ids(tiny_network):
+    return [h.node_id for h in tiny_network.hosts()]
+
+
+# --------------------------------------------------------------------- #
+# Workflow machinery
+# --------------------------------------------------------------------- #
+def test_workflow_schedule_respects_dependencies(host_ids):
+    app = WorkflowApp(
+        "wf", host_ids,
+        tasks=[
+            WorkflowTask("a", 0, compute_s=10.0),
+            WorkflowTask("b", 1, compute_s=5.0),
+        ],
+        edges=[WorkflowEdge("a", "b", 1e6)],
+    )
+    a_start, a_finish = app.task_window("a")
+    b_start, _ = app.task_window("b")
+    assert a_finish == pytest.approx(10.0)
+    assert b_start > a_finish  # waits for the transfer
+
+
+def test_workflow_cycle_rejected(host_ids):
+    with pytest.raises(ValueError, match="cycle"):
+        WorkflowApp(
+            "wf", host_ids,
+            tasks=[WorkflowTask("a", 0, 1.0), WorkflowTask("b", 1, 1.0)],
+            edges=[WorkflowEdge("a", "b", 1.0), WorkflowEdge("b", "a", 1.0)],
+        )
+
+
+def test_workflow_unknown_edge_rejected(host_ids):
+    with pytest.raises(ValueError, match="unknown task"):
+        WorkflowApp(
+            "wf", host_ids,
+            tasks=[WorkflowTask("a", 0, 1.0)],
+            edges=[WorkflowEdge("a", "zz", 1.0)],
+        )
+
+
+def test_workflow_duplicate_tasks_rejected(host_ids):
+    with pytest.raises(ValueError, match="duplicate"):
+        WorkflowApp(
+            "wf", host_ids,
+            tasks=[WorkflowTask("a", 0, 1.0), WorkflowTask("a", 1, 1.0)],
+            edges=[],
+        )
+
+
+def test_workflow_transfers_submitted_at_finish(tiny_routed, host_ids, rng):
+    net, tables = tiny_routed
+    app = WorkflowApp(
+        "wf", host_ids,
+        tasks=[WorkflowTask("a", 0, 10.0), WorkflowTask("b", 2, 5.0)],
+        edges=[WorkflowEdge("a", "b", 30e3)],
+    )
+    kern = EmulationKernel(net, tables)
+    app.install(kern, rng)
+    assert len(kern.transfer_log) == 1
+    assert kern.transfer_log[0][0] == pytest.approx(10.0)
+
+
+def test_workflow_colocated_tasks_skip_network(tiny_routed, host_ids, rng):
+    net, tables = tiny_routed
+    app = WorkflowApp(
+        "wf", host_ids,
+        tasks=[WorkflowTask("a", 0, 1.0), WorkflowTask("b", 0, 1.0)],
+        edges=[WorkflowEdge("a", "b", 1e6)],
+    )
+    kern = EmulationKernel(net, tables)
+    app.install(kern, rng)
+    assert kern.transfer_log == []
+
+
+def test_workflow_compute_profile_total(host_ids):
+    app = WorkflowApp(
+        "wf", host_ids,
+        tasks=[
+            WorkflowTask("a", 0, 10.0, compute_rate=0.5),
+            WorkflowTask("b", 1, 4.0, compute_rate=1.0),
+        ],
+        edges=[WorkflowEdge("a", "b", 1e3)],
+    )
+    assert app.compute_profile().total == pytest.approx(9.0)
+
+
+# --------------------------------------------------------------------- #
+# ScaLapack
+# --------------------------------------------------------------------- #
+def test_scalapack_traffic_volume_matches_analytic(tiny_routed, host_ids, rng):
+    net, tables = tiny_routed
+    app = ScaLapackApp(endpoints=host_ids[:3], n_iters=10, duration_s=50.0,
+                       panel_bytes=60e3)
+    kern = EmulationKernel(net, tables)
+    app.install(kern, rng)
+    submitted = sum(t[3] for t in kern.transfer_log)
+    assert submitted == pytest.approx(app.total_bytes())
+
+
+def test_scalapack_traffic_is_even_across_pairs(tiny_routed, host_ids, rng):
+    """The paper's key property: pairwise volumes are comparable."""
+    net, tables = tiny_routed
+    app = ScaLapackApp(endpoints=host_ids[:4], n_iters=40, duration_s=100.0)
+    kern = EmulationKernel(net, tables)
+    app.install(kern, rng)
+    by_src = {}
+    for _, src, dst, nbytes, _, _ in kern.transfer_log:
+        by_src[src] = by_src.get(src, 0.0) + nbytes
+    volumes = np.array(list(by_src.values()))
+    assert volumes.std() / volumes.mean() < 0.25
+
+
+def test_scalapack_panels_shrink(host_ids):
+    app = ScaLapackApp(endpoints=host_ids[:2], n_iters=10)
+    assert app._panel_size(9) < app._panel_size(0)
+
+
+def test_scalapack_compute_decays(host_ids):
+    app = ScaLapackApp(endpoints=host_ids[:2])
+    p = app.compute_profile()
+    early = p.cumulative(60.0)
+    late = p.total - p.cumulative(app.duration - 60.0)
+    assert early > 3 * late
+
+
+def test_scalapack_needs_two_endpoints(host_ids):
+    with pytest.raises(ValueError):
+        ScaLapackApp(endpoints=host_ids[:1])
+
+
+# --------------------------------------------------------------------- #
+# GridNPB
+# --------------------------------------------------------------------- #
+def test_gridnpb_builders_shapes(host_ids):
+    hc = build_hc(host_ids, 1e6, 0.0)
+    assert len(hc.tasks) == 9
+    assert len(hc.edges) == 8  # chain
+    vp = build_vp(host_ids, 1e6, 0.0)
+    assert len(vp.tasks) == 9
+    mb = build_mb(host_ids, 1e6, 0.0)
+    assert len(mb.tasks) == 9
+    assert len(mb.edges) == 18  # full fan-out between 3 layers
+
+
+def test_gridnpb_combined_duration(host_ids):
+    app = GridNPBApp(endpoints=host_ids[:4])
+    # The combined run covers every staggered sub-benchmark's makespan.
+    assert app.duration >= max(
+        p.makespan_end for p in app.sub_benchmarks
+    ) - app.start_time
+
+
+def test_gridnpb_irregular_traffic(tiny_routed, host_ids, rng):
+    """Per-endpoint volumes are deliberately uneven (unlike ScaLapack)."""
+    net, tables = tiny_routed
+    app = GridNPBApp(endpoints=host_ids[:3])
+    kern = EmulationKernel(net, tables)
+    app.install(kern, rng)
+    by_src = {}
+    for _, src, dst, nbytes, _, _ in kern.transfer_log:
+        by_src[src] = by_src.get(src, 0.0) + nbytes
+    volumes = np.array(list(by_src.values()))
+    assert volumes.std() / volumes.mean() > 0.3
+
+
+def test_gridnpb_compute_capped_at_realtime(host_ids):
+    app = GridNPBApp(endpoints=host_ids[:3])
+    p = app.compute_profile()
+    rates = p.rates
+    assert rates.max() <= 1.0 + 1e-12
+
+
+def test_gridnpb_needs_three_endpoints(host_ids):
+    with pytest.raises(ValueError):
+        GridNPBApp(endpoints=host_ids[:2])

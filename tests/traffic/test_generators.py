@@ -1,0 +1,143 @@
+"""Tests for the background traffic generators (HTTP, CBR, Poisson)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.kernel import EmulationKernel
+from repro.traffic.cbr import CbrTraffic
+from repro.traffic.http import HttpTraffic
+from repro.traffic.poisson import PoissonTraffic
+
+
+@pytest.fixture
+def host_ids(tiny_network):
+    return [h.node_id for h in tiny_network.hosts()]
+
+
+def test_cbr_transfer_count(tiny_routed, host_ids, rng):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables)
+    gen = CbrTraffic(
+        pairs=[(host_ids[0], host_ids[2])], nbytes=10e3, period=1.0,
+        duration=10.0, jitter=0.0,
+    )
+    gen.install(kern, rng)
+    kern.run(until=20.0)
+    assert kern.stats.transfers_submitted == 10
+    assert kern.stats.transfers_delivered == 10
+
+
+def test_cbr_prediction_is_exact_rate(tiny_routed, host_ids):
+    net, tables = tiny_routed
+    gen = CbrTraffic(pairs=[(host_ids[0], host_ids[2])], nbytes=10e3,
+                     period=2.0)
+    flows = gen.predicted_flows(net, tables)
+    assert len(flows) == 1
+    assert flows[0].bytes_per_s == pytest.approx(5e3)
+
+
+def test_cbr_rejects_bad_period(tiny_routed, host_ids, rng):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables)
+    gen = CbrTraffic(pairs=[(host_ids[0], host_ids[2])], period=0.0)
+    with pytest.raises(ValueError):
+        gen.install(kern, rng)
+
+
+def test_poisson_rate_statistics(tiny_routed, host_ids, rng):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables)
+    gen = PoissonTraffic(
+        pairs=[(host_ids[0], host_ids[2])], mean_nbytes=5e3, rate=2.0,
+        duration=200.0,
+    )
+    gen.install(kern, rng)
+    kern.run(until=300.0)
+    # ~400 expected arrivals; allow wide statistical slack.
+    assert 300 <= kern.stats.transfers_submitted <= 500
+
+
+def test_poisson_prediction(tiny_routed, host_ids):
+    net, tables = tiny_routed
+    gen = PoissonTraffic(pairs=[(host_ids[0], host_ids[2])],
+                         mean_nbytes=4e3, rate=0.5)
+    assert gen.predicted_flows(net, tables)[0].bytes_per_s == pytest.approx(2e3)
+
+
+def test_http_population_selection(tiny_routed, rng):
+    net, tables = tiny_routed
+    gen = HttpTraffic(n_servers=2, clients_per_server=2, duration=5.0)
+    gen.prepare(net, rng)
+    assert len(gen.pairs) == 4
+    for client, server in gen.pairs:
+        assert client != server
+
+
+def test_http_prepare_idempotent(tiny_routed, rng):
+    net, tables = tiny_routed
+    gen = HttpTraffic(n_servers=1, clients_per_server=2)
+    gen.prepare(net, rng)
+    pairs = list(gen.pairs)
+    gen.prepare(net, rng)
+    assert gen.pairs == pairs
+
+
+def test_http_closed_loop_requests_and_responses(tiny_routed, rng):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables)
+    gen = HttpTraffic(
+        request_size=20e3, think_time=2.0, n_servers=1,
+        clients_per_server=2, duration=30.0,
+    )
+    gen.install(kern, rng)
+    kern.run(until=60.0)
+    tags = [t[5] for t in kern.transfer_log]
+    n_req = sum(tag == "http-req" for tag in tags)
+    n_rsp = sum(tag == "http-rsp" for tag in tags)
+    assert n_req > 2
+    # Closed loop: every response answers a delivered request.
+    assert 0 <= n_req - n_rsp <= 2  # at most the in-flight tail
+
+
+def test_http_stops_at_duration(tiny_routed, rng):
+    net, tables = tiny_routed
+    kern = EmulationKernel(net, tables)
+    gen = HttpTraffic(
+        request_size=5e3, think_time=0.5, n_servers=1,
+        clients_per_server=1, duration=10.0,
+    )
+    gen.install(kern, rng)
+    kern.run(until=100.0)
+    assert max(t[0] for t in kern.transfer_log) <= 10.0 + 1.0
+
+
+def test_http_prediction_requires_population(tiny_routed):
+    net, tables = tiny_routed
+    gen = HttpTraffic()
+    with pytest.raises(RuntimeError, match="population"):
+        gen.predicted_flows(net, tables)
+
+
+def test_http_prediction_rates(tiny_routed, rng):
+    net, tables = tiny_routed
+    gen = HttpTraffic(request_size=100e3, think_time=10.0, n_servers=1,
+                      clients_per_server=2)
+    gen.prepare(net, rng)
+    flows = gen.predicted_flows(net, tables)
+    # Two pairs x (response + request) directions.
+    assert len(flows) == 4
+    rsp = [f for f in flows if f.bytes_per_s == pytest.approx(10e3)]
+    assert len(rsp) == 2
+
+
+def test_http_needs_two_hosts(rng):
+    from repro.topology.elements import Mbps, ms
+    from repro.topology.network import Network
+
+    net = Network()
+    r = net.add_router("r")
+    h = net.add_host("h")
+    net.add_link(r, h, Mbps(10), ms(1))
+    gen = HttpTraffic()
+    with pytest.raises(ValueError, match="two hosts"):
+        gen.prepare(net, rng)

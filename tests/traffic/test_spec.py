@@ -1,0 +1,120 @@
+"""Tests for the §4.1.4 traffic specification format."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.spec import SpecError, parse_size, parse_spec
+
+PAPER_SPEC = """
+# The paper's own example block (§4.1.4)
+Traffic [ name HTTP
+  request_size       200KByte
+  think_time         12
+  client_per_server  10
+  server_number      4
+]
+"""
+
+
+def test_parse_size_units():
+    assert parse_size("200KByte") == pytest.approx(200e3)
+    assert parse_size("1.5MB") == pytest.approx(1.5e6)
+    assert parse_size("512") == pytest.approx(512.0)
+    assert parse_size("2gb") == pytest.approx(2e9)
+
+
+def test_parse_size_rejects_garbage():
+    with pytest.raises(SpecError):
+        parse_size("twelve")
+    with pytest.raises(SpecError):
+        parse_size("5 parsecs")
+
+
+def test_paper_http_block(campus):
+    wl = parse_spec(PAPER_SPEC, campus, seed=1)
+    assert len(wl.background) == 1
+    http = wl.background[0]
+    assert http.request_size == pytest.approx(200e3)
+    assert http.think_time == 12.0
+    assert http.clients_per_server == 10
+    assert http.n_servers == 4
+    assert wl.app is None
+
+
+def test_application_block(campus):
+    spec = PAPER_SPEC + """
+Application [ name scalapack nodes 6 duration 120 ]
+"""
+    wl = parse_spec(spec, campus, seed=1)
+    assert wl.app is not None
+    assert wl.app.name == "scalapack"
+    assert len(wl.app.endpoints) == 6
+    assert wl.app.duration == pytest.approx(120.0)
+    assert wl.duration >= 120.0
+
+
+def test_gridnpb_block(campus):
+    spec = "Application [ name gridnpb nodes 5 volume 8MB ]"
+    wl = parse_spec(spec, campus, seed=2)
+    assert wl.app.name == "gridnpb"
+    assert wl.app.volume == pytest.approx(8e6)
+
+
+def test_multiple_traffic_blocks(campus):
+    spec = """
+Experiment [ duration 90 ]
+Traffic [ name CBR pairs 3 size 50KByte period 2 ]
+Traffic [ name Poisson pairs 2 rate 1.5 ]
+Traffic [ name TCP pairs 2 size 300KByte ]
+"""
+    wl = parse_spec(spec, campus, seed=3)
+    assert len(wl.background) == 3
+    kinds = {type(g).__name__ for g in wl.background}
+    assert kinds == {"CbrTraffic", "PoissonTraffic", "TcpTraffic"}
+    assert wl.duration == pytest.approx(90.0)
+
+
+def test_spec_workload_runs(campus_routed):
+    """A parsed workload drives the kernel end to end."""
+    from repro.engine.kernel import EmulationKernel
+
+    net, tables = campus_routed
+    spec = """
+Experiment [ duration 30 ]
+Traffic [ name CBR pairs 2 size 30KByte period 5 ]
+"""
+    wl = parse_spec(spec, net, seed=4)
+    wl.prepare(net, np.random.default_rng(4))
+    kern = EmulationKernel(net, tables)
+    wl.install(kern, np.random.default_rng(4))
+    trace = kern.run(until=wl.duration)
+    assert trace.total_packets > 0
+
+
+def test_errors(campus):
+    with pytest.raises(SpecError, match="unknown traffic model"):
+        parse_spec("Traffic [ name warp ]", campus)
+    with pytest.raises(SpecError, match="unknown block"):
+        parse_spec("Cheese [ name brie ]", campus)
+    with pytest.raises(SpecError, match="multiple Application"):
+        parse_spec(
+            "Application [ name scalapack nodes 4 ]"
+            "Application [ name gridnpb nodes 4 ]",
+            campus,
+        )
+    with pytest.raises(SpecError, match="unterminated"):
+        parse_spec("Traffic [ name HTTP", campus)
+    with pytest.raises(SpecError, match="no value"):
+        parse_spec("Traffic [ name ]", campus)
+    with pytest.raises(SpecError, match="unknown application"):
+        parse_spec("Application [ name doom nodes 4 ]", campus)
+    with pytest.raises(SpecError, match="not enough hosts"):
+        parse_spec("Traffic [ name CBR pairs 400 ]", campus)
+
+
+def test_seed_determinism(campus):
+    a = parse_spec("Traffic [ name CBR pairs 3 ]", campus, seed=9)
+    b = parse_spec("Traffic [ name CBR pairs 3 ]", campus, seed=9)
+    c = parse_spec("Traffic [ name CBR pairs 3 ]", campus, seed=10)
+    assert a.background[0].pairs == b.background[0].pairs
+    assert a.background[0].pairs != c.background[0].pairs
