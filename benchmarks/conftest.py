@@ -15,14 +15,22 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.report import Campaign
+from repro.runtime.cache import ArtifactCache
 
 #: Seed used by the whole benchmark campaign (arrival randomness + placement).
 CAMPAIGN_SEED = 2
 
 
 @pytest.fixture(scope="session")
-def campaign() -> Campaign:
-    return Campaign(seed=CAMPAIGN_SEED)
+def artifact_cache(tmp_path_factory) -> ArtifactCache:
+    """Session-scoped disk cache: routing tables and emulation runs shared
+    across figure benchmarks (and across worker processes in prefetch)."""
+    return ArtifactCache(tmp_path_factory.mktemp("massf-cache"))
+
+
+@pytest.fixture(scope="session")
+def campaign(artifact_cache) -> Campaign:
+    return Campaign(seed=CAMPAIGN_SEED, artifact_cache=artifact_cache)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

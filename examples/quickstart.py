@@ -1,70 +1,64 @@
 #!/usr/bin/env python
 """Quickstart: map a virtual network onto emulation engine nodes.
 
-Walks the paper's whole pipeline on the Campus topology in about a minute:
+Walks the paper's whole pipeline on the Campus topology through the
+``repro`` facade in about a minute:
 
-1. build the virtual network and its routing tables,
-2. describe a workload (HTTP background + a ScaLapack-like application),
-3. build the TOP / PLACE / PROFILE mappings,
-4. emulate once and score every mapping — load imbalance, application
-   emulation time, isolated network emulation time.
+1. build the virtual network (:func:`repro.load_topology`),
+2. build the TOP / PLACE / PROFILE mappings (:func:`repro.build_mapping`),
+3. run the full profile → map → evaluate pipeline once
+   (:func:`repro.run_experiment`) and read off the §4.1.1 metrics,
+4. repeat across seeds on the parallel runtime (:func:`repro.sweep`) to
+   see that the ordering is not seed luck.
 
 Run with ``python examples/quickstart.py``.
 """
 
-import numpy as np
-
-from repro.core import Mapper, MapperConfig
-from repro.engine import evaluate_mapping
-from repro.experiments.runner import RunnerConfig, run_emulation
+import repro
 from repro.experiments.workloads import build_workload
-from repro.routing import build_routing
-from repro.topology import campus_network
 
 SEED = 7
 
 
 def main() -> None:
-    # 1. The virtual network (20 routers / 40 hosts) and its routes.
-    net = campus_network()
-    tables = build_routing(net)
+    # 1. The virtual network (20 routers / 40 hosts).
+    net = repro.load_topology("campus")
     print(f"network: {net.summary()}")
 
-    # 2. A workload: HTTP background + ScaLapack-like foreground, with a
-    #    fixed seed so everything below is reproducible.
+    # 2. Mappings.  TOP needs only the topology; PLACE wants the workload's
+    #    traffic predictions; PROFILE profiles a real (emulated) run under
+    #    the TOP partition, like the paper's initial experiment.
     workload = build_workload(net, app_name="scalapack", intensity="heavy",
                               seed=SEED)
-    workload.prepare(net, np.random.default_rng(SEED))
-    print(f"workload: {workload.describe()}")
+    top = repro.build_mapping(net, 3, "top")
+    place = repro.build_mapping(net, 3, "place", workload=workload,
+                                seed=SEED)
+    profile = repro.build_mapping(net, 3, "profile", workload=workload,
+                                  seed=SEED)
+    for mapping in (top, place, profile):
+        print(f"  {mapping.summary()}")
 
-    # 3. Mappings.  PROFILE needs a profiling run first (we profile under
-    #    the TOP partition, like the paper's initial experiment).
-    config = RunnerConfig()
-    mapper = Mapper(net, n_parts=3, tables=tables, config=MapperConfig())
-    top = mapper.map_top()
-    place = mapper.map_place(workload.background, workload.apps)
-
-    profiling_run = run_emulation(net, tables, workload, SEED + 1,
-                                  config=config, collect_netflow=True)
-    profile = mapper.map_profile(profiling_run.profile,
-                                 initial_parts=top.parts)
-
-    # 4. One evaluation emulation; score each mapping against its trace.
-    run = run_emulation(net, tables, workload, SEED, config=config)
-    compute = workload.compute_profile()
-
+    # 3. The full pipeline in one call: profiling run, all three mappings,
+    #    one evaluation emulation, every mapping scored against its trace.
+    results = repro.run_experiment("campus", app="scalapack",
+                                   intensity="heavy", seed=SEED)
     print(f"\n{'approach':10s} {'imbalance':>10s} {'app time':>10s} "
           f"{'net time':>10s} {'lookahead':>10s}")
-    for mapping in (top, place, profile):
-        scored = evaluate_mapping(run.trace, net, mapping.parts,
-                                  cost=config.cost, compute=compute)
-        replayed = evaluate_mapping(run.trace, net, mapping.parts,
-                                    cost=config.cost)
+    for name in ("top", "place", "profile"):
+        o = results[name].outcome
         print(
-            f"{mapping.approach:10s} {scored.load_imbalance:10.3f} "
-            f"{scored.wall_app:9.1f}s {replayed.wall_network:9.1f}s "
-            f"{scored.lookahead * 1e3:8.2f}ms"
+            f"{name:10s} {o.load_imbalance:10.3f} "
+            f"{o.app_emulation_time:9.1f}s "
+            f"{o.network_emulation_time:9.1f}s "
+            f"{o.lookahead * 1e3:8.2f}ms"
         )
+
+    # 4. Seeds × approaches on the parallel runtime (worker processes;
+    #    results are bit-identical to running the seeds serially).
+    stats = repro.sweep("campus", seeds=(1, 2, 3, 4), app="scalapack",
+                        intensity="heavy")
+    print()
+    print(stats.render())
 
     print("\nExpected shape (the paper's result): imbalance and both times "
           "improve from TOP to PLACE to PROFILE.")

@@ -3,18 +3,20 @@
 
 The paper's flagship Grid scenario — a 5-site TeraGrid with 150 compute
 hosts, ScaLapack running 2 processes per site, HTTP background between
-random endpoints.  This example shows the experiment-harness route (one
-call does the profiling run, all three mappings, and the evaluation run)
-plus a look inside the resulting partitions: which sites each engine node
-owns, and where the cut falls.
+random endpoints.  This example shows the facade route — one
+:func:`repro.run_experiment` call does the profiling run, all three
+mappings, and the evaluation run — plus a look inside the resulting
+partitions: which sites each engine node owns, and where the cut falls.
+
+Repeated runs reuse the artifact cache (``.massf-cache/`` or
+``$MASSF_CACHE_DIR``): the second invocation skips the emulations.
 
 Run with ``python examples/teragrid_scalapack.py`` (takes a few minutes).
 """
 
 from collections import Counter
 
-from repro.experiments.runner import evaluate_setup
-from repro.experiments.setups import teragrid_setup
+import repro
 
 SEED = 2
 
@@ -32,11 +34,14 @@ def describe_partition(net, parts, k) -> None:
 
 
 def main() -> None:
-    setup = teragrid_setup("scalapack", intensity="heavy")
-    net = setup.network
-    print(setup.describe())
+    net = repro.load_topology("teragrid")
+    k = 5
+    print(f"{net.summary()} on {k} engine nodes")
 
-    results = evaluate_setup(setup, seed=SEED)
+    results = repro.run_experiment(
+        "teragrid", app="scalapack", intensity="heavy", seed=SEED,
+        cache="default",
+    )
 
     print(f"\n{'approach':10s} {'imbalance':>10s} {'app time':>10s} "
           f"{'net time':>10s} {'remote pkts':>12s}")
@@ -51,8 +56,7 @@ def main() -> None:
     print("\nPartition composition (site ownership per engine node):")
     for name in ("top", "profile"):
         print(f"  {name.upper()}:")
-        describe_partition(net, results[name].mapping.parts,
-                           setup.n_engine_nodes)
+        describe_partition(net, results[name].mapping.parts, k)
 
     profile_diag = results["profile"].mapping.diagnostics
     print(f"\nPROFILE used {profile_diag['n_segments']} load segments and "

@@ -24,12 +24,16 @@ The package implements, from scratch:
 - :mod:`repro.experiments` — end-to-end experiment harness regenerating every
   table and figure of the evaluation section.
 
+- :mod:`repro.runtime` — the parallel experiment runtime: a process-pool
+  grid executor and a content-addressed artifact cache.
+- :mod:`repro.api` — the facade re-exported here: :func:`load_topology`,
+  :func:`build_mapping`, :func:`run_experiment`, :func:`sweep`.
+
 Quickstart::
 
-    from repro.experiments.setups import campus_setup
-    from repro.experiments.runner import evaluate_setup
+    import repro
 
-    results = evaluate_setup(campus_setup("scalapack"), seed=1)
+    results = repro.run_experiment("campus", seed=1)
     for name, ev in results.items():
         print(name, ev.outcome.load_imbalance)
 
@@ -38,4 +42,26 @@ See ``examples/quickstart.py`` for a complete runnable walk-through.
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "load_topology",
+    "build_mapping",
+    "run_experiment",
+    "sweep",
+]
+
+_API_NAMES = ("load_topology", "build_mapping", "run_experiment", "sweep")
+
+
+def __getattr__(name):
+    # PEP 562 lazy re-export: keeps `import repro` light while making the
+    # facade available as repro.run_experiment(...) etc.
+    if name in _API_NAMES:
+        import repro.api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_NAMES))

@@ -1,0 +1,336 @@
+"""The ``repro.api`` facade: the whole pipeline in four calls.
+
+Quickstart::
+
+    import repro
+
+    net = repro.load_topology("campus")
+    results = repro.run_experiment("campus", seed=1)
+    stats = repro.sweep("campus", seeds=(1, 2, 3, 4), workers=4)
+
+The facade wraps the experiment harness (:mod:`repro.experiments`), the
+mapper (:mod:`repro.core`) and the parallel runtime
+(:mod:`repro.runtime`) behind four functions:
+
+- :func:`load_topology` — a built-in topology by name, or a DML file.
+- :func:`build_mapping` — one TOP / PLACE / PROFILE mapping.
+- :func:`run_experiment` — the full profile → map → evaluate pipeline.
+- :func:`sweep` — repeat :func:`run_experiment` across seeds, optionally
+  fanned out over worker processes with artifact caching.
+
+All are re-exported from the top-level :mod:`repro` package.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "load_topology",
+    "build_mapping",
+    "run_experiment",
+    "sweep",
+    "TOPOLOGIES",
+]
+
+#: Built-in topology names accepted by :func:`load_topology`.
+TOPOLOGIES = ("campus", "teragrid", "brite", "brite-large")
+
+#: Engine-node counts of the paper's Table 1 (and §4.2.3) setups.
+_DEFAULT_K = {"campus": 3, "teragrid": 5, "brite": 8, "brite-large": 20}
+
+
+def load_topology(source: str, **kwargs):
+    """Build a virtual network.
+
+    Parameters
+    ----------
+    source:
+        A built-in topology name (:data:`TOPOLOGIES`, case-insensitive) or
+        a path to a DML network description file.
+    kwargs:
+        Extra factory arguments (e.g. ``seed=...`` / ``n_routers=...`` for
+        the BRITE-like generators).  Rejected for DML files.
+
+    Returns
+    -------
+    repro.topology.network.Network
+    """
+    from repro.topology.brite import brite_network
+    from repro.topology.campus import campus_network
+    from repro.topology.teragrid import teragrid_network
+
+    name = str(source).strip().lower()
+    factories: dict[str, Callable] = {
+        "campus": campus_network,
+        "teragrid": teragrid_network,
+        "brite": lambda **kw: brite_network(
+            **{"n_routers": 160, "n_hosts": 132, **kw}
+        ),
+        "brite-large": lambda **kw: brite_network(
+            **{"n_routers": 200, "n_hosts": 364, **kw}
+        ),
+    }
+    if name in factories:
+        return factories[name](**kwargs)
+    if os.path.exists(source):
+        if kwargs:
+            raise TypeError(
+                "keyword arguments are not accepted when loading a DML "
+                f"file ({sorted(kwargs)})"
+            )
+        from repro.topology import dml
+
+        return dml.load(source)
+    raise ValueError(
+        f"unknown topology {source!r}: not one of {', '.join(TOPOLOGIES)} "
+        "and not an existing DML file"
+    )
+
+
+def build_mapping(
+    net,
+    k: int,
+    approach: str = "top",
+    *,
+    workload=None,
+    profile=None,
+    tables=None,
+    config=None,
+    runner_config=None,
+    seed: int = 0,
+    cache=None,
+):
+    """Build one node → engine-node mapping.
+
+    Parameters
+    ----------
+    net, k:
+        The virtual network and the engine-node count.
+    approach:
+        ``"top"`` (topology only), ``"place"`` (needs ``workload`` for its
+        traffic predictions), or ``"profile"`` (needs ``profile`` data, or
+        a ``workload`` to run the profiling emulation with).
+    workload:
+        A :class:`repro.experiments.workloads.Workload`; prepared here if
+        its populations are not fixed yet.
+    profile:
+        Pre-aggregated :class:`repro.profiling.aggregate.ProfileData`; when
+        omitted for PROFILE, a profiling emulation runs under the TOP
+        partition (the paper's initial experiment).
+    tables, config, runner_config, seed, cache:
+        Routing tables (built on demand), a
+        :class:`repro.core.mapper.MapperConfig`, the
+        :class:`repro.experiments.runner.RunnerConfig` for the profiling
+        emulation, the seed for preparation/profiling, and an optional
+        artifact cache.
+
+    Returns
+    -------
+    repro.core.mapper.MappingResult
+    """
+    from repro.core.mapper import Mapper
+    from repro.experiments.runner import (
+        PROFILE_SEED_OFFSET,
+        RunnerConfig,
+        run_emulation,
+    )
+    from repro.routing.spf import build_routing
+    from repro.runtime.cache import resolve_cache
+
+    cache = resolve_cache(cache)
+    approach = str(approach).strip().lower()
+    if approach not in ("top", "place", "profile"):
+        raise ValueError(
+            f"unknown approach {approach!r}; choose from top, place, "
+            "profile"
+        )
+    if tables is None:
+        tables = build_routing(net, cache=cache)
+    mapper = Mapper(net, n_parts=k, tables=tables, config=config)
+    if workload is not None:
+        workload.prepare(net, np.random.default_rng(seed))
+    if approach == "top":
+        return mapper.map_top()
+    if approach == "place":
+        if workload is None:
+            raise ValueError("PLACE needs a workload (traffic predictions)")
+        return mapper.map_place(workload.background, workload.apps)
+    if profile is None:
+        if workload is None:
+            raise ValueError(
+                "PROFILE needs profile data or a workload to profile"
+            )
+        run = run_emulation(
+            net, tables, workload, seed + PROFILE_SEED_OFFSET,
+            config=runner_config or RunnerConfig(), collect_netflow=True,
+            cache=cache,
+        )
+        profile = run.profile
+    return mapper.map_profile(
+        profile, initial_parts=mapper.map_top().parts
+    )
+
+
+def _identity(net):
+    """Picklable network "factory" for prebuilt networks."""
+    return net
+
+
+def _as_setup(topology, *, app, intensity, duration, k, workload_kwargs):
+    """Normalize ``topology`` into an ExperimentSetup."""
+    from repro.experiments.setups import (
+        ExperimentSetup,
+        brite_setup,
+        campus_setup,
+        large_brite_setup,
+        teragrid_setup,
+    )
+    from repro.topology.network import Network
+
+    if isinstance(topology, ExperimentSetup):
+        return topology
+    kwargs = dict(workload_kwargs=dict(workload_kwargs or {}))
+    if intensity is not None:
+        kwargs["intensity"] = intensity
+    if duration is not None:
+        kwargs.setdefault("workload_kwargs", {})["duration"] = duration
+    if isinstance(topology, Network):
+        if k is None:
+            raise ValueError("k is required with a prebuilt Network")
+        net = topology
+        # partial keeps the setup picklable for the parallel runtime (the
+        # network ships by value to the workers).
+        setup = ExperimentSetup(
+            name=net.name, network_factory=partial(_identity, net),
+            n_engine_nodes=k, app_name=app, **kwargs,
+        )
+        setup._network = net
+        return setup
+    name = str(topology).strip().lower()
+    factories = {
+        "campus": campus_setup,
+        "teragrid": teragrid_setup,
+        "brite": brite_setup,
+        "brite-large": large_brite_setup,
+    }
+    if name not in factories:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from "
+            f"{', '.join(TOPOLOGIES)} or pass a Network / ExperimentSetup"
+        )
+    setup = factories[name](app, **kwargs)
+    if k is not None:
+        setup.n_engine_nodes = k
+    return setup
+
+
+def run_experiment(
+    topology,
+    *,
+    app: str = "scalapack",
+    k: int | None = None,
+    approaches: tuple[str, ...] = ("top", "place", "profile"),
+    seed: int = 1,
+    intensity: str | None = None,
+    duration: float | None = None,
+    workload_kwargs=None,
+    config=None,
+    cache=None,
+):
+    """Run the full profile → map → evaluate pipeline once.
+
+    Parameters
+    ----------
+    topology:
+        A built-in name (:data:`TOPOLOGIES`), a prebuilt
+        :class:`~repro.topology.network.Network` (requires ``k``), or an
+        :class:`~repro.experiments.setups.ExperimentSetup`.
+    app, intensity, duration, workload_kwargs:
+        Workload selection (ignored when an ExperimentSetup is given,
+        except that they default from it).
+    k:
+        Engine-node count override (defaults to the setup's Table 1 value).
+    approaches, seed, config:
+        Forwarded to :func:`repro.experiments.runner.evaluate_setup`.
+    cache:
+        Artifact cache spec — ``True``/``"default"`` for the default disk
+        cache, a path, an :class:`~repro.runtime.cache.ArtifactCache`, or
+        ``None`` for no caching.
+
+    Returns
+    -------
+    dict[str, repro.experiments.runner.ApproachEvaluation]
+    """
+    from repro.experiments.runner import evaluate_setup
+    from repro.runtime.cache import resolve_cache
+
+    setup = _as_setup(
+        topology, app=app, intensity=intensity, duration=duration, k=k,
+        workload_kwargs=workload_kwargs,
+    )
+    return evaluate_setup(
+        setup, approaches=tuple(approaches), seed=seed, config=config,
+        cache=resolve_cache(cache),
+    )
+
+
+def sweep(
+    topology,
+    *,
+    seeds=(1, 2, 3, 4),
+    app: str = "scalapack",
+    k: int | None = None,
+    approaches: tuple[str, ...] = ("top", "place", "profile"),
+    intensity: str | None = None,
+    duration: float | None = None,
+    workload_kwargs=None,
+    config=None,
+    workers: int | None = None,
+    runtime=None,
+    cache=None,
+    progress=None,
+):
+    """Sweep :func:`run_experiment` across seeds.
+
+    By default the (seed × approach) grid fans out over worker processes
+    (auto-sized to the machine) through :func:`repro.runtime.executor.run_grid`
+    with deterministic per-cell seeding — results are bit-for-bit identical
+    to the serial path.  ``workers=0`` forces in-process serial execution.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (``None`` = auto, ``0`` = serial in-process).
+        Ignored when an explicit ``runtime``
+        (:class:`~repro.runtime.executor.RuntimeConfig`) is given.
+    cache:
+        Artifact cache spec (see :func:`run_experiment`); a repeated sweep
+        with a disk cache reuses routing tables and emulation runs instead
+        of re-simulating.
+    progress:
+        ``progress(cell_result, done, total)`` callback.
+
+    Returns
+    -------
+    repro.experiments.sweep.SweepResult
+    """
+    from repro.experiments.sweep import sweep_setup
+    from repro.runtime.cache import resolve_cache
+    from repro.runtime.executor import RuntimeConfig
+
+    setup = _as_setup(
+        topology, app=app, intensity=intensity, duration=duration, k=k,
+        workload_kwargs=workload_kwargs,
+    )
+    if runtime is None:
+        runtime = RuntimeConfig(workers=workers)
+    return sweep_setup(
+        setup, seeds=tuple(seeds), approaches=tuple(approaches),
+        config=config, runtime=runtime, cache=resolve_cache(cache),
+        progress=progress,
+    )

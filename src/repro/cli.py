@@ -1,16 +1,21 @@
 """Command-line tools.
 
-Three console entry points mirror how MaSSF's partitioner was used
-operationally:
+One console entry point, ``massf``, with four subcommands:
 
-- ``massf-map`` — partition a network description (DML) file onto engine
+- ``massf map`` — partition a network description (DML) file onto engine
   nodes with TOP, or with PROFILE when given a NetFlow dump directory.
-- ``massf-emulate`` — run a built-in experiment (topology × application ×
+- ``massf emulate`` — run a built-in experiment (topology × application ×
   approach) end to end and print the §4.1.1 metrics as JSON.
-- ``massf-netflow`` — summarize a NetFlow dump directory (top routers,
+- ``massf netflow`` — summarize a NetFlow dump directory (top routers,
   links, flows).
+- ``massf sweep`` — repeat an experiment across seeds on the parallel
+  runtime (worker processes + content-addressed artifact cache) and print
+  mean ± spread statistics.
 
-All three are plain functions taking ``argv`` so tests can drive them
+The historical per-tool entry points (``massf-map``, ``massf-emulate``,
+``massf-netflow``) remain as thin deprecation shims.
+
+All commands are plain functions taking ``argv`` so tests can drive them
 without subprocesses.
 """
 
@@ -22,19 +27,13 @@ import sys
 
 import numpy as np
 
-__all__ = ["massf_map", "massf_emulate", "massf_netflow"]
+__all__ = ["massf", "massf_map", "massf_emulate", "massf_netflow"]
 
 
 # --------------------------------------------------------------------- #
-# massf-map
+# massf map
 # --------------------------------------------------------------------- #
-def massf_map(argv: list[str] | None = None) -> int:
-    """Partition a DML network file; print ``node_id part`` lines."""
-    parser = argparse.ArgumentParser(
-        prog="massf-map",
-        description="Map a virtual network (DML file) onto emulation "
-        "engine nodes.",
-    )
+def _configure_map(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("network", help="network description (DML) file")
     parser.add_argument("-k", "--parts", type=int, required=True,
                         help="number of engine nodes")
@@ -51,8 +50,9 @@ def massf_map(argv: list[str] | None = None) -> int:
     parser.add_argument("--latency-priority", type=float, default=0.6)
     parser.add_argument("-o", "--output", help="write assignment here "
                         "instead of stdout")
-    args = parser.parse_args(argv)
 
+
+def _cmd_map(parser: argparse.ArgumentParser, args) -> int:
     from repro.core.mapper import Mapper, MapperConfig
     from repro.profiling.aggregate import ProfileData
     from repro.profiling.dump import load_dump_dir
@@ -94,14 +94,9 @@ def massf_map(argv: list[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------- #
-# massf-emulate
+# massf emulate
 # --------------------------------------------------------------------- #
-def massf_emulate(argv: list[str] | None = None) -> int:
-    """Run a built-in experiment; print metrics as JSON."""
-    parser = argparse.ArgumentParser(
-        prog="massf-emulate",
-        description="Run one of the paper's experiment setups end to end.",
-    )
+def _configure_emulate(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", choices=("campus", "teragrid", "brite"),
                         default="campus")
     parser.add_argument("--network",
@@ -121,16 +116,22 @@ def massf_emulate(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--duration", type=float, default=None,
                         help="override the workload duration (seconds)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (reuses routing "
+                        "tables and emulation runs across invocations)")
     parser.add_argument("-o", "--output", help="write JSON here")
-    args = parser.parse_args(argv)
 
+
+def _cmd_emulate(parser: argparse.ArgumentParser, args) -> int:
     from repro.experiments.runner import evaluate_setup, evaluate_workload
     from repro.experiments.setups import (
         brite_setup,
         campus_setup,
         teragrid_setup,
     )
+    from repro.runtime.cache import resolve_cache
 
+    cache = resolve_cache(args.cache_dir)
     approaches = tuple(
         a.strip() for a in args.approaches.split(",") if a.strip()
     )
@@ -162,7 +163,8 @@ def massf_emulate(argv: list[str] | None = None) -> int:
             workload = build_workload(net, args.app, seed=args.seed,
                                       **wl_kwargs)
         results = evaluate_workload(net, workload, k,
-                                    approaches=approaches, seed=args.seed)
+                                    approaches=approaches, seed=args.seed,
+                                    cache=cache)
         described = f"{net.summary()} on {k} engine nodes"
     else:
         factory = {"campus": campus_setup, "teragrid": teragrid_setup,
@@ -174,7 +176,7 @@ def massf_emulate(argv: list[str] | None = None) -> int:
             kwargs["workload_kwargs"] = {"duration": args.duration}
         setup = factory(args.app, **kwargs)
         results = evaluate_setup(setup, approaches=approaches,
-                                 seed=args.seed)
+                                 seed=args.seed, cache=cache)
         described = setup.describe()
 
     payload = {
@@ -203,19 +205,15 @@ def massf_emulate(argv: list[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------- #
-# massf-netflow
+# massf netflow
 # --------------------------------------------------------------------- #
-def massf_netflow(argv: list[str] | None = None) -> int:
-    """Summarize a NetFlow dump directory."""
-    parser = argparse.ArgumentParser(
-        prog="massf-netflow",
-        description="Aggregate and summarize MaSSF NetFlow dump files.",
-    )
+def _configure_netflow(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("dump_dir", help="directory of router_*.flow files")
     parser.add_argument("--top", type=int, default=10,
                         help="rows per ranking")
-    args = parser.parse_args(argv)
 
+
+def _cmd_netflow(parser: argparse.ArgumentParser, args) -> int:
     from repro.profiling.dump import load_dump_dir
 
     records = load_dump_dir(args.dump_dir)
@@ -254,5 +252,174 @@ def massf_netflow(argv: list[str] | None = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# massf sweep
+# --------------------------------------------------------------------- #
+def _configure_sweep(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology",
+                        choices=("campus", "teragrid", "brite",
+                                 "brite-large"),
+                        default="campus")
+    parser.add_argument("--app", choices=("scalapack", "gridnpb", "none"),
+                        default="scalapack")
+    parser.add_argument("--intensity",
+                        choices=("light", "moderate", "heavy"), default=None)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the workload duration (seconds)")
+    parser.add_argument("--seeds", default="1,2,3,4",
+                        help="comma-separated seed list")
+    parser.add_argument("--approaches", default="top,place,profile",
+                        help="comma-separated subset of top,place,profile")
+    parser.add_argument("-k", "--parts", type=int, default=None,
+                        help="engine-node count override")
+    parser.add_argument("-j", "--workers", type=int, default=None,
+                        help="worker processes (default: auto; 0 = serial "
+                        "in-process)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell soft timeout in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries for crashed / timed-out cells")
+    parser.add_argument("--group", choices=("run", "cell"), default="run",
+                        help="task granularity: one task per (setup, seed) "
+                        "sharing the evaluation emulation, or one per cell")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default: "
+                        "$MASSF_CACHE_DIR or .massf-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+    parser.add_argument("-o", "--output", help="write JSON here")
+
+
+def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
+    from repro.api import sweep
+    from repro.runtime.cache import resolve_cache
+    from repro.runtime.executor import RuntimeConfig
+
+    try:
+        seeds = tuple(
+            int(s) for s in args.seeds.split(",") if s.strip()
+        )
+    except ValueError:
+        parser.error(f"bad --seeds value {args.seeds!r}")
+    if not seeds:
+        parser.error("--seeds must name at least one seed")
+    approaches = tuple(
+        a.strip() for a in args.approaches.split(",") if a.strip()
+    )
+    cache = None if args.no_cache else resolve_cache(
+        args.cache_dir if args.cache_dir else "default"
+    )
+    runtime = RuntimeConfig(
+        workers=args.workers, timeout_s=args.timeout,
+        retries=args.retries, group=args.group,
+    )
+
+    def progress(cell, done, total):
+        status = "ok" if cell.ok else "FAILED"
+        print(
+            f"[{done:3d}/{total}] {cell.setup_name}/{cell.app_name} "
+            f"seed={cell.seed} {cell.approach:8s} {status} "
+            f"({cell.duration_s:.1f}s)",
+            file=sys.stderr,
+        )
+
+    try:
+        result = sweep(
+            args.topology, seeds=seeds, app=args.app, k=args.parts,
+            approaches=approaches, intensity=args.intensity,
+            duration=args.duration, runtime=runtime, cache=cache,
+            progress=None if args.quiet else progress,
+        )
+    except RuntimeError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.render())
+    if cache is not None:
+        print(cache.stats.summary(), file=sys.stderr)
+
+    if args.output:
+        payload = {
+            "setup": result.setup_name,
+            "seeds": list(result.seeds),
+            "metrics": {
+                metric: {
+                    name: {"mean": st.mean, "std": st.std,
+                           "min": st.min, "max": st.max,
+                           "values": list(st.values)}
+                    for name, st in getattr(result, metric).items()
+                }
+                for metric in ("imbalance", "app_time", "network_time")
+            },
+            "cache": None if cache is None else {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "hit_rate": cache.stats.hit_rate,
+            },
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2) + "\n")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Unified entry point + deprecation shims
+# --------------------------------------------------------------------- #
+_SUBCOMMANDS = {
+    "map": (_configure_map, _cmd_map,
+            "map a virtual network (DML file) onto engine nodes"),
+    "emulate": (_configure_emulate, _cmd_emulate,
+                "run one experiment setup end to end"),
+    "netflow": (_configure_netflow, _cmd_netflow,
+                "summarize a NetFlow dump directory"),
+    "sweep": (_configure_sweep, _cmd_sweep,
+              "sweep an experiment across seeds on the parallel runtime"),
+}
+
+
+def massf(argv: list[str] | None = None) -> int:
+    """The unified ``massf`` console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="massf",
+        description="MaSSF traffic-based load balance toolkit "
+        "(map / emulate / netflow / sweep).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (configure, run, help_text) in _SUBCOMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text,
+                                    description=help_text)
+        configure(sub)
+        sub.set_defaults(_run=run, _parser=sub)
+    args = parser.parse_args(argv)
+    return args._run(args._parser, args)
+
+
+def _deprecated_shim(old: str, command: str, argv: list[str] | None) -> int:
+    print(
+        f"{old} is deprecated; use `massf {command}` instead",
+        file=sys.stderr,
+    )
+    if argv is None:
+        argv = sys.argv[1:]
+    return massf([command, *argv])
+
+
+def massf_map(argv: list[str] | None = None) -> int:
+    """Deprecated shim for ``massf map``."""
+    return _deprecated_shim("massf-map", "map", argv)
+
+
+def massf_emulate(argv: list[str] | None = None) -> int:
+    """Deprecated shim for ``massf emulate``."""
+    return _deprecated_shim("massf-emulate", "emulate", argv)
+
+
+def massf_netflow(argv: list[str] | None = None) -> int:
+    """Deprecated shim for ``massf netflow``."""
+    return _deprecated_shim("massf-netflow", "netflow", argv)
+
+
 if __name__ == "__main__":  # pragma: no cover - module smoke entry
-    sys.exit(massf_emulate())
+    sys.exit(massf())

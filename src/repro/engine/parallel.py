@@ -37,11 +37,13 @@ def lookahead_of(
     links the emulation never synchronizes; ``inf`` is returned.
     """
     parts = np.asarray(parts)
-    best = np.inf
-    for link in net.links:
-        if parts[link.u] != parts[link.v] and link.latency_s < best:
-            best = link.latency_s
-    return max(best, min_lookahead) if np.isfinite(best) else np.inf
+    u, v, lat, _ = net.link_endpoint_arrays()
+    if len(u) == 0:
+        return np.inf
+    cut = parts[u] != parts[v]
+    if not cut.any():
+        return np.inf
+    return max(float(lat[cut].min()), min_lookahead)
 
 
 @dataclass

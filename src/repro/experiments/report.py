@@ -58,13 +58,17 @@ class Campaign:
     """Caches evaluate_setup() results across figures.
 
     One campaign = one (seed, runner-config) choice; results are keyed by
-    (setup name, app name).
+    (setup name, app name).  ``artifact_cache`` additionally shares the
+    underlying routing tables and emulation runs (content-addressed, see
+    :mod:`repro.runtime.cache`) — across figures *and* across campaign
+    re-runs when the cache is on disk.
     """
 
     seed: int = 1
     intensity: str | None = None  # None = each setup's own default
     config: RunnerConfig = field(default_factory=RunnerConfig)
     workload_kwargs: dict = field(default_factory=dict)
+    artifact_cache: object | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -75,9 +79,32 @@ class Campaign:
         if key not in self._cache:
             self._cache[key] = evaluate_setup(
                 setup, approaches=APPROACHES, seed=self.seed,
-                config=self.config,
+                config=self.config, cache=self.artifact_cache,
             )
         return self._cache[key]
+
+    def prefetch(self, apps=("scalapack", "gridnpb"), runtime=None) -> None:
+        """Warm the artifact cache for the standard figure matrix in
+        parallel.
+
+        Runs the (setup × app) grid through the parallel runtime so the
+        expensive emulations land in ``artifact_cache`` (which must be a
+        disk cache for worker processes to share it); subsequent
+        ``results_for`` calls then hit the cache.  Without an artifact
+        cache this is a no-op.
+        """
+        if self.artifact_cache is None or getattr(
+            self.artifact_cache, "root", None
+        ) is None:
+            return
+        from repro.runtime.executor import RuntimeConfig, run_grid
+
+        setups = [s for app in apps for s in self._setups(app)]
+        run_grid(
+            setups, (self.seed,), APPROACHES, config=self.config,
+            runtime=runtime or RuntimeConfig(),
+            cache=self.artifact_cache,
+        )
 
     def _setup_kwargs(self) -> dict:
         kwargs: dict = {"workload_kwargs": dict(self.workload_kwargs)}
@@ -153,8 +180,10 @@ class Campaign:
         setup = brite_setup("gridnpb", **self._setup_kwargs())
         results = self.results_for(setup)
         run = run_emulation(
-            setup.network, build_routing(setup.network),
+            setup.network,
+            build_routing(setup.network, cache=self.artifact_cache),
             self._prepared_workload(setup), self.seed, config=self.config,
+            cache=self.artifact_cache,
         )
         series = lp_interval_loads(
             run.trace, results["top"].mapping.parts, interval
@@ -172,8 +201,10 @@ class Campaign:
         setup = campus_setup("gridnpb", **self._setup_kwargs())
         results = self.results_for(setup)
         run = run_emulation(
-            setup.network, build_routing(setup.network),
+            setup.network,
+            build_routing(setup.network, cache=self.artifact_cache),
             self._prepared_workload(setup), self.seed, config=self.config,
+            cache=self.artifact_cache,
         )
         series = {}
         for name in ("top", "profile"):

@@ -74,9 +74,30 @@ def run_emulation(
     seed: int,
     config: RunnerConfig | None = None,
     collect_netflow: bool = False,
+    cache=None,
 ) -> EmulationRun:
-    """Execute one emulation of ``workload`` (prepared already)."""
+    """Execute one emulation of ``workload`` (prepared already).
+
+    With a ``cache`` (:class:`repro.runtime.cache.ArtifactCache`), the run
+    is content-addressed by (network, routing metric, prepared workload,
+    seed, config, netflow flag): a repeated identical call returns the
+    stored artifacts instead of re-simulating, bit-for-bit.
+    """
     config = config or RunnerConfig()
+    if cache is not None:
+        kind = "profile-run" if collect_netflow else "eval-run"
+        key_parts = (
+            net.fingerprint(), tables.metric, workload, int(seed), config,
+            bool(collect_netflow),
+        )
+        return cache.get_or_compute(
+            kind,
+            key_parts,
+            lambda: run_emulation(
+                net, tables, workload, seed, config=config,
+                collect_netflow=collect_netflow,
+            ),
+        )
     collector = (
         NetFlowCollector(config.netflow_granularity) if collect_netflow else None
     )
@@ -113,12 +134,13 @@ def evaluate_setup(
     approaches: tuple[str, ...] = ("top", "place", "profile"),
     seed: int = 0,
     config: RunnerConfig | None = None,
+    cache=None,
 ) -> dict[str, ApproachEvaluation]:
     """Run the full pipeline for one setup; returns approach → evaluation."""
     workload = setup.build_workload(seed)
     return evaluate_workload(
         setup.network, workload, setup.n_engine_nodes,
-        approaches=approaches, seed=seed, config=config,
+        approaches=approaches, seed=seed, config=config, cache=cache,
     )
 
 
@@ -126,16 +148,23 @@ def evaluate_workload(
     net,
     workload: Workload,
     k: int,
+    *,
     approaches: tuple[str, ...] = ("top", "place", "profile"),
     seed: int = 0,
     config: RunnerConfig | None = None,
     tables: RoutingTables | None = None,
+    cache=None,
 ) -> dict[str, ApproachEvaluation]:
     """Run the profiling → mapping → evaluation pipeline for any network +
-    workload pair (the spec-file / CLI entry point)."""
+    workload pair (the spec-file / CLI entry point).
+
+    All arguments after the leading ``(net, workload, k)`` are
+    keyword-only.  ``cache`` shares routing tables and profiling /
+    evaluation emulations across calls (see :mod:`repro.runtime.cache`).
+    """
     config = config or RunnerConfig()
     if tables is None:
-        tables = build_routing(net)
+        tables = build_routing(net, cache=cache)
 
     workload.prepare(net, np.random.default_rng(seed))
 
@@ -151,7 +180,7 @@ def evaluate_workload(
     if "profile" in approaches:
         profile_run = run_emulation(
             net, tables, workload, seed + PROFILE_SEED_OFFSET,
-            config=config, collect_netflow=True,
+            config=config, collect_netflow=True, cache=cache,
         )
         assert profile_run.profile is not None
         # Model selection on the profiling data: §3.3's segment clustering
@@ -179,7 +208,9 @@ def evaluate_workload(
         candidates.sort(key=lambda item: item[0])
         mappings["profile"] = candidates[0][1]
 
-    eval_run = run_emulation(net, tables, workload, seed, config=config)
+    eval_run = run_emulation(
+        net, tables, workload, seed, config=config, cache=cache
+    )
 
     results: dict[str, ApproachEvaluation] = {}
     for name in approaches:

@@ -13,6 +13,7 @@ Brite (large)  200      364    20
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.experiments.workloads import Workload, build_workload
@@ -91,10 +92,12 @@ def teragrid_setup(app: str = "scalapack", **kwargs) -> ExperimentSetup:
 
 def brite_setup(app: str = "scalapack", seed: int = 0, **kwargs) -> ExperimentSetup:
     """Brite: 160 routers / 132 hosts / 8 engine nodes."""
+    # partial (not a lambda) keeps the setup picklable for the parallel
+    # grid executor.
     return ExperimentSetup(
         name="brite",
-        network_factory=lambda: brite_network(
-            n_routers=160, n_hosts=132, seed=seed
+        network_factory=partial(
+            brite_network, n_routers=160, n_hosts=132, seed=seed
         ),
         n_engine_nodes=8, app_name=app, **kwargs,
     )
@@ -106,8 +109,8 @@ def large_brite_setup(app: str = "scalapack", seed: int = 0, **kwargs) -> Experi
     kwargs.setdefault("intensity", "heavy")
     return ExperimentSetup(
         name="brite-large",
-        network_factory=lambda: brite_network(
-            n_routers=200, n_hosts=364, seed=seed
+        network_factory=partial(
+            brite_network, n_routers=200, n_hosts=364, seed=seed
         ),
         n_engine_nodes=20, app_name=app, **kwargs,
     )

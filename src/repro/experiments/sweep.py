@@ -15,7 +15,13 @@ import numpy as np
 from repro.experiments.runner import RunnerConfig, evaluate_setup
 from repro.experiments.setups import ExperimentSetup
 
-__all__ = ["MetricStats", "SweepResult", "sweep_setup", "ordering_confidence"]
+__all__ = [
+    "MetricStats",
+    "SweepResult",
+    "sweep_setup",
+    "sweep_result_from_grid",
+    "ordering_confidence",
+]
 
 
 @dataclass(frozen=True)
@@ -68,33 +74,98 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _aggregate(
+    setup_name: str,
+    seeds: tuple[int, ...],
+    approaches: tuple[str, ...],
+    outcome_of,
+) -> SweepResult:
+    """Build a :class:`SweepResult` from ``outcome_of(seed, approach)``."""
+    imbalance: dict[str, list[float]] = {a: [] for a in approaches}
+    app_time: dict[str, list[float]] = {a: [] for a in approaches}
+    net_time: dict[str, list[float]] = {a: [] for a in approaches}
+    for seed in seeds:
+        for name in approaches:
+            outcome = outcome_of(seed, name)
+            imbalance[name].append(outcome.load_imbalance)
+            app_time[name].append(outcome.app_emulation_time)
+            net_time[name].append(outcome.network_emulation_time)
+    return SweepResult(
+        setup_name=setup_name,
+        seeds=tuple(seeds),
+        imbalance={a: MetricStats.of(v) for a, v in imbalance.items()},
+        app_time={a: MetricStats.of(v) for a, v in app_time.items()},
+        network_time={a: MetricStats.of(v) for a, v in net_time.items()},
+    )
+
+
 def sweep_setup(
     setup: ExperimentSetup,
     seeds: tuple[int, ...] = (1, 2, 3),
     approaches: tuple[str, ...] = ("top", "place", "profile"),
     config: RunnerConfig | None = None,
+    *,
+    runtime=None,
+    cache=None,
+    progress=None,
 ) -> SweepResult:
-    """Run ``evaluate_setup`` once per seed and aggregate the metrics."""
+    """Run ``evaluate_setup`` once per seed and aggregate the metrics.
+
+    The default path runs the seeds serially in-process.  Passing a
+    ``runtime`` (:class:`repro.runtime.executor.RuntimeConfig`) fans the
+    (seed × approach) grid out over worker processes instead — results are
+    bit-for-bit identical to the serial path (deterministic per-cell
+    seeding).  ``cache`` shares routing tables and emulation runs across
+    cells and across repeated sweeps; ``progress`` is forwarded to the
+    grid executor.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    imbalance: dict[str, list[float]] = {a: [] for a in approaches}
-    app_time: dict[str, list[float]] = {a: [] for a in approaches}
-    net_time: dict[str, list[float]] = {a: [] for a in approaches}
-    for seed in seeds:
-        results = evaluate_setup(
-            setup, approaches=approaches, seed=seed, config=config
+    seeds = tuple(int(s) for s in seeds)
+    if runtime is not None:
+        from repro.runtime.executor import run_grid
+
+        grid = run_grid(
+            setup, seeds, approaches, config=config, runtime=runtime,
+            cache=cache, progress=progress,
         )
-        for name in approaches:
-            outcome = results[name].outcome
-            imbalance[name].append(outcome.load_imbalance)
-            app_time[name].append(outcome.app_emulation_time)
-            net_time[name].append(outcome.network_emulation_time)
-    return SweepResult(
-        setup_name=setup.describe(),
-        seeds=tuple(seeds),
-        imbalance={a: MetricStats.of(v) for a, v in imbalance.items()},
-        app_time={a: MetricStats.of(v) for a, v in app_time.items()},
-        network_time={a: MetricStats.of(v) for a, v in net_time.items()},
+        return sweep_result_from_grid(grid, setup, seeds, approaches)
+    results_by_seed = {}
+    for seed in seeds:
+        results_by_seed[seed] = evaluate_setup(
+            setup, approaches=approaches, seed=seed, config=config,
+            cache=cache,
+        )
+    return _aggregate(
+        setup.describe(), seeds, tuple(approaches),
+        lambda seed, name: results_by_seed[seed][name].outcome,
+    )
+
+
+def sweep_result_from_grid(
+    grid, setup: ExperimentSetup, seeds, approaches
+) -> SweepResult:
+    """Aggregate one setup's cells of a grid run into a SweepResult.
+
+    Raises ``RuntimeError`` listing the error records if any cell of the
+    requested (seed × approach) block failed — statistics over a partial
+    grid would be silently wrong.
+    """
+    failures = [
+        c for c in grid.failures() if c.setup_name == setup.name
+    ]
+    if failures:
+        detail = "; ".join(
+            f"seed={c.seed} approach={c.approach}: "
+            f"{(c.error or '').splitlines()[0]}"
+            for c in failures[:5]
+        )
+        raise RuntimeError(
+            f"{len(failures)} sweep cell(s) failed: {detail}"
+        )
+    return _aggregate(
+        setup.describe(), tuple(int(s) for s in seeds), tuple(approaches),
+        lambda seed, name: grid.outcome(setup.name, seed, name),
     )
 
 

@@ -30,7 +30,13 @@ from repro.partition.multilevel import multilevel_kway
 from repro.partition.recursive import recursive_bisection
 from repro.partition.spectral import spectral_partition
 
-__all__ = ["PartitionResult", "part_graph", "ALGORITHMS"]
+__all__ = [
+    "PartitionResult",
+    "part_graph",
+    "resolve_algorithm",
+    "ALGORITHMS",
+    "ALIASES",
+]
 
 
 @dataclass(frozen=True)
@@ -114,16 +120,46 @@ ALGORITHMS: dict[str, Callable] = {
     "greedy-kcluster": _kcluster,
 }
 
+#: Accepted shorthands, resolved case-insensitively by :func:`part_graph`.
+ALIASES: dict[str, str] = {
+    "metis": "multilevel",
+    "kway": "multilevel",
+    "ml": "multilevel",
+    "bisection": "recursive",
+    "rb": "recursive",
+    "hierarchical": "linear",
+    "greedy": "greedy-kcluster",
+    "kcluster": "greedy-kcluster",
+}
+
+
+def resolve_algorithm(algorithm: str) -> str:
+    """Canonical algorithm name for ``algorithm`` (case-insensitive,
+    ``_``/``-`` agnostic, aliases accepted); raises a ValueError listing
+    the valid choices otherwise."""
+    name = str(algorithm).strip().lower().replace("_", "-")
+    name = ALIASES.get(name, name)
+    if name not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; valid algorithms: "
+            f"{', '.join(sorted(ALGORITHMS))} "
+            f"(aliases: {', '.join(sorted(ALIASES))})"
+        )
+    return name
+
 
 def part_graph(
     graph: CSRGraph,
     k: int,
+    *,
     algorithm: str = "multilevel",
     tolerance: float = 1.05,
     seed: int = 0,
     target_fracs: np.ndarray | None = None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``k`` parts.
+
+    Everything after the leading ``(graph, k)`` is keyword-only.
 
     Parameters
     ----------
@@ -135,6 +171,8 @@ def part_graph(
     algorithm:
         One of ``multilevel`` (default, METIS-like), ``recursive``,
         ``spectral``, ``random``, ``linear``, ``greedy-kcluster``.
+        Matched case-insensitively; common aliases (``metis``, ``kway``,
+        ``rb``, ...) are accepted.
     tolerance:
         Multiplicative balance envelope for the quality algorithms.
     seed:
@@ -144,11 +182,7 @@ def part_graph(
         supported by ``multilevel``, ``recursive``, ``random`` and
         ``linear``.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from "
-            f"{sorted(ALGORITHMS)}"
-        )
+    algorithm = resolve_algorithm(algorithm)
     if k < 1:
         raise ValueError("k must be >= 1")
     if target_fracs is not None:

@@ -31,13 +31,34 @@ def _link_cost(link, metric: str) -> float:
     raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
 
 
-def build_routing(net: Network, metric: str = "latency") -> RoutingTables:
+def build_routing(
+    net: Network, metric: str = "latency", *, cache=None
+) -> RoutingTables:
     """Compute all-pairs routes for ``net``.
 
     Returns a :class:`RoutingTables` with the distance matrix (in metric
     units) and the dense next-hop matrix.  Ties are broken deterministically
     by scipy's Dijkstra implementation given the fixed adjacency ordering.
+
+    ``cache`` (an :class:`repro.runtime.cache.ArtifactCache`) keys the
+    tables on the network fingerprint + metric; a hit skips the all-pairs
+    computation entirely.
     """
+    if cache is not None:
+        key_parts = (net.fingerprint(), metric)
+        tables = cache.get_or_compute(
+            "routing", key_parts, lambda: _build_routing(net, metric)
+        )
+        # A disk hit unpickles its own copy of the network; rebind to the
+        # caller's instance so the object graph stays consistent.
+        if tables.net is not net:
+            tables.net = net
+            tables.__post_init__()
+        return tables
+    return _build_routing(net, metric)
+
+
+def _build_routing(net: Network, metric: str) -> RoutingTables:
     n = net.n_nodes
     rows, cols, costs = [], [], []
     for link in net.links:

@@ -1,0 +1,492 @@
+"""Process-pool execution of the (setup × seed × approach) grid.
+
+Each *cell* of the grid is one ``(setup, seed, approach)`` evaluation; the
+executor fans cells out across cores with:
+
+- **deterministic seeding** — a cell's randomness is fully determined by
+  its explicit grid seed, never by scheduling order or worker placement,
+  so a parallel sweep is bit-for-bit identical to the serial one;
+- **graceful failure handling** — a cell that raises, times out, or takes
+  its worker process down produces an error record (:class:`CellResult`
+  with ``error`` set) instead of killing the sweep;
+- **a timeout/retry policy** — per-task soft timeouts (SIGALRM inside the
+  worker) and bounded retries for crashed / timed-out tasks;
+- **observability** — per-cell wall timing, merged cache hit/miss
+  counters, and a progress callback.
+
+Grouping: with ``group="run"`` (default) all approaches of one
+``(setup, seed)`` run in one task so they share the evaluation emulation
+in-process; ``group="cell"`` schedules every approach separately for
+maximum parallelism (worth it once the artifact cache is warm).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.runtime.cache import ArtifactCache, CacheStats
+
+__all__ = [
+    "RuntimeConfig",
+    "CellResult",
+    "GridStats",
+    "GridResult",
+    "run_grid",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the parallel runtime.
+
+    Attributes
+    ----------
+    workers:
+        Worker process count; ``None`` auto-sizes to the task count capped
+        at the CPU count, ``0`` runs everything in-process (the serial
+        reference path — still produces the same :class:`GridResult`).
+    timeout_s:
+        Soft per-task timeout enforced with ``SIGALRM`` inside worker
+        processes (ignored when ``workers == 0``).
+    retries:
+        Additional attempts for a task whose worker crashed or timed out.
+        Deterministic in-task exceptions are *not* retried — they would
+        fail identically again.
+    group:
+        ``"run"`` (one task per ``(setup, seed)``, approaches share the
+        evaluation emulation) or ``"cell"`` (one task per approach).
+    start_method:
+        Multiprocessing start method; default ``fork`` where available.
+    """
+
+    workers: int | None = None
+    timeout_s: float | None = None
+    retries: int = 1
+    group: str = "run"
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.group not in ("run", "cell"):
+            raise ValueError("group must be 'run' or 'cell'")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+@dataclass
+class CellResult:
+    """Outcome record of one grid cell (error records included)."""
+
+    setup_name: str
+    app_name: str
+    seed: int
+    approach: str
+    outcome: object | None = None  # ApproachOutcome on success
+    error: str | None = None
+    duration_s: float = 0.0
+    attempts: int = 1
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class GridStats:
+    """Run observability: timings, failures, cache behaviour."""
+
+    wall_s: float = 0.0
+    n_cells: int = 0
+    n_ok: int = 0
+    n_failed: int = 0
+    n_retries: int = 0
+    cell_seconds: float = 0.0
+    workers: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_ok}/{self.n_cells} cells ok"
+            + (f" ({self.n_failed} failed)" if self.n_failed else "")
+            + f" in {self.wall_s:.1f}s wall / {self.cell_seconds:.1f}s cell "
+            f"time on {self.workers} workers; {self.cache.summary()}"
+        )
+
+
+@dataclass
+class GridResult:
+    """All cell records of one grid execution, in grid order."""
+
+    cells: list[CellResult]
+    stats: GridStats
+
+    def ok(self) -> list[CellResult]:
+        return [c for c in self.cells if c.ok]
+
+    def failures(self) -> list[CellResult]:
+        return [c for c in self.cells if not c.ok]
+
+    def outcome(self, setup_name: str, seed: int, approach: str):
+        for cell in self.cells:
+            if (cell.setup_name, cell.seed, cell.approach) == (
+                setup_name, seed, approach,
+            ):
+                return cell.outcome
+        raise KeyError((setup_name, seed, approach))
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+class _TaskTimeout(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class _Task:
+    task_id: int
+    setup: object  # ExperimentSetup (network stripped for transport)
+    seed: int
+    approaches: tuple[str, ...]
+    config: object  # RunnerConfig | None
+    cache_root: str | None
+    timeout_s: float | None
+
+
+@dataclass
+class _TaskOutcome:
+    task_id: int
+    cells: list[CellResult]
+    cache_stats: CacheStats
+    retryable: bool = False
+
+
+def _execute_task(
+    task: _Task, cache: ArtifactCache | None = None
+) -> _TaskOutcome:
+    """Run one task; never raises (failures become error records)."""
+    from repro.experiments.runner import evaluate_setup
+
+    if cache is None and task.cache_root is not None:
+        cache = ArtifactCache(task.cache_root)
+    pid = os.getpid()
+    start = time.perf_counter()
+
+    old_handler = None
+    if task.timeout_s is not None:
+        def _on_alarm(signum, frame):
+            raise _TaskTimeout(
+                f"cell exceeded {task.timeout_s:.3g}s timeout"
+            )
+
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, task.timeout_s)
+    try:
+        results = evaluate_setup(
+            task.setup,
+            approaches=task.approaches,
+            seed=task.seed,
+            config=task.config,
+            cache=cache,
+        )
+        duration = time.perf_counter() - start
+        cells = [
+            CellResult(
+                setup_name=task.setup.name,
+                app_name=task.setup.app_name,
+                seed=task.seed,
+                approach=name,
+                outcome=results[name].outcome,
+                duration_s=duration,
+                worker_pid=pid,
+            )
+            for name in task.approaches
+        ]
+        retryable = False
+    except BaseException as exc:  # noqa: BLE001 - error record, not crash
+        duration = time.perf_counter() - start
+        tb = traceback.format_exc(limit=8)
+        cells = [
+            CellResult(
+                setup_name=task.setup.name,
+                app_name=task.setup.app_name,
+                seed=task.seed,
+                approach=name,
+                error=f"{type(exc).__name__}: {exc}\n{tb}",
+                duration_s=duration,
+                worker_pid=pid,
+            )
+            for name in task.approaches
+        ]
+        retryable = isinstance(exc, _TaskTimeout)
+    finally:
+        if task.timeout_s is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+    # Report this task's counters; the parent merges them.  When the cache
+    # object is shared (inline mode) the parent reads the live object and
+    # discards this delta instead.
+    delta = cache.stats if cache is not None else CacheStats()
+    return _TaskOutcome(
+        task_id=task.task_id, cells=cells, cache_stats=delta,
+        retryable=retryable,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+def _build_tasks(
+    setups: Sequence,
+    seeds: Sequence[int],
+    approaches: tuple[str, ...],
+    config,
+    cache_root: str | None,
+    runtime: RuntimeConfig,
+) -> list[_Task]:
+    tasks: list[_Task] = []
+    for setup in setups:
+        # Ship a copy without the cached Network: workers rebuild it
+        # deterministically from the factory, and the parent's instance
+        # may be large.
+        light = replace(setup, _network=None)
+        for seed in seeds:
+            if runtime.group == "run":
+                groups: list[tuple[str, ...]] = [tuple(approaches)]
+            else:
+                groups = [(a,) for a in approaches]
+            for group in groups:
+                tasks.append(
+                    _Task(
+                        task_id=len(tasks),
+                        setup=light,
+                        seed=int(seed),
+                        approaches=group,
+                        config=config,
+                        cache_root=cache_root,
+                        timeout_s=runtime.timeout_s,
+                    )
+                )
+    return tasks
+
+
+def _error_outcome(task: _Task, message: str, attempts: int) -> _TaskOutcome:
+    return _TaskOutcome(
+        task_id=task.task_id,
+        cells=[
+            CellResult(
+                setup_name=task.setup.name,
+                app_name=task.setup.app_name,
+                seed=task.seed,
+                approach=name,
+                error=message,
+                attempts=attempts,
+            )
+            for name in task.approaches
+        ],
+        cache_stats=CacheStats(),
+    )
+
+
+def run_grid(
+    setups,
+    seeds: Sequence[int],
+    approaches: tuple[str, ...] = ("top", "place", "profile"),
+    *,
+    config=None,
+    runtime: RuntimeConfig | None = None,
+    cache: ArtifactCache | str | bool | None = None,
+    progress: Callable[[CellResult, int, int], None] | None = None,
+) -> GridResult:
+    """Evaluate the (setup × seed × approach) grid, possibly in parallel.
+
+    Parameters
+    ----------
+    setups:
+        One :class:`~repro.experiments.setups.ExperimentSetup` or a
+        sequence of them.
+    seeds, approaches:
+        The grid axes.  Each cell's randomness is fully determined by its
+        ``seed`` — results are independent of scheduling.
+    config:
+        :class:`~repro.experiments.runner.RunnerConfig` shared by all
+        cells.
+    runtime:
+        :class:`RuntimeConfig`; defaults to auto-sized workers, no
+        timeout, one retry.
+    cache:
+        Artifact cache specification (see
+        :func:`repro.runtime.cache.resolve_cache`).  Worker processes
+        share the *disk* tier; a memory-only cache only helps the
+        in-process path.
+    progress:
+        ``progress(cell_result, done_cells, total_cells)`` called as cells
+        finish (in completion order).
+
+    Returns
+    -------
+    GridResult
+        Cell records in grid order (setup-major, then seed, then
+        approach); failed cells carry ``error`` instead of ``outcome``.
+    """
+    from repro.experiments.setups import ExperimentSetup
+    from repro.runtime.cache import resolve_cache
+
+    if isinstance(setups, ExperimentSetup):
+        setups = [setups]
+    setups = list(setups)
+    seeds = [int(s) for s in seeds]
+    approaches = tuple(approaches)
+    if not setups or not seeds or not approaches:
+        raise ValueError("need at least one setup, seed and approach")
+    runtime = runtime or RuntimeConfig()
+    cache_obj = resolve_cache(cache)
+    cache_root = (
+        str(cache_obj.root)
+        if cache_obj is not None and cache_obj.root is not None
+        else None
+    )
+
+    tasks = _build_tasks(
+        setups, seeds, approaches, config, cache_root, runtime
+    )
+    total_cells = sum(len(t.approaches) for t in tasks)
+    stats = GridStats(n_cells=total_cells)
+    outcomes: dict[int, _TaskOutcome] = {}
+    done_cells = 0
+    start = time.perf_counter()
+
+    def _record(outcome: _TaskOutcome) -> None:
+        nonlocal done_cells
+        outcomes[outcome.task_id] = outcome
+        stats.cache.merge(outcome.cache_stats)
+        for cell in outcome.cells:
+            done_cells += 1
+            stats.cell_seconds += cell.duration_s
+            if cell.ok:
+                stats.n_ok += 1
+            else:
+                stats.n_failed += 1
+            if progress is not None:
+                progress(cell, done_cells, total_cells)
+
+    if runtime.workers == 0:
+        stats.workers = 0
+        for task in tasks:
+            # Inline mode uses the live cache object (memory tier included)
+            # and skips the SIGALRM timeout: we are in the caller's process.
+            inline = replace(task, timeout_s=None, cache_root=None)
+            outcome = _execute_task(inline, cache=cache_obj)
+            outcome.cache_stats = CacheStats()  # counters live in cache_obj
+            _record(outcome)
+        if cache_obj is not None:
+            stats.cache = cache_obj.stats
+    else:
+        n_workers = runtime.workers
+        if n_workers is None:
+            n_workers = max(1, min(len(tasks), os.cpu_count() or 1))
+        stats.workers = n_workers
+        _run_pool(tasks, n_workers, runtime, _record)
+        if cache_obj is not None:
+            # Parent-side counters (e.g. from earlier use) + worker deltas.
+            cache_obj.stats.merge(stats.cache)
+
+    stats.wall_s = time.perf_counter() - start
+    stats.n_retries = sum(
+        max(0, max((c.attempts for c in o.cells), default=1) - 1)
+        for o in outcomes.values()
+    )
+    cells = [
+        cell
+        for task in tasks
+        for cell in outcomes[task.task_id].cells
+    ]
+    return GridResult(cells=cells, stats=stats)
+
+
+def _run_pool(
+    tasks: list[_Task],
+    n_workers: int,
+    runtime: RuntimeConfig,
+    record: Callable[[_TaskOutcome], None],
+) -> None:
+    """Submit tasks to a process pool, surviving worker crashes.
+
+    A crashed worker breaks the whole ``ProcessPoolExecutor``; the loop
+    records which tasks finished, rebuilds the pool, and resubmits the
+    rest (bounded by ``runtime.retries`` per task).
+    """
+    import multiprocessing
+
+    method = runtime.start_method
+    if method is None:
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+    ctx = multiprocessing.get_context(method)
+
+    attempts: dict[int, int] = {t.task_id: 0 for t in tasks}
+    pending: list[_Task] = list(tasks)
+    by_id = {t.task_id: t for t in tasks}
+
+    while pending:
+        round_tasks, pending = pending, []
+        crashed: list[int] = []
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=ctx
+        ) as pool:
+            futures = {}
+            for task in round_tasks:
+                attempts[task.task_id] += 1
+                try:
+                    futures[pool.submit(_execute_task, task)] = task.task_id
+                except BaseException as exc:  # unpicklable payload etc.
+                    record(
+                        _error_outcome(
+                            task,
+                            f"submit failed: {type(exc).__name__}: {exc}",
+                            attempts[task.task_id],
+                        )
+                    )
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    task_id = futures[fut]
+                    try:
+                        outcome = fut.result()
+                    except BrokenProcessPool:
+                        crashed.append(task_id)
+                        continue
+                    except BaseException as exc:  # noqa: BLE001
+                        crashed.append(task_id)
+                        continue
+                    for cell in outcome.cells:
+                        cell.attempts = attempts[task_id]
+                    if outcome.retryable and attempts[task_id] <= runtime.retries:
+                        pending.append(by_id[task_id])
+                    else:
+                        record(outcome)
+        for task_id in crashed:
+            if attempts[task_id] <= runtime.retries:
+                pending.append(by_id[task_id])
+            else:
+                record(
+                    _error_outcome(
+                        by_id[task_id],
+                        "worker process crashed (BrokenProcessPool)",
+                        attempts[task_id],
+                    )
+                )

@@ -1,0 +1,132 @@
+"""Stable structural hashing for cache keys.
+
+:func:`stable_hash` maps an object graph (dataclasses, dicts, sequences,
+numpy arrays, plain attribute objects) to a hex digest that is identical
+across processes and interpreter runs for structurally identical inputs —
+unlike ``hash()``, which is salted per process, and unlike ``pickle``
+bytes, which are not guaranteed canonical.
+
+Objects can opt into an explicit representation by exposing a
+``cache_token()`` method returning primitives (see
+:meth:`repro.topology.network.Network.cache_token`); everything else is
+walked generically.  Unknown objects without ``__dict__`` raise
+``TypeError`` rather than hashing unstably.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+
+import numpy as np
+
+__all__ = ["stable_hash", "CACHE_VERSION"]
+
+#: Bump when cached artifact layouts change incompatibly; part of every key.
+CACHE_VERSION = 1
+
+
+def _feed(h, obj, depth: int = 0) -> None:
+    if depth > 50:
+        raise ValueError("object graph too deep for stable hashing")
+    token = getattr(obj, "cache_token", None)
+    if token is not None and callable(token):
+        h.update(b"T(")
+        _feed(h, token(), depth + 1)
+        h.update(b")")
+        return
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        h.update(b"I" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"F" + repr(obj).encode())
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        h.update(b"S" + str(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, enum.Enum):
+        h.update(b"E" + type(obj).__qualname__.encode())
+        _feed(h, obj.value, depth + 1)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(
+            b"A" + arr.dtype.str.encode() + str(arr.shape).encode()
+        )
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.generic):
+        _feed(h, obj.item(), depth + 1)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L(" if isinstance(obj, list) else b"U(")
+        for item in obj:
+            _feed(h, item, depth + 1)
+            h.update(b",")
+        h.update(b")")
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"Z(")
+        for blob in sorted(stable_hash(item).encode() for item in obj):
+            h.update(blob + b",")
+        h.update(b")")
+    elif isinstance(obj, dict):
+        h.update(b"D(")
+        items = sorted(
+            (stable_hash(k).encode(), k, v) for k, v in obj.items()
+        )
+        for kblob, _, v in items:
+            h.update(kblob + b"=")
+            _feed(h, v, depth + 1)
+            h.update(b",")
+        h.update(b")")
+    elif isinstance(obj, functools.partial):
+        h.update(b"P(")
+        _feed(h, obj.func, depth + 1)
+        _feed(h, list(obj.args), depth + 1)
+        _feed(h, dict(obj.keywords), depth + 1)
+        h.update(b")")
+    elif callable(obj):
+        name = getattr(obj, "__qualname__", type(obj).__qualname__)
+        module = getattr(obj, "__module__", "?")
+        h.update(b"C" + f"{module}:{name}".encode())
+    elif dataclasses.is_dataclass(obj):
+        h.update(b"O" + type(obj).__qualname__.encode() + b"(")
+        for f in dataclasses.fields(obj):
+            h.update(f.name.encode() + b"=")
+            _feed(h, getattr(obj, f.name), depth + 1)
+            h.update(b",")
+        h.update(b")")
+    elif hasattr(obj, "__dict__"):
+        # Generic object: public attributes only (private attributes hold
+        # caches / derived state that must not perturb the key).
+        h.update(b"O" + type(obj).__qualname__.encode() + b"(")
+        for name in sorted(vars(obj)):
+            if name.startswith("_"):
+                continue
+            h.update(name.encode() + b"=")
+            _feed(h, getattr(obj, name), depth + 1)
+            h.update(b",")
+        h.update(b")")
+    else:
+        raise TypeError(
+            f"cannot stably hash {type(obj).__qualname__!r}; give it a "
+            "cache_token() method"
+        )
+
+
+def stable_hash(*objs) -> str:
+    """Hex sha256 of the canonical encoding of ``objs``.
+
+    Identical object structure → identical digest, across processes and
+    runs.  Every key embeds :data:`CACHE_VERSION` so cache layouts can be
+    invalidated wholesale.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_VERSION}|".encode())
+    for obj in objs:
+        _feed(h, obj)
+        h.update(b";")
+    return h.hexdigest()

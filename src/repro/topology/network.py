@@ -33,6 +33,9 @@ class Network:
         self._by_name: dict[str, int] = {}
         # adjacency: node id -> list of (neighbor id, link)
         self._adj: list[list[tuple[int, Link]]] = []
+        # lazily-built derived state, invalidated on mutation
+        self._link_arrays: tuple[np.ndarray, ...] | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -51,6 +54,7 @@ class Network:
             node_id=len(self._nodes), name=name, kind=kind, as_id=as_id,
             site=site,
         )
+        self._fingerprint = None
         self._nodes.append(node)
         self._by_name[name] = node.node_id
         self._adj.append([])
@@ -83,6 +87,8 @@ class Network:
             link_id=len(self._links), u=uid, v=vid,
             bandwidth_bps=float(bandwidth_bps), latency_s=float(latency_s),
         )
+        self._link_arrays = None
+        self._fingerprint = None
         self._links.append(link)
         self._adj[uid].append((vid, link))
         self._adj[vid].append((uid, link))
@@ -158,6 +164,58 @@ class Network:
         return float(
             sum(link.bandwidth_bps for _, link in self._adj[self._resolve(ref)])
         )
+
+    def link_endpoint_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(u, v, latency_s, bandwidth_bps)`` arrays over links, in
+        link-id order.  Built lazily and cached; invalidated by
+        :meth:`add_link`.  The arrays back the vectorized hot paths
+        (lookahead, cut analysis) — do not mutate them in place."""
+        if self._link_arrays is None:
+            m = len(self._links)
+            u = np.empty(m, dtype=np.int64)
+            v = np.empty(m, dtype=np.int64)
+            lat = np.empty(m, dtype=np.float64)
+            bw = np.empty(m, dtype=np.float64)
+            for i, link in enumerate(self._links):
+                u[i] = link.u
+                v[i] = link.v
+                lat[i] = link.latency_s
+                bw[i] = link.bandwidth_bps
+            self._link_arrays = (u, v, lat, bw)
+        return self._link_arrays
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the network's structure.
+
+        Two networks built the same way hash identically across processes
+        and interpreter runs; any :meth:`add_node` / :meth:`add_link`
+        invalidates the cached value.  This is the cache key component the
+        artifact cache (:mod:`repro.runtime.cache`) uses for routing tables
+        and emulation runs.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(self.name.encode("utf-8"))
+            for node in self._nodes:
+                h.update(
+                    f"|n:{node.name}:{node.kind.value}:{node.as_id}:"
+                    f"{node.site}".encode("utf-8")
+                )
+            for link in self._links:
+                h.update(
+                    f"|l:{link.u}:{link.v}:{link.bandwidth_bps!r}:"
+                    f"{link.latency_s!r}".encode("utf-8")
+                )
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def cache_token(self) -> tuple:
+        """Token consumed by :func:`repro.runtime.fingerprint.stable_hash`."""
+        return ("Network", self.fingerprint())
 
     def find_link(self, u: int | str, v: int | str) -> Link | None:
         """Link between two nodes, or None."""

@@ -26,7 +26,7 @@ def test_table1_renders():
 def test_campaign_caches_results(monkeypatch):
     calls = []
 
-    def fake_evaluate(setup, approaches, seed, config):
+    def fake_evaluate(setup, approaches, seed, config, cache=None):
         calls.append(setup.name)
         return {name: object() for name in approaches}
 

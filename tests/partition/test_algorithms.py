@@ -130,3 +130,26 @@ def test_multilevel_property_valid_on_random_graphs(n, k, seed):
     r = part_graph(g, k, algorithm="multilevel", seed=seed)
     assert r.parts.shape == (n,)
     assert r.parts.min() >= 0 and r.parts.max() < k
+
+
+def test_algorithm_aliases_and_case(grid_graph):
+    canonical = part_graph(grid_graph, 3, algorithm="multilevel", seed=2)
+    for alias in ("METIS", "kway", "Multilevel", "MULTILEVEL", " metis "):
+        r = part_graph(grid_graph, 3, algorithm=alias, seed=2)
+        assert r.algorithm == "multilevel"
+        assert np.array_equal(r.parts, canonical.parts)
+    assert part_graph(grid_graph, 3, algorithm="RB", seed=2).algorithm == \
+        "recursive"
+    assert part_graph(grid_graph, 3, algorithm="hierarchical",
+                      seed=2).algorithm == "linear"
+
+
+def test_unknown_algorithm_message_lists_choices(grid_graph):
+    with pytest.raises(ValueError, match="multilevel") as excinfo:
+        part_graph(grid_graph, 2, algorithm="banana")
+    assert "aliases" in str(excinfo.value)
+
+
+def test_part_graph_is_keyword_only(grid_graph):
+    with pytest.raises(TypeError):
+        part_graph(grid_graph, 2, "multilevel")  # noqa: the point

@@ -112,3 +112,59 @@ def test_massf_netflow_summary(tmp_path, capsys):
 def test_massf_netflow_empty_dir(tmp_path, capsys):
     rc = massf_netflow([str(tmp_path)])
     assert rc == 1
+
+
+# --------------------------------------------------------------------- #
+# Unified `massf` entry point
+# --------------------------------------------------------------------- #
+def test_massf_requires_subcommand(capsys):
+    from repro.cli import massf
+
+    with pytest.raises(SystemExit):
+        massf([])
+
+
+def test_massf_map_subcommand(campus_dml, capsys):
+    from repro.cli import massf
+
+    rc = massf(["map", str(campus_dml), "-k", "2"])
+    assert rc == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 61
+
+
+def test_shims_warn_and_delegate(campus_dml, capsys):
+    rc = massf_map([str(campus_dml), "-k", "2"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "deprecated" in captured.err
+    assert "massf map" in captured.err
+    assert len(captured.out.strip().splitlines()) == 61
+
+
+def test_massf_sweep_json(tmp_path, capsys):
+    from repro.cli import massf
+
+    out = tmp_path / "sweep.json"
+    rc = massf([
+        "sweep", "--topology", "campus", "--app", "scalapack",
+        "--intensity", "light", "--approaches", "top",
+        "--seeds", "1,2", "--workers", "0", "--duration", "50",
+        "--cache-dir", str(tmp_path / "cache"),
+        "-o", str(out),
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["seeds"] == [1, 2]
+    assert "top" in payload["metrics"]["imbalance"]
+    assert payload["metrics"]["imbalance"]["top"]["mean"] >= 0.0
+    assert payload["cache"]["misses"] > 0
+    captured = capsys.readouterr()
+    assert "seed=1" in captured.err  # progress lines
+    assert "cache" in captured.err  # stats summary
+
+
+def test_massf_sweep_bad_seeds(capsys):
+    from repro.cli import massf
+
+    with pytest.raises(SystemExit):
+        massf(["sweep", "--seeds", "one,two"])
