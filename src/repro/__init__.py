@@ -26,6 +26,9 @@ The package implements, from scratch:
 
 - :mod:`repro.runtime` — the parallel experiment runtime: a process-pool
   grid executor and a content-addressed artifact cache.
+- :mod:`repro.obs` — structured runtime telemetry (spans / counters /
+  load timelines) threaded through the whole pipeline, with JSON/CSV
+  export and the ``massf stats`` report.
 - :mod:`repro.api` — the facade re-exported here: :func:`load_topology`,
   :func:`build_mapping`, :func:`run_experiment`, :func:`sweep`.
 
@@ -48,6 +51,7 @@ __all__ = [
     "build_mapping",
     "run_experiment",
     "sweep",
+    "Telemetry",
 ]
 
 _API_NAMES = ("load_topology", "build_mapping", "run_experiment", "sweep")
@@ -60,8 +64,12 @@ def __getattr__(name):
         import repro.api as _api
 
         return getattr(_api, name)
+    if name == "Telemetry":
+        from repro.obs import Telemetry
+
+        return Telemetry
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_API_NAMES))
+    return sorted(set(globals()) | set(_API_NAMES) | {"Telemetry"})

@@ -241,6 +241,7 @@ def run_experiment(
     workload_kwargs=None,
     config=None,
     cache=None,
+    telemetry=None,
 ):
     """Run the full profile → map → evaluate pipeline once.
 
@@ -261,6 +262,9 @@ def run_experiment(
         Artifact cache spec — ``True``/``"default"`` for the default disk
         cache, a path, an :class:`~repro.runtime.cache.ArtifactCache`, or
         ``None`` for no caching.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` collecting the run's phase
+        breakdown, counters and load timelines.
 
     Returns
     -------
@@ -275,7 +279,7 @@ def run_experiment(
     )
     return evaluate_setup(
         setup, approaches=tuple(approaches), seed=seed, config=config,
-        cache=resolve_cache(cache),
+        cache=resolve_cache(cache), telemetry=telemetry,
     )
 
 
@@ -294,6 +298,7 @@ def sweep(
     runtime=None,
     cache=None,
     progress=None,
+    telemetry=None,
 ):
     """Sweep :func:`run_experiment` across seeds.
 
@@ -314,6 +319,12 @@ def sweep(
         of re-simulating.
     progress:
         ``progress(cell_result, done, total)`` callback.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  Collects phase spans,
+        executor/cache counters, per-cell records (worker processes
+        included) and per-engine-node load timelines; export the snapshot
+        with :func:`repro.obs.write_json` or render it with
+        :func:`repro.obs.render_report` (``massf stats``).
 
     Returns
     -------
@@ -332,5 +343,5 @@ def sweep(
     return sweep_setup(
         setup, seeds=tuple(seeds), approaches=tuple(approaches),
         config=config, runtime=runtime, cache=resolve_cache(cache),
-        progress=progress,
+        progress=progress, telemetry=telemetry,
     )

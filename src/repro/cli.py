@@ -10,7 +10,11 @@ One console entry point, ``massf``, with four subcommands:
   links, flows).
 - ``massf sweep`` — repeat an experiment across seeds on the parallel
   runtime (worker processes + content-addressed artifact cache) and print
-  mean ± spread statistics.
+  mean ± spread statistics; ``--stats out.json`` additionally records a
+  structured telemetry snapshot (phase spans, executor/cache counters,
+  per-engine-node load timelines).
+- ``massf stats`` — render such a telemetry snapshot as a human-readable
+  report (optionally exporting CSV tables).
 
 The historical per-tool entry points (``massf-map``, ``massf-emulate``,
 ``massf-netflow``) remain as thin deprecation shims.
@@ -289,6 +293,9 @@ def _configure_sweep(parser: argparse.ArgumentParser) -> None:
                         help="disable the artifact cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
+    parser.add_argument("--stats", metavar="PATH",
+                        help="collect runtime telemetry and write the JSON "
+                        "snapshot here (render it with `massf stats`)")
     parser.add_argument("-o", "--output", help="write JSON here")
 
 
@@ -315,6 +322,11 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
         workers=args.workers, timeout_s=args.timeout,
         retries=args.retries, group=args.group,
     )
+    telemetry = None
+    if args.stats:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
 
     def progress(cell, done, total):
         status = "ok" if cell.ok else "FAILED"
@@ -331,14 +343,26 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
             approaches=approaches, intensity=args.intensity,
             duration=args.duration, runtime=runtime, cache=cache,
             progress=None if args.quiet else progress,
+            telemetry=telemetry,
         )
     except RuntimeError as exc:
+        if telemetry is not None:
+            # A partial snapshot is still useful for diagnosing the failure.
+            from repro.obs import write_json
+
+            write_json(telemetry, args.stats)
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
 
     print(result.render())
     if cache is not None:
         print(cache.stats.summary(), file=sys.stderr)
+    if telemetry is not None:
+        from repro.obs import write_json
+
+        write_json(telemetry, args.stats)
+        print(f"telemetry written to {args.stats} "
+              f"(render with `massf stats {args.stats}`)", file=sys.stderr)
 
     if args.output:
         payload = {
@@ -365,6 +389,57 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# massf stats
+# --------------------------------------------------------------------- #
+def _configure_stats(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("snapshot",
+                        help="telemetry JSON written by "
+                        "`massf sweep --stats`")
+    parser.add_argument("--section",
+                        choices=("all", "phases", "counters", "timeline"),
+                        default="all", help="render one section only")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="additionally export spans/counters/series "
+                        "as CSV files under this directory")
+
+
+def _cmd_stats(parser: argparse.ArgumentParser, args) -> int:
+    from repro.obs import load_json, render_report, write_csv_dir
+    from repro.obs.report import phase_breakdown, timeline_report
+    from repro.obs.telemetry import SCHEMA_VERSION
+
+    try:
+        data = load_json(args.snapshot)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.snapshot}: {exc}", file=sys.stderr)
+        return 1
+    schema = data.get("schema")
+    if schema is not None and schema > SCHEMA_VERSION:
+        print(
+            f"warning: snapshot schema v{schema} is newer than this "
+            f"massf (v{SCHEMA_VERSION}); rendering best-effort",
+            file=sys.stderr,
+        )
+
+    if args.section == "phases":
+        print(phase_breakdown(data))
+    elif args.section == "timeline":
+        print(timeline_report(data))
+    elif args.section == "counters":
+        from repro.obs.report import _counter_section
+
+        print(_counter_section(data))
+    else:
+        print(render_report(data))
+
+    if args.csv:
+        written = write_csv_dir(data, args.csv)
+        print(f"wrote {len(written)} CSV files under {args.csv}",
+              file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # Unified entry point + deprecation shims
 # --------------------------------------------------------------------- #
 _SUBCOMMANDS = {
@@ -376,6 +451,8 @@ _SUBCOMMANDS = {
                 "summarize a NetFlow dump directory"),
     "sweep": (_configure_sweep, _cmd_sweep,
               "sweep an experiment across seeds on the parallel runtime"),
+    "stats": (_configure_stats, _cmd_stats,
+              "render a telemetry snapshot (from `sweep --stats`)"),
 }
 
 

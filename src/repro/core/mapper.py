@@ -96,16 +96,25 @@ class Mapper:
         tables: RoutingTables | None = None,
         config: MapperConfig | None = None,
         engine_capacities: np.ndarray | None = None,
+        telemetry=None,
     ) -> None:
         """``engine_capacities`` (shape ``(n_parts,)``) requests an uneven
         weight split for a heterogeneous engine cluster — the extension the
         paper's §5 leaves open ("currently assumes homogeneous physical
-        resources")."""
+        resources").  ``telemetry`` (a
+        :class:`repro.obs.telemetry.Telemetry`) records per-approach
+        ``map/<approach>`` spans and the partitioner's own spans."""
+        from repro.obs.telemetry import ensure_telemetry
+
         if n_parts < 1:
             raise ValueError("n_parts must be >= 1")
         self.net = net
         self.n_parts = n_parts
-        self.tables = tables if tables is not None else build_routing(net)
+        self.telemetry = ensure_telemetry(telemetry)
+        self.tables = (
+            tables if tables is not None
+            else build_routing(net, telemetry=self.telemetry)
+        )
         self.config = config or MapperConfig()
         if engine_capacities is not None:
             caps = np.asarray(engine_capacities, dtype=np.float64)
@@ -130,7 +139,7 @@ class Mapper:
         return part_graph(
             graph, self.n_parts, algorithm=self.config.algorithm,
             tolerance=self.config.tolerance, seed=self.config.seed,
-            target_fracs=self.target_fracs,
+            target_fracs=self.target_fracs, telemetry=self.telemetry,
         )
 
     def _partition_multi_objective(
@@ -156,11 +165,12 @@ class Mapper:
     # ------------------------------------------------------------------ #
     def map_top(self) -> MappingResult:
         """TOP: static topology, latency objective only (§3.1)."""
-        inputs = build_top_inputs(
-            self.net, memory_weight=self.config.memory_weight,
-            memory_mode=self.config.memory_mode,
-        )
-        result = self._partition(inputs.vwgt, inputs.link_weights)
+        with self.telemetry.span("map/top"):
+            inputs = build_top_inputs(
+                self.net, memory_weight=self.config.memory_weight,
+                memory_mode=self.config.memory_mode,
+            )
+            result = self._partition(inputs.vwgt, inputs.link_weights)
         return MappingResult(
             approach="top", parts=result.parts, k=self.n_parts,
             partition=result, diagnostics=dict(inputs.diagnostics),
@@ -173,16 +183,17 @@ class Mapper:
     ) -> MappingResult:
         """PLACE: predicted background + placement-approximated foreground
         traffic, multi-objective partitioning (§3.2)."""
-        inputs = build_place_inputs(
-            self.net, self.tables, background, apps,
-            memory_weight=self.config.memory_weight,
-            memory_mode=self.config.memory_mode,
-            use_representatives=self.config.use_representatives,
-        )
-        result, mo_diag = self._partition_multi_objective(
-            inputs.vwgt, inputs.link_weights_latency,
-            inputs.link_weights_traffic,
-        )
+        with self.telemetry.span("map/place"):
+            inputs = build_place_inputs(
+                self.net, self.tables, background, apps,
+                memory_weight=self.config.memory_weight,
+                memory_mode=self.config.memory_mode,
+                use_representatives=self.config.use_representatives,
+            )
+            result, mo_diag = self._partition_multi_objective(
+                inputs.vwgt, inputs.link_weights_latency,
+                inputs.link_weights_traffic,
+            )
         diag = dict(inputs.diagnostics)
         diag.update(mo_diag)
         return MappingResult(
@@ -196,17 +207,18 @@ class Mapper:
         initial_parts: np.ndarray | None = None,
     ) -> MappingResult:
         """PROFILE: measured NetFlow loads with segment clustering (§3.3)."""
-        inputs = build_profile_inputs(
-            self.net, profile, initial_parts=initial_parts,
-            use_segments=self.config.use_segments,
-            max_segments=self.config.max_segments,
-            memory_weight=self.config.memory_weight,
-            memory_mode=self.config.memory_mode,
-        )
-        result, mo_diag = self._partition_multi_objective(
-            inputs.vwgt, inputs.link_weights_latency,
-            inputs.link_weights_traffic,
-        )
+        with self.telemetry.span("map/profile"):
+            inputs = build_profile_inputs(
+                self.net, profile, initial_parts=initial_parts,
+                use_segments=self.config.use_segments,
+                max_segments=self.config.max_segments,
+                memory_weight=self.config.memory_weight,
+                memory_mode=self.config.memory_mode,
+            )
+            result, mo_diag = self._partition_multi_objective(
+                inputs.vwgt, inputs.link_weights_latency,
+                inputs.link_weights_traffic,
+            )
         diag = dict(inputs.diagnostics)
         diag.update(mo_diag)
         return MappingResult(

@@ -58,6 +58,11 @@ class EmulationKernel:
     queue:
         Explicit queue discipline (e.g. :class:`repro.engine.queues.RED`);
         takes precedence over ``queue_limit_s``.
+    telemetry:
+        Optional :class:`repro.obs.telemetry.Telemetry`; :meth:`run`
+        records a ``kernel/run`` span plus aggregate event / packet / drop
+        counters and queue-depth gauges.  Nothing is recorded per event —
+        the hot loop stays untouched.
     """
 
     def __init__(
@@ -68,13 +73,17 @@ class EmulationKernel:
         collector=None,
         queue_limit_s: Optional[float] = None,
         queue=None,
+        telemetry=None,
     ) -> None:
+        from repro.obs.telemetry import ensure_telemetry
+
         if tables.net is not net:
             raise ValueError("routing tables were built for another network")
         self.net = net
         self.tables = tables
         self.train_packets = int(train_packets)
         self.collector = collector
+        self.telemetry = ensure_telemetry(telemetry)
         if queue is None and queue_limit_s is not None:
             from repro.engine.queues import DropTail
 
@@ -196,12 +205,25 @@ class EmulationKernel:
         if until <= 0:
             raise ValueError("horizon must be positive")
         self._end_time = float(until)
-        while self.queue:
-            if self.queue.peek_time() > self._end_time:
-                break
-            time, callback, args = self.queue.pop()
-            self.now = time
-            callback(self, time, *args)
+        with self.telemetry.span("kernel/run"):
+            while self.queue:
+                if self.queue.peek_time() > self._end_time:
+                    break
+                time, callback, args = self.queue.pop()
+                self.now = time
+                callback(self, time, *args)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("kernel.events", self.queue.processed)
+            tel.count("kernel.trains_forwarded", self.stats.trains_forwarded)
+            tel.count("kernel.trains_dropped", self.stats.trains_dropped)
+            tel.count("kernel.packets_delivered",
+                      self.stats.packets_delivered)
+            tel.count("kernel.transfers", self.stats.transfers_submitted)
+            tel.gauge("kernel.horizon_s", self._end_time)
+            if self.net.n_links:
+                tel.gauge("kernel.max_backlog_s",
+                          float(self.link_max_backlog_s.max()))
         return self.recorder.finish(self._end_time)
 
     @property

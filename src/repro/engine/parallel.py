@@ -99,6 +99,8 @@ def evaluate_mapping(
     cost: CostModel | None = None,
     compute: ComputeProfile | None = None,
     engine_speeds: np.ndarray | None = None,
+    telemetry=None,
+    timeline_label: dict | None = None,
 ) -> EmulationMetrics:
     """Score a mapping: loads, imbalance, and wall-clock times.
 
@@ -116,7 +118,58 @@ def evaluate_mapping(
         Optional relative speed per engine node (heterogeneous cluster);
         an engine node with speed 2 processes events twice as fast.  Loads
         stay in raw packets; wall-clock costs divide by the speed.
+    telemetry:
+        Optional :class:`repro.obs.telemetry.Telemetry`; records an
+        ``evaluate_mapping`` span, lookahead / window / queue gauges, and
+        an ``engine.load`` per-engine-node load timeline (binned packet
+        loads over virtual time — the substrate of the paper's Figure 2/8
+        and of :func:`repro.metrics.imbalance.fine_grained_imbalance`).
+    timeline_label:
+        Labels (setup / seed / approach) attached to the recorded
+        timeline so multi-cell sweeps stay distinguishable.
     """
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
+    with tel.span("evaluate_mapping"):
+        metrics = _evaluate_mapping(
+            trace, net, parts, cost=cost, compute=compute,
+            engine_speeds=engine_speeds,
+        )
+    if tel.enabled:
+        tel.count("engine.evaluations")
+        tel.count("engine.remote_packets", metrics.remote_packets)
+        tel.gauge("engine.lookahead_s", metrics.lookahead
+                  if np.isfinite(metrics.lookahead) else -1.0)
+        tel.gauge("engine.n_windows", metrics.n_windows)
+        tel.gauge("engine.n_active_windows", metrics.n_active_windows)
+        # Per-engine-node load timeline: one bin per conservative window,
+        # re-binned to at most 200 columns so huge traces stay exportable.
+        n_bins = int(min(200, max(1, metrics.n_windows)))
+        interval = trace.duration / n_bins if trace.duration > 0 else 1.0
+        loads_t = np.zeros((metrics.k, n_bins), dtype=np.float64)
+        if trace.n_events:
+            bins = np.minimum(
+                (trace.time / interval).astype(np.int64), n_bins - 1
+            )
+            np.add.at(
+                loads_t,
+                (np.asarray(parts, dtype=np.int64)[trace.node], bins),
+                trace.packets,
+            )
+        tel.timeline("engine.load", loads_t, interval,
+                     **(timeline_label or {}))
+    return metrics
+
+
+def _evaluate_mapping(
+    trace: EventTrace,
+    net: Network,
+    parts: np.ndarray,
+    cost: CostModel | None = None,
+    compute: ComputeProfile | None = None,
+    engine_speeds: np.ndarray | None = None,
+) -> EmulationMetrics:
     cost = cost or CostModel()
     parts = np.asarray(parts, dtype=np.int64)
     if parts.shape != (net.n_nodes,):

@@ -75,14 +75,19 @@ def run_emulation(
     config: RunnerConfig | None = None,
     collect_netflow: bool = False,
     cache=None,
+    telemetry=None,
 ) -> EmulationRun:
     """Execute one emulation of ``workload`` (prepared already).
 
     With a ``cache`` (:class:`repro.runtime.cache.ArtifactCache`), the run
     is content-addressed by (network, routing metric, prepared workload,
     seed, config, netflow flag): a repeated identical call returns the
-    stored artifacts instead of re-simulating, bit-for-bit.
+    stored artifacts instead of re-simulating, bit-for-bit.  ``telemetry``
+    records an ``emulate/{profile-run,eval-run}`` span around the actual
+    simulation (cache hits record nothing) plus the kernel's counters.
     """
+    from repro.obs.telemetry import ensure_telemetry
+
     config = config or RunnerConfig()
     if cache is not None:
         kind = "profile-run" if collect_netflow else "eval-run"
@@ -95,28 +100,34 @@ def run_emulation(
             key_parts,
             lambda: run_emulation(
                 net, tables, workload, seed, config=config,
-                collect_netflow=collect_netflow,
+                collect_netflow=collect_netflow, telemetry=telemetry,
             ),
         )
-    collector = (
-        NetFlowCollector(config.netflow_granularity) if collect_netflow else None
-    )
-    kernel = EmulationKernel(
-        net, tables, train_packets=config.train_packets, collector=collector
-    )
-    rng = np.random.default_rng(seed)
-    workload.install(kernel, rng)
-    trace = kernel.run(until=workload.duration)
-    profile = None
-    if collector is not None:
-        profile = ProfileData.from_run(
-            collector, trace, net, interval=config.profile_interval
+    tel = ensure_telemetry(telemetry)
+    with tel.span(
+        "emulate/profile-run" if collect_netflow else "emulate/eval-run"
+    ):
+        collector = (
+            NetFlowCollector(config.netflow_granularity)
+            if collect_netflow else None
         )
-    return EmulationRun(
-        trace=trace,
-        transfers=TransferTrace.from_kernel(kernel, workload.duration),
-        profile=profile,
-    )
+        kernel = EmulationKernel(
+            net, tables, train_packets=config.train_packets,
+            collector=collector, telemetry=tel,
+        )
+        rng = np.random.default_rng(seed)
+        workload.install(kernel, rng)
+        trace = kernel.run(until=workload.duration)
+        profile = None
+        if collector is not None:
+            profile = ProfileData.from_run(
+                collector, trace, net, interval=config.profile_interval
+            )
+        return EmulationRun(
+            trace=trace,
+            transfers=TransferTrace.from_kernel(kernel, workload.duration),
+            profile=profile,
+        )
 
 
 @dataclass
@@ -135,12 +146,14 @@ def evaluate_setup(
     seed: int = 0,
     config: RunnerConfig | None = None,
     cache=None,
+    telemetry=None,
 ) -> dict[str, ApproachEvaluation]:
     """Run the full pipeline for one setup; returns approach → evaluation."""
     workload = setup.build_workload(seed)
     return evaluate_workload(
         setup.network, workload, setup.n_engine_nodes,
         approaches=approaches, seed=seed, config=config, cache=cache,
+        telemetry=telemetry, setup_name=setup.name,
     )
 
 
@@ -154,6 +167,8 @@ def evaluate_workload(
     config: RunnerConfig | None = None,
     tables: RoutingTables | None = None,
     cache=None,
+    telemetry=None,
+    setup_name: str | None = None,
 ) -> dict[str, ApproachEvaluation]:
     """Run the profiling → mapping → evaluation pipeline for any network +
     workload pair (the spec-file / CLI entry point).
@@ -161,14 +176,24 @@ def evaluate_workload(
     All arguments after the leading ``(net, workload, k)`` are
     keyword-only.  ``cache`` shares routing tables and profiling /
     evaluation emulations across calls (see :mod:`repro.runtime.cache`).
+    ``telemetry`` records the full phase breakdown (routing, mapping per
+    approach, profiling/evaluation emulations, scoring) plus per-approach
+    load timelines; ``setup_name`` labels those timelines.
     """
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
+    label_base = {"setup": setup_name or getattr(net, "name", "?"),
+                  "seed": int(seed)}
     config = config or RunnerConfig()
     if tables is None:
-        tables = build_routing(net, cache=cache)
+        tables = build_routing(net, cache=cache, telemetry=tel)
 
-    workload.prepare(net, np.random.default_rng(seed))
+    with tel.span("workload/prepare"):
+        workload.prepare(net, np.random.default_rng(seed))
 
-    mapper = Mapper(net, n_parts=k, tables=tables, config=config.mapper)
+    mapper = Mapper(net, n_parts=k, tables=tables, config=config.mapper,
+                    telemetry=tel)
     mappings: dict[str, MappingResult] = {}
     compute = workload.compute_profile()
 
@@ -180,7 +205,7 @@ def evaluate_workload(
     if "profile" in approaches:
         profile_run = run_emulation(
             net, tables, workload, seed + PROFILE_SEED_OFFSET,
-            config=config, collect_netflow=True, cache=cache,
+            config=config, collect_netflow=True, cache=cache, telemetry=tel,
         )
         assert profile_run.profile is not None
         # Model selection on the profiling data: §3.3's segment clustering
@@ -193,6 +218,7 @@ def evaluate_workload(
             cand_mapper = Mapper(
                 net, n_parts=k, tables=tables,
                 config=replace(config.mapper, use_segments=use_segments),
+                telemetry=tel,
             )
             cand = cand_mapper.map_profile(
                 profile_run.profile, initial_parts=top_mapping.parts
@@ -209,19 +235,23 @@ def evaluate_workload(
         mappings["profile"] = candidates[0][1]
 
     eval_run = run_emulation(
-        net, tables, workload, seed, config=config, cache=cache
+        net, tables, workload, seed, config=config, cache=cache,
+        telemetry=tel,
     )
 
     results: dict[str, ApproachEvaluation] = {}
     for name in approaches:
         mapping = mappings[name]
-        metrics = evaluate_mapping(
-            eval_run.trace, net, mapping.parts, cost=config.cost,
-            compute=compute,
-        )
-        replay_metrics = evaluate_mapping(
-            eval_run.trace, net, mapping.parts, cost=config.cost, compute=None
-        )
+        with tel.span(f"score/{name}"):
+            metrics = evaluate_mapping(
+                eval_run.trace, net, mapping.parts, cost=config.cost,
+                compute=compute, telemetry=tel,
+                timeline_label={**label_base, "approach": name},
+            )
+            replay_metrics = evaluate_mapping(
+                eval_run.trace, net, mapping.parts, cost=config.cost,
+                compute=None,
+            )
         results[name] = ApproachEvaluation(
             mapping=mapping,
             metrics=metrics,

@@ -108,6 +108,7 @@ def sweep_setup(
     runtime=None,
     cache=None,
     progress=None,
+    telemetry=None,
 ) -> SweepResult:
     """Run ``evaluate_setup`` once per seed and aggregate the metrics.
 
@@ -117,29 +118,78 @@ def sweep_setup(
     bit-for-bit identical to the serial path (deterministic per-cell
     seeding).  ``cache`` shares routing tables and emulation runs across
     cells and across repeated sweeps; ``progress`` is forwarded to the
-    grid executor.
+    grid executor.  ``telemetry``
+    (:class:`repro.obs.telemetry.Telemetry`) collects the sweep's phase
+    breakdown, per-cell records and load timelines; cell completions are
+    additionally mirrored into its ``progress`` event series live, so a
+    monitoring hook sees them as they happen.
     """
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
     if not seeds:
         raise ValueError("need at least one seed")
     seeds = tuple(int(s) for s in seeds)
+    if tel.enabled:
+        user_progress = progress
+
+        def progress(cell, done, total):  # noqa: F811 - deliberate wrap
+            tel.event(
+                "progress", done=done, total=total,
+                setup=cell.setup_name, seed=cell.seed,
+                approach=cell.approach, ok=cell.ok,
+                duration_s=round(cell.duration_s, 6),
+            )
+            if user_progress is not None:
+                user_progress(cell, done, total)
+
     if runtime is not None:
         from repro.runtime.executor import run_grid
 
-        grid = run_grid(
-            setup, seeds, approaches, config=config, runtime=runtime,
-            cache=cache, progress=progress,
-        )
-        return sweep_result_from_grid(grid, setup, seeds, approaches)
+        with tel.span("sweep"):
+            grid = run_grid(
+                setup, seeds, approaches, config=config, runtime=runtime,
+                cache=cache, progress=progress, telemetry=tel,
+            )
+            return sweep_result_from_grid(grid, setup, seeds, approaches)
     results_by_seed = {}
-    for seed in seeds:
-        results_by_seed[seed] = evaluate_setup(
-            setup, approaches=approaches, seed=seed, config=config,
-            cache=cache,
-        )
+    with tel.span("sweep"):
+        for seed in seeds:
+            results_by_seed[seed] = evaluate_setup(
+                setup, approaches=approaches, seed=seed, config=config,
+                cache=cache, telemetry=tel,
+            )
+            if progress is not None:
+                _emit_serial_progress(
+                    progress, setup, seed, seeds, approaches,
+                    results_by_seed[seed],
+                )
     return _aggregate(
         setup.describe(), seeds, tuple(approaches),
         lambda seed, name: results_by_seed[seed][name].outcome,
     )
+
+
+def _emit_serial_progress(
+    progress, setup, seed, seeds, approaches, results
+) -> None:
+    """Synthesize per-cell progress callbacks on the serial path.
+
+    The grid executor reports cells as workers finish; the serial path
+    previously reported nothing.  One :class:`CellResult`-shaped record
+    per approach keeps the callback signature identical on both paths.
+    """
+    from repro.runtime.executor import CellResult
+
+    seed_index = list(seeds).index(seed)
+    total = len(seeds) * len(approaches)
+    for i, name in enumerate(approaches):
+        cell = CellResult(
+            setup_name=setup.name, app_name=setup.app_name,
+            seed=seed, approach=name,
+            outcome=results[name].outcome,
+        )
+        progress(cell, seed_index * len(approaches) + i + 1, total)
 
 
 def sweep_result_from_grid(

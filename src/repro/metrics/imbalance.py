@@ -12,7 +12,12 @@ import numpy as np
 
 from repro.engine.trace import EventTrace
 
-__all__ = ["load_imbalance", "lp_interval_loads", "fine_grained_imbalance"]
+__all__ = [
+    "load_imbalance",
+    "lp_interval_loads",
+    "fine_grained_imbalance",
+    "fine_grained_imbalance_series",
+]
 
 
 def load_imbalance(loads: np.ndarray) -> float:
@@ -64,6 +69,20 @@ def fine_grained_imbalance(
     interval score NaN (no meaningful imbalance to report).
     """
     series = lp_interval_loads(trace, parts, interval)
+    return fine_grained_imbalance_series(
+        series, min_activity_frac=min_activity_frac
+    )
+
+
+def fine_grained_imbalance_series(
+    series: np.ndarray, min_activity_frac: float = 0.0
+) -> np.ndarray:
+    """Per-interval imbalance of an already-binned ``(k, n_bins)`` load
+    matrix — the form telemetry timelines arrive in (see
+    :mod:`repro.obs`)."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise ValueError("series must be a (k, n_bins) matrix")
     totals = series.sum(axis=0)
     means = totals / series.shape[0]
     with np.errstate(invalid="ignore", divide="ignore"):

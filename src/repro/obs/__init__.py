@@ -1,0 +1,43 @@
+"""Runtime observability: structured telemetry for the whole pipeline.
+
+- :mod:`repro.obs.telemetry` — the :class:`~repro.obs.telemetry.Telemetry`
+  collector (spans / counters / gauges / event series / load timelines)
+  with a near-zero-cost disabled default.
+- :mod:`repro.obs.export` — JSON and CSV snapshot export.
+- :mod:`repro.obs.report` — the human-readable ``massf stats`` report.
+
+Typical use::
+
+    from repro.obs import Telemetry
+
+    tel = Telemetry()
+    result = repro.sweep("campus", seeds=(1, 2), telemetry=tel)
+    repro.obs.write_json(tel, "telemetry.json")
+    print(repro.obs.render_report(tel))
+"""
+
+from repro.obs.export import (
+    load_json,
+    to_json,
+    write_csv_dir,
+    write_json,
+)
+from repro.obs.report import render_report
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    SCHEMA_VERSION,
+    Telemetry,
+    ensure_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "SCHEMA_VERSION",
+    "ensure_telemetry",
+    "to_json",
+    "write_json",
+    "load_json",
+    "write_csv_dir",
+    "render_report",
+]

@@ -1,0 +1,114 @@
+"""Telemetry snapshot export: JSON documents and CSV tables.
+
+The JSON document is the snapshot :meth:`repro.obs.telemetry.Telemetry.to_dict`
+produces (schema documented in EXPERIMENTS.md); CSV export flattens the
+spans, counters and any event series into one file each for spreadsheet
+consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "to_json",
+    "write_json",
+    "load_json",
+    "spans_csv",
+    "counters_csv",
+    "series_csv",
+    "write_csv_dir",
+]
+
+
+def _as_dict(telemetry: "Telemetry | dict") -> dict:
+    if isinstance(telemetry, Telemetry):
+        return telemetry.to_dict()
+    return telemetry
+
+
+def to_json(telemetry: "Telemetry | dict", indent: int = 2) -> str:
+    """The telemetry snapshot as a JSON document."""
+    return json.dumps(_as_dict(telemetry), indent=indent, sort_keys=True)
+
+
+def write_json(telemetry: "Telemetry | dict", path) -> None:
+    """Write the JSON snapshot to ``path``."""
+    Path(path).write_text(to_json(telemetry) + "\n", encoding="utf-8")
+
+
+def load_json(path) -> dict:
+    """Load a snapshot written by :func:`write_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def spans_csv(telemetry: "Telemetry | dict") -> str:
+    """Span aggregates as CSV (path, count, total_s, mean_s, min_s, max_s)."""
+    data = _as_dict(telemetry)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["path", "count", "total_s", "mean_s", "min_s", "max_s"])
+    for path in sorted(data.get("spans", {})):
+        agg = data["spans"][path]
+        mean = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+        writer.writerow([
+            path, agg["count"], f"{agg['total_s']:.6f}", f"{mean:.6f}",
+            f"{agg['min_s']:.6f}", f"{agg['max_s']:.6f}",
+        ])
+    return out.getvalue()
+
+
+def counters_csv(telemetry: "Telemetry | dict") -> str:
+    """Counters and gauges as CSV (kind, name, value)."""
+    data = _as_dict(telemetry)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["kind", "name", "value"])
+    for name in sorted(data.get("counters", {})):
+        writer.writerow(["counter", name, data["counters"][name]])
+    for name in sorted(data.get("gauges", {})):
+        writer.writerow(["gauge", name, data["gauges"][name]])
+    return out.getvalue()
+
+
+def series_csv(telemetry: "Telemetry | dict", name: str) -> str:
+    """One event series as CSV; the header is the union of row keys."""
+    data = _as_dict(telemetry)
+    rows = data.get("series", {}).get(name, [])
+    keys: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(keys)
+    for row in rows:
+        writer.writerow([row.get(key, "") for key in keys])
+    return out.getvalue()
+
+
+def write_csv_dir(telemetry: "Telemetry | dict", directory) -> list[Path]:
+    """Write spans/counters plus every series as CSV files under
+    ``directory``; returns the written paths."""
+    data = _as_dict(telemetry)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def _write(stem: str, text: str) -> None:
+        path = directory / f"{stem}.csv"
+        path.write_text(text, encoding="utf-8")
+        written.append(path)
+
+    _write("spans", spans_csv(data))
+    _write("counters", counters_csv(data))
+    for name in sorted(data.get("series", {})):
+        safe = name.replace("/", "_").replace(".", "_")
+        _write(f"series_{safe}", series_csv(data, name))
+    return written

@@ -1,0 +1,184 @@
+"""Human-readable rendering of a telemetry snapshot (``massf stats``).
+
+Turns the JSON document a sweep writes (``massf sweep --stats out.json``)
+into the run report: per-phase span breakdown, executor / cache counters,
+and the per-engine-node load timeline with its fine-grained imbalance
+series (computed by
+:func:`repro.metrics.imbalance.fine_grained_imbalance_series` — the same
+math behind the paper's Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.imbalance import fine_grained_imbalance_series
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["render_report", "phase_breakdown", "timeline_report"]
+
+
+def _as_dict(telemetry: "Telemetry | dict") -> dict:
+    if isinstance(telemetry, Telemetry):
+        return telemetry.to_dict()
+    return telemetry
+
+
+def phase_breakdown(telemetry: "Telemetry | dict") -> str:
+    """Span tree as text: one line per path, indented by depth."""
+    data = _as_dict(telemetry)
+    spans = data.get("spans", {})
+    if not spans:
+        return "no spans recorded"
+    lines = [f"{'phase':<44s} {'calls':>6s} {'total':>9s} {'mean':>9s} "
+             f"{'max':>9s}"]
+    for path in sorted(spans):
+        agg = spans[path]
+        depth = path.count("/")
+        label = "  " * depth + "/".join(path.split("/")[-2:] if depth
+                                        else [path])
+        mean = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+        lines.append(
+            f"{label:<44s} {agg['count']:6d} {agg['total_s']:8.3f}s "
+            f"{mean:8.4f}s {agg['max_s']:8.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def _counter_section(data: dict) -> str:
+    lines = []
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            text = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<42s} {text:>12s}")
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
+        if hits or misses:
+            rate = hits / (hits + misses)
+            lines.append(f"  {'cache hit rate':<42s} {rate:>11.1%}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<42s} {gauges[name]:>12.6g}")
+    return "\n".join(lines) if lines else "no counters recorded"
+
+
+def _sparkline(values: np.ndarray) -> str:
+    """Compact unicode intensity strip for one series."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return ""
+    top = finite.max()
+    if top <= 0:
+        return blocks[0] * len(values)
+    out = []
+    for v in values:
+        if not np.isfinite(v):
+            out.append("·")
+        else:
+            out.append(blocks[int(round(v / top * (len(blocks) - 1)))])
+    return "".join(out)
+
+
+def timeline_report(
+    telemetry: "Telemetry | dict",
+    name: str = "engine.load",
+    max_bins: int = 60,
+) -> str:
+    """Per-engine-node load timelines plus fine-grained imbalance.
+
+    Each recorded timeline (one per evaluated cell) renders as per-engine
+    totals, a sparkline of each engine node's load over virtual time, and
+    the per-interval imbalance series derived from the same matrix.
+    """
+    data = _as_dict(telemetry)
+    entries = data.get("timelines", {}).get(name, [])
+    if not entries:
+        return f"no '{name}' timelines recorded"
+    sections = []
+    for entry in entries:
+        loads = np.asarray(entry.get("loads", []), dtype=np.float64)
+        if loads.ndim != 2 or loads.size == 0:
+            continue
+        interval = float(entry.get("interval", 0.0))
+        labels = {
+            k: v for k, v in entry.items()
+            if k not in ("loads", "interval")
+        }
+        label_text = " ".join(
+            f"{k}={labels[k]}" for k in sorted(labels)
+        ) or name
+        if loads.shape[1] > max_bins:
+            # Re-bin to at most max_bins columns for terminal rendering.
+            factor = -(-loads.shape[1] // max_bins)
+            pad = (-loads.shape[1]) % factor
+            padded = np.pad(loads, ((0, 0), (0, pad)))
+            loads = padded.reshape(loads.shape[0], -1, factor).sum(axis=2)
+            interval *= factor
+        totals = loads.sum(axis=1)
+        lines = [f"{label_text}  (interval {interval:.3g}s, "
+                 f"{loads.shape[1]} bins)"]
+        for i in range(loads.shape[0]):
+            lines.append(
+                f"  engine{i:<3d} {totals[i]:>12.0f} pkts "
+                f"|{_sparkline(loads[i])}|"
+            )
+        imb = fine_grained_imbalance_series(loads)
+        finite = imb[np.isfinite(imb)]
+        mean_text = f"{finite.mean():.3f}" if finite.size else "n/a"
+        lines.append(
+            f"  imbalance  mean={mean_text:>9s} |{_sparkline(imb)}|"
+        )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) if sections else (
+        f"no '{name}' timelines recorded"
+    )
+
+
+def _cells_section(data: dict) -> str:
+    cells = data.get("series", {}).get("cells", [])
+    if not cells:
+        return ""
+    n_ok = sum(1 for c in cells if c.get("ok"))
+    durations = [c.get("duration_s", 0.0) for c in cells]
+    lines = [
+        f"cells: {n_ok}/{len(cells)} ok, "
+        f"{sum(durations):.1f}s total cell time"
+    ]
+    slowest = sorted(cells, key=lambda c: -c.get("duration_s", 0.0))[:5]
+    for cell in slowest:
+        status = "ok" if cell.get("ok") else "FAILED"
+        lines.append(
+            f"  {cell.get('setup', '?')}/{cell.get('app', '?')} "
+            f"seed={cell.get('seed', '?')} "
+            f"{str(cell.get('approach', '?')):8s} {status} "
+            f"{cell.get('duration_s', 0.0):7.2f}s "
+            f"x{cell.get('attempts', 1)}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(telemetry: "Telemetry | dict") -> str:
+    """The full ``massf stats`` report for one snapshot."""
+    data = _as_dict(telemetry)
+    sections = [
+        "== phase breakdown ==",
+        phase_breakdown(data),
+        "",
+        "== counters & gauges ==",
+        _counter_section(data),
+    ]
+    cells = _cells_section(data)
+    if cells:
+        sections += ["", "== grid cells ==", cells]
+    sections += [
+        "",
+        "== per-engine-node load timeline ==",
+        timeline_report(data),
+    ]
+    return "\n".join(sections)

@@ -156,6 +156,7 @@ def part_graph(
     tolerance: float = 1.05,
     seed: int = 0,
     target_fracs: np.ndarray | None = None,
+    telemetry=None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``k`` parts.
 
@@ -181,7 +182,13 @@ def part_graph(
         Optional per-part weight shares (heterogeneous engine capacities);
         supported by ``multilevel``, ``recursive``, ``random`` and
         ``linear``.
+    telemetry:
+        Optional :class:`repro.obs.telemetry.Telemetry`; records a
+        ``partition/<algorithm>`` span plus call/vertex/edge counters.
     """
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
     algorithm = resolve_algorithm(algorithm)
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -192,14 +199,19 @@ def part_graph(
         if np.any(target_fracs <= 0):
             raise ValueError("target fractions must be positive")
         target_fracs = target_fracs / target_fracs.sum()
-    if graph.n == 0:
-        parts = np.zeros(0, dtype=np.int64)
-    elif k == 1:
-        parts = np.zeros(graph.n, dtype=np.int64)
-    else:
-        rng = np.random.default_rng(seed)
-        parts = ALGORITHMS[algorithm](graph, k, tolerance, rng, target_fracs)
+    with tel.span(f"partition/{algorithm}"):
+        if graph.n == 0:
+            parts = np.zeros(0, dtype=np.int64)
+        elif k == 1:
+            parts = np.zeros(graph.n, dtype=np.int64)
+        else:
+            rng = np.random.default_rng(seed)
+            parts = ALGORITHMS[algorithm](
+                graph, k, tolerance, rng, target_fracs
+            )
     parts = np.asarray(parts, dtype=np.int64)
+    tel.count("partition.calls")
+    tel.count("partition.vertices", graph.n)
     return PartitionResult(
         parts=parts,
         k=k,

@@ -32,7 +32,7 @@ def _link_cost(link, metric: str) -> float:
 
 
 def build_routing(
-    net: Network, metric: str = "latency", *, cache=None
+    net: Network, metric: str = "latency", *, cache=None, telemetry=None
 ) -> RoutingTables:
     """Compute all-pairs routes for ``net``.
 
@@ -42,12 +42,14 @@ def build_routing(
 
     ``cache`` (an :class:`repro.runtime.cache.ArtifactCache`) keys the
     tables on the network fingerprint + metric; a hit skips the all-pairs
-    computation entirely.
+    computation entirely.  ``telemetry`` records a ``routing/build`` span
+    (actual builds only — cache hits cost no span) and build counters.
     """
     if cache is not None:
         key_parts = (net.fingerprint(), metric)
         tables = cache.get_or_compute(
-            "routing", key_parts, lambda: _build_routing(net, metric)
+            "routing", key_parts,
+            lambda: _build_routing(net, metric, telemetry=telemetry),
         )
         # A disk hit unpickles its own copy of the network; rebind to the
         # caller's instance so the object graph stays consistent.
@@ -55,10 +57,23 @@ def build_routing(
             tables.net = net
             tables.__post_init__()
         return tables
-    return _build_routing(net, metric)
+    return _build_routing(net, metric, telemetry=telemetry)
 
 
-def _build_routing(net: Network, metric: str) -> RoutingTables:
+def _build_routing(
+    net: Network, metric: str, telemetry=None
+) -> RoutingTables:
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
+    with tel.span("routing/build"):
+        tables = _compute_routing(net, metric)
+    tel.count("routing.builds")
+    tel.count("routing.nodes", net.n_nodes)
+    return tables
+
+
+def _compute_routing(net: Network, metric: str) -> RoutingTables:
     n = net.n_nodes
     rows, cols, costs = [], [], []
     for link in net.links:

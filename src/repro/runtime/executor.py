@@ -26,6 +26,7 @@ import os
 import signal
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -160,6 +161,7 @@ class _Task:
     config: object  # RunnerConfig | None
     cache_root: str | None
     timeout_s: float | None
+    collect_telemetry: bool = False
 
 
 @dataclass
@@ -168,28 +170,56 @@ class _TaskOutcome:
     cells: list[CellResult]
     cache_stats: CacheStats
     retryable: bool = False
+    telemetry: dict | None = None  # Telemetry.to_dict() snapshot
+
+
+def _arm_soft_timeout(timeout_s: float):
+    """Install the SIGALRM soft timeout; returns the previous handler or
+    ``None`` when unavailable.
+
+    ``signal.signal`` only works in the main thread of the main
+    interpreter, and ``SIGALRM``/``setitimer`` do not exist on Windows.
+    In those environments the task degrades gracefully: a warning is
+    emitted and the cell runs without a soft timeout instead of dying on
+    the setup call itself.
+    """
+    def _on_alarm(signum, frame):
+        raise _TaskTimeout(f"cell exceeded {timeout_s:.3g}s timeout")
+
+    try:
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    except (ValueError, OSError, AttributeError) as exc:
+        # ValueError: not the main thread; AttributeError: no SIGALRM /
+        # setitimer on this platform; OSError: itimer rejected.
+        warnings.warn(
+            f"soft timeout unavailable ({type(exc).__name__}: {exc}); "
+            "running the cell without a timeout",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None, False
+    return old_handler, True
 
 
 def _execute_task(
-    task: _Task, cache: ArtifactCache | None = None
+    task: _Task, cache: ArtifactCache | None = None, telemetry=None
 ) -> _TaskOutcome:
     """Run one task; never raises (failures become error records)."""
     from repro.experiments.runner import evaluate_setup
+    from repro.obs.telemetry import Telemetry
 
     if cache is None and task.cache_root is not None:
         cache = ArtifactCache(task.cache_root)
+    if telemetry is None and task.collect_telemetry:
+        telemetry = Telemetry()
     pid = os.getpid()
     start = time.perf_counter()
 
     old_handler = None
+    timer_armed = False
     if task.timeout_s is not None:
-        def _on_alarm(signum, frame):
-            raise _TaskTimeout(
-                f"cell exceeded {task.timeout_s:.3g}s timeout"
-            )
-
-        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, task.timeout_s)
+        old_handler, timer_armed = _arm_soft_timeout(task.timeout_s)
     try:
         results = evaluate_setup(
             task.setup,
@@ -197,6 +227,7 @@ def _execute_task(
             seed=task.seed,
             config=task.config,
             cache=cache,
+            telemetry=telemetry,
         )
         duration = time.perf_counter() - start
         cells = [
@@ -229,7 +260,7 @@ def _execute_task(
         ]
         retryable = isinstance(exc, _TaskTimeout)
     finally:
-        if task.timeout_s is not None:
+        if timer_armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old_handler)
 
@@ -240,6 +271,10 @@ def _execute_task(
     return _TaskOutcome(
         task_id=task.task_id, cells=cells, cache_stats=delta,
         retryable=retryable,
+        telemetry=(
+            telemetry.to_dict()
+            if telemetry is not None and telemetry.enabled else None
+        ),
     )
 
 
@@ -253,6 +288,7 @@ def _build_tasks(
     config,
     cache_root: str | None,
     runtime: RuntimeConfig,
+    collect_telemetry: bool = False,
 ) -> list[_Task]:
     tasks: list[_Task] = []
     for setup in setups:
@@ -275,6 +311,7 @@ def _build_tasks(
                         config=config,
                         cache_root=cache_root,
                         timeout_s=runtime.timeout_s,
+                        collect_telemetry=collect_telemetry,
                     )
                 )
     return tasks
@@ -307,6 +344,7 @@ def run_grid(
     runtime: RuntimeConfig | None = None,
     cache: ArtifactCache | str | bool | None = None,
     progress: Callable[[CellResult, int, int], None] | None = None,
+    telemetry=None,
 ) -> GridResult:
     """Evaluate the (setup × seed × approach) grid, possibly in parallel.
 
@@ -332,6 +370,12 @@ def run_grid(
     progress:
         ``progress(cell_result, done_cells, total_cells)`` called as cells
         finish (in completion order).
+    telemetry:
+        Optional :class:`repro.obs.telemetry.Telemetry`.  When enabled,
+        every task runs with its own collector (worker processes included)
+        whose snapshot merges back here — phase spans, kernel counters and
+        per-cell load timelines from all workers land in one place — plus
+        the grid's own ``cells`` event series and executor counters.
 
     Returns
     -------
@@ -340,8 +384,10 @@ def run_grid(
         approach); failed cells carry ``error`` instead of ``outcome``.
     """
     from repro.experiments.setups import ExperimentSetup
+    from repro.obs.telemetry import ensure_telemetry
     from repro.runtime.cache import resolve_cache
 
+    tel = ensure_telemetry(telemetry)
     if isinstance(setups, ExperimentSetup):
         setups = [setups]
     setups = list(setups)
@@ -358,7 +404,8 @@ def run_grid(
     )
 
     tasks = _build_tasks(
-        setups, seeds, approaches, config, cache_root, runtime
+        setups, seeds, approaches, config, cache_root, runtime,
+        collect_telemetry=tel.enabled,
     )
     total_cells = sum(len(t.approaches) for t in tasks)
     stats = GridStats(n_cells=total_cells)
@@ -370,6 +417,8 @@ def run_grid(
         nonlocal done_cells
         outcomes[outcome.task_id] = outcome
         stats.cache.merge(outcome.cache_stats)
+        if outcome.telemetry is not None:
+            tel.merge(outcome.telemetry)
         for cell in outcome.cells:
             done_cells += 1
             stats.cell_seconds += cell.duration_s
@@ -377,35 +426,64 @@ def run_grid(
                 stats.n_ok += 1
             else:
                 stats.n_failed += 1
+            tel.event(
+                "cells",
+                setup=cell.setup_name, app=cell.app_name, seed=cell.seed,
+                approach=cell.approach, ok=cell.ok,
+                duration_s=round(cell.duration_s, 6),
+                attempts=cell.attempts, worker_pid=cell.worker_pid,
+                **({"error": cell.error.splitlines()[0]}
+                   if cell.error else {}),
+            )
             if progress is not None:
                 progress(cell, done_cells, total_cells)
 
-    if runtime.workers == 0:
-        stats.workers = 0
-        for task in tasks:
-            # Inline mode uses the live cache object (memory tier included)
-            # and skips the SIGALRM timeout: we are in the caller's process.
-            inline = replace(task, timeout_s=None, cache_root=None)
-            outcome = _execute_task(inline, cache=cache_obj)
-            outcome.cache_stats = CacheStats()  # counters live in cache_obj
-            _record(outcome)
-        if cache_obj is not None:
-            stats.cache = cache_obj.stats
-    else:
-        n_workers = runtime.workers
-        if n_workers is None:
-            n_workers = max(1, min(len(tasks), os.cpu_count() or 1))
-        stats.workers = n_workers
-        _run_pool(tasks, n_workers, runtime, _record)
-        if cache_obj is not None:
-            # Parent-side counters (e.g. from earlier use) + worker deltas.
-            cache_obj.stats.merge(stats.cache)
+    with tel.span("grid/run"):
+        if runtime.workers == 0:
+            stats.workers = 0
+            for task in tasks:
+                # Inline mode uses the live cache object (memory tier
+                # included), the caller's live telemetry collector, and
+                # skips the SIGALRM timeout: we are in the caller's process.
+                inline = replace(task, timeout_s=None, cache_root=None,
+                                 collect_telemetry=False)
+                outcome = _execute_task(
+                    inline, cache=cache_obj,
+                    telemetry=tel if tel.enabled else None,
+                )
+                outcome.cache_stats = CacheStats()  # live in cache_obj
+                outcome.telemetry = None  # already in the live collector
+                _record(outcome)
+            if cache_obj is not None:
+                stats.cache = cache_obj.stats
+        else:
+            n_workers = runtime.workers
+            if n_workers is None:
+                n_workers = max(1, min(len(tasks), os.cpu_count() or 1))
+            stats.workers = n_workers
+            _run_pool(tasks, n_workers, runtime, _record)
+            if cache_obj is not None:
+                # Parent-side counters (earlier use) + worker deltas.
+                cache_obj.stats.merge(stats.cache)
 
     stats.wall_s = time.perf_counter() - start
     stats.n_retries = sum(
         max(0, max((c.attempts for c in o.cells), default=1) - 1)
         for o in outcomes.values()
     )
+    if tel.enabled:
+        tel.count("grid.cells", stats.n_cells)
+        tel.count("grid.cells_ok", stats.n_ok)
+        tel.count("grid.cells_failed", stats.n_failed)
+        tel.count("grid.retries", stats.n_retries)
+        tel.gauge("grid.workers", stats.workers)
+        tel.gauge("grid.wall_s", stats.wall_s)
+        tel.count("cache.hits", stats.cache.hits)
+        tel.count("cache.misses", stats.cache.misses)
+        tel.count("cache.stores", stats.cache.stores)
+        for kind, per in sorted(stats.cache.by_kind.items()):
+            tel.count(f"cache.{kind}.hits", per.get("hits", 0))
+            tel.count(f"cache.{kind}.misses", per.get("misses", 0))
     cells = [
         cell
         for task in tasks

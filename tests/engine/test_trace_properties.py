@@ -1,0 +1,144 @@
+"""Property-based EventTrace invariants and trace/evaluation consistency.
+
+Hypothesis draws the shape of a random event log; the recorder must
+produce a valid columnar trace (non-decreasing times, in-range ids), and
+every load accounting downstream of it — ``node_loads``,
+``interval_series``, ``evaluate_mapping``'s per-engine-node loads and the
+telemetry load timeline — must agree with direct recomputation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.parallel import evaluate_mapping
+from repro.engine.trace import DELIVERED, INJECTED, TraceRecorder
+from repro.obs import Telemetry
+from repro.topology.elements import Mbps, ms
+from repro.topology.network import Network
+
+N_NODES = 8
+
+shapes = st.tuples(
+    st.integers(min_value=0, max_value=200),     # n_events
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def random_trace(n_events: int, seed: int, n_nodes: int = N_NODES):
+    """Record ``n_events`` random events in shuffled time order."""
+    rng = np.random.default_rng(seed)
+    rec = TraceRecorder(n_nodes=n_nodes)
+    duration = 10.0
+    for _ in range(n_events):
+        node = int(rng.integers(0, n_nodes))
+        kind = rng.random()
+        if kind < 0.2:
+            nxt = DELIVERED
+        elif kind < 0.3:
+            nxt = INJECTED
+        else:
+            nxt = int(rng.integers(0, n_nodes))
+        rec.record(
+            float(rng.uniform(0.0, duration)), node, nxt,
+            int(rng.integers(1, 20)), int(rng.integers(0, 5)),
+            span=float(rng.uniform(0.0, 0.5)),
+        )
+    return rec.finish(duration=duration)
+
+
+@lru_cache(maxsize=1)
+def line_network() -> Network:
+    """4 routers in a line + 4 hosts — 8 nodes, picklable, module-cached."""
+    net = Network("line")
+    routers = [net.add_router(f"r{i}") for i in range(4)]
+    for a, b in zip(routers, routers[1:]):
+        net.add_link(a, b, Mbps(100), ms(1.0))
+    for i, r in enumerate((routers[0], routers[0], routers[3], routers[3])):
+        host = net.add_host(f"h{i}")
+        net.add_link(host, r, Mbps(10), ms(0.1))
+    net.validate()
+    assert net.n_nodes == N_NODES
+    return net
+
+
+@given(shape=shapes)
+@settings(max_examples=40, deadline=None)
+def test_trace_times_non_decreasing_and_valid(shape):
+    n_events, seed = shape
+    trace = random_trace(n_events, seed)
+    assert trace.n_events == n_events
+    if n_events:
+        assert np.all(np.diff(trace.time) >= 0)
+    trace.validate()  # raises on any columnar invariant violation
+
+
+@given(shape=shapes)
+@settings(max_examples=40, deadline=None)
+def test_node_loads_account_every_packet(shape):
+    n_events, seed = shape
+    trace = random_trace(n_events, seed)
+    loads = trace.node_loads()
+    assert loads.shape == (N_NODES,)
+    assert loads.sum() == trace.total_packets
+    # Direct per-node recomputation.
+    for node in range(N_NODES):
+        assert loads[node] == trace.packets[trace.node == node].sum()
+
+
+@given(shape=shapes)
+@settings(max_examples=40, deadline=None)
+def test_interval_series_marginals_match_node_loads(shape):
+    n_events, seed = shape
+    trace = random_trace(n_events, seed)
+    series = trace.interval_series(0.75)
+    assert np.allclose(series.sum(axis=1), trace.node_loads())
+    assert series.sum() == trace.total_packets
+
+
+@given(
+    shape=shapes,
+    k=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_evaluate_mapping_loads_match_trace(shape, k):
+    """Per-engine loads are exactly the mapped sums of per-node loads."""
+    n_events, seed = shape
+    trace = random_trace(n_events, seed)
+    net = line_network()
+    rng = np.random.default_rng(seed + 1)
+    # Every engine node gets at least one network node (k <= 4 <= 8).
+    parts = np.concatenate([
+        np.arange(k), rng.integers(0, k, size=N_NODES - k),
+    ])
+    rng.shuffle(parts)
+    metrics = evaluate_mapping(trace, net, parts)
+    node_loads = trace.node_loads()
+    assert metrics.k == k
+    assert metrics.total_packets == trace.total_packets
+    assert metrics.total_events == trace.n_events
+    for p in range(k):
+        assert metrics.loads[p] == node_loads[parts == p].sum()
+    assert metrics.loads.sum() == trace.total_packets
+
+
+@given(shape=shapes)
+@settings(max_examples=15, deadline=None)
+def test_telemetry_timeline_matches_evaluated_loads(shape):
+    """The recorded load timeline re-aggregates to the reported loads."""
+    n_events, seed = shape
+    trace = random_trace(n_events, seed)
+    net = line_network()
+    parts = np.arange(N_NODES) % 2
+    tel = Telemetry()
+    metrics = evaluate_mapping(trace, net, parts, telemetry=tel,
+                               timeline_label={"seed": seed})
+    (entry,) = tel.timelines["engine.load"]
+    loads_t = np.asarray(entry["loads"])
+    assert loads_t.shape[0] == metrics.k
+    assert entry["seed"] == seed
+    assert np.allclose(loads_t.sum(axis=1), metrics.loads)

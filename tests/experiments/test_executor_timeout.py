@@ -1,0 +1,135 @@
+"""Regression tests for the soft-timeout (SIGALRM) guard.
+
+``signal.signal`` only works in the main thread of the main interpreter,
+and SIGALRM does not exist everywhere.  A task with ``timeout_s`` set used
+to die on the ``signal.signal`` call itself when executed from a
+non-main thread (e.g. an embedding application driving the executor from
+a thread pool); now it warns and runs the cell without a soft timeout.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import warnings
+
+import pytest
+
+from repro.experiments.setups import ExperimentSetup, campus_setup
+from repro.runtime.executor import _arm_soft_timeout, _execute_task, _Task
+
+
+def small_campus() -> ExperimentSetup:
+    return campus_setup(
+        "scalapack", intensity="light",
+        workload_kwargs=dict(duration=50.0, http_servers=2,
+                             clients_per_server=2),
+    )
+
+
+def make_task(timeout_s) -> _Task:
+    return _Task(
+        task_id=0, setup=small_campus(), seed=1, approaches=("top",),
+        config=None, cache_root=None, timeout_s=timeout_s,
+    )
+
+
+def test_arm_soft_timeout_works_in_main_thread():
+    old, armed = _arm_soft_timeout(30.0)
+    try:
+        assert armed
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def test_arm_soft_timeout_degrades_off_main_thread():
+    result = {}
+
+    def worker():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result["value"] = _arm_soft_timeout(30.0)
+            result["warnings"] = list(caught)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert result["value"] == (None, False)
+    (warning,) = result["warnings"]
+    assert issubclass(warning.category, RuntimeWarning)
+    assert "soft timeout unavailable" in str(warning.message)
+
+
+def test_execute_task_with_timeout_off_main_thread():
+    """The full regression: a timed task run from a thread completes."""
+    result = {}
+
+    def worker():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result["outcome"] = _execute_task(make_task(timeout_s=600.0))
+            result["warnings"] = list(caught)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+
+    outcome = result["outcome"]
+    (cell,) = outcome.cells
+    assert cell.ok, cell.error
+    assert any(
+        issubclass(w.category, RuntimeWarning)
+        and "soft timeout unavailable" in str(w.message)
+        for w in result["warnings"]
+    )
+
+
+def test_execute_task_without_timeout_emits_no_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        outcome = _execute_task(make_task(timeout_s=None))
+    (cell,) = outcome.cells
+    assert cell.ok, cell.error
+    assert not [
+        w for w in caught
+        if "soft timeout" in str(w.message)
+    ]
+
+
+def test_timeout_still_fires_in_main_thread():
+    """The guard must not disable the working SIGALRM path."""
+    task = make_task(timeout_s=1e-3)
+    outcome = _execute_task(task)
+    (cell,) = outcome.cells
+    assert not cell.ok
+    assert "timeout" in cell.error.lower()
+    assert outcome.retryable
+    # The alarm is disarmed and the previous handler restored.
+    assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+@pytest.mark.parametrize("timeout_s", [None, 600.0])
+def test_threaded_and_main_results_match(timeout_s):
+    """Degraded mode changes nothing about the computed outcome."""
+    import dataclasses
+    import pickle
+
+    main_outcome = _execute_task(make_task(timeout_s=None))
+    result = {}
+
+    def worker():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result["outcome"] = _execute_task(make_task(timeout_s=timeout_s))
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    ours = result["outcome"].cells[0].outcome
+    ref = main_outcome.cells[0].outcome
+    # Per-field pickled bytes: whole-object pickles are not byte-stable.
+    for f in dataclasses.fields(ref):
+        assert pickle.dumps(getattr(ours, f.name)) == pickle.dumps(
+            getattr(ref, f.name)
+        ), f.name

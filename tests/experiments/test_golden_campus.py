@@ -1,0 +1,131 @@
+"""Golden regression test: fixed-seed Campus TOP-vs-PLACE mini-sweep.
+
+The checked-in snapshot (``data/golden_campus_sweep.json``) pins every
+§4.1.1 outcome field of a deterministic two-approach campus run.  Any
+change to partitioning, routing, traffic generation, the kernel, or the
+evaluation math shows up as a numeric diff here — long before it is
+visible in aggregate orderings.
+
+Regenerate deliberately after an intended behaviour change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_campus.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import evaluate_setup
+from repro.experiments.setups import ExperimentSetup, campus_setup
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_campus_sweep.json"
+SEED = 1
+APPROACHES = ("top", "place")
+REL_TOL = 1e-6
+
+
+def small_campus() -> ExperimentSetup:
+    return campus_setup(
+        "scalapack", intensity="light",
+        workload_kwargs=dict(duration=50.0, http_servers=2,
+                             clients_per_server=2),
+    )
+
+
+def snapshot_of(results) -> dict:
+    """JSON-friendly projection of every outcome field per approach."""
+    out = {}
+    for name in APPROACHES:
+        ev = results[name]
+        o = ev.outcome
+        out[name] = {
+            "approach": o.approach,
+            "load_imbalance": o.load_imbalance,
+            "app_emulation_time": o.app_emulation_time,
+            "network_emulation_time": o.network_emulation_time,
+            "edge_cut": o.edge_cut,
+            "remote_packets": int(o.remote_packets),
+            "lookahead": o.lookahead,
+            "diagnostics": {
+                k: (float(v) if isinstance(v, (int, float, np.floating))
+                    else v)
+                for k, v in sorted(o.diagnostics.items())
+            },
+            "engine_loads": [float(v) for v in ev.metrics.loads],
+            "mapping_weighted_cut": float(ev.mapping.partition.weighted_cut),
+            "mapping_parts": [int(p) for p in ev.mapping.parts],
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    return snapshot_of(
+        evaluate_setup(small_campus(), approaches=APPROACHES, seed=SEED)
+    )
+
+
+def _compare(path: str, golden, ours) -> list[str]:
+    """Recursive field-by-field diff; returns human-readable mismatches."""
+    diffs: list[str] = []
+    if isinstance(golden, dict):
+        if set(golden) != set(ours):
+            diffs.append(
+                f"{path}: keys {sorted(golden)} != {sorted(ours)}"
+            )
+            return diffs
+        for key in golden:
+            diffs += _compare(f"{path}.{key}", golden[key], ours[key])
+    elif isinstance(golden, list):
+        if len(golden) != len(ours):
+            diffs.append(f"{path}: length {len(golden)} != {len(ours)}")
+            return diffs
+        for i, (g, o) in enumerate(zip(golden, ours)):
+            diffs += _compare(f"{path}[{i}]", g, o)
+    elif isinstance(golden, float):
+        if ours != pytest.approx(golden, rel=REL_TOL, abs=1e-12):
+            diffs.append(f"{path}: {golden!r} != {ours!r}")
+    elif golden != ours:
+        diffs.append(f"{path}: {golden!r} != {ours!r}")
+    return diffs
+
+
+def test_golden_snapshot_matches(current):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden snapshot missing; regenerate with REPRO_REGEN_GOLDEN=1 "
+        f"({GOLDEN_PATH})"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    diffs = _compare("snapshot", golden, current)
+    assert not diffs, "golden mismatch:\n" + "\n".join(diffs[:20])
+
+
+def test_golden_covers_expected_fields(current):
+    for name in APPROACHES:
+        entry = current[name]
+        assert entry["approach"] == name
+        assert entry["load_imbalance"] >= 0.0
+        assert entry["app_emulation_time"] > 0.0
+        assert len(entry["engine_loads"]) == 3  # campus: 3 engine nodes
+        assert entry["mapping_parts"], "mapping assignment missing"
+
+
+def test_rerun_is_deterministic(current):
+    """The pipeline itself is reproducible — the premise of a golden test."""
+    again = snapshot_of(
+        evaluate_setup(small_campus(), approaches=APPROACHES, seed=SEED)
+    )
+    assert _compare("snapshot", current, again) == []

@@ -1,0 +1,74 @@
+"""JSON / CSV export round-trips for telemetry snapshots."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs import Telemetry, load_json, to_json, write_csv_dir, write_json
+from repro.obs.export import counters_csv, series_csv, spans_csv
+
+
+@pytest.fixture()
+def tel() -> Telemetry:
+    t = Telemetry()
+    t.spans["sweep"] = {"count": 2, "total_s": 3.0, "min_s": 1.0,
+                        "max_s": 2.0}
+    t.spans["sweep/cell"] = {"count": 4, "total_s": 2.0, "min_s": 0.25,
+                             "max_s": 1.0}
+    t.count("cache.hits", 7)
+    t.gauge("grid.workers", 4)
+    t.event("cells", seed=1, approach="top", ok=True)
+    t.event("cells", seed=1, approach="place", ok=True, error="x")
+    t.timeline("engine.load", [[1.0, 2.0]], interval=0.5, seed=1)
+    return t
+
+
+def test_json_round_trip(tel, tmp_path):
+    path = tmp_path / "tel.json"
+    write_json(tel, path)
+    assert load_json(path) == tel.to_dict()
+
+
+def test_to_json_is_deterministic(tel):
+    assert to_json(tel) == to_json(tel.to_dict())
+    # sort_keys makes the document stable for golden-file comparison.
+    doc = json.loads(to_json(tel))
+    assert list(doc) == sorted(doc)
+
+
+def test_spans_csv_rows(tel):
+    rows = list(csv.DictReader(io.StringIO(spans_csv(tel))))
+    assert [r["path"] for r in rows] == ["sweep", "sweep/cell"]
+    assert rows[0]["count"] == "2"
+    assert float(rows[0]["mean_s"]) == pytest.approx(1.5)
+
+
+def test_counters_csv_rows(tel):
+    rows = list(csv.DictReader(io.StringIO(counters_csv(tel))))
+    kinds = {(r["kind"], r["name"]): r["value"] for r in rows}
+    assert kinds[("counter", "cache.hits")] == "7"
+    assert kinds[("gauge", "grid.workers")] == "4.0"
+
+
+def test_series_csv_union_header(tel):
+    rows = list(csv.DictReader(io.StringIO(series_csv(tel, "cells"))))
+    # Header is the union of row keys; missing fields render empty.
+    assert set(rows[0]) == {"seed", "approach", "ok", "error"}
+    assert rows[0]["error"] == ""
+    assert rows[1]["error"] == "x"
+
+
+def test_series_csv_unknown_name_is_empty(tel):
+    assert series_csv(tel, "nope").strip() == ""
+
+
+def test_write_csv_dir(tel, tmp_path):
+    written = write_csv_dir(tel, tmp_path / "csv")
+    names = sorted(p.name for p in written)
+    assert names == ["counters.csv", "series_cells.csv", "spans.csv"]
+    for path in written:
+        assert path.read_text(encoding="utf-8").strip()

@@ -1,0 +1,82 @@
+"""Rendering tests for the ``massf stats`` report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Telemetry, render_report
+from repro.obs.report import phase_breakdown, timeline_report
+
+
+def make_snapshot() -> dict:
+    tel = Telemetry()
+    tel.spans["sweep"] = {"count": 1, "total_s": 4.0, "min_s": 4.0,
+                          "max_s": 4.0}
+    tel.spans["sweep/grid/run"] = {"count": 1, "total_s": 3.5,
+                                   "min_s": 3.5, "max_s": 3.5}
+    tel.count("cache.hits", 3)
+    tel.count("cache.misses", 1)
+    tel.gauge("engine.lookahead_s", 0.02)
+    tel.event("cells", setup="campus", app="scalapack", seed=1,
+              approach="top", ok=True, duration_s=1.25, attempts=1,
+              worker_pid=0)
+    tel.event("cells", setup="campus", app="scalapack", seed=1,
+              approach="place", ok=False, duration_s=0.5, attempts=2,
+              worker_pid=0, error="RuntimeError: boom")
+    loads = np.array([[10.0, 0.0, 5.0], [5.0, 5.0, 5.0]])
+    tel.timeline("engine.load", loads, interval=1.0,
+                 setup="campus", seed=1, approach="top")
+    return tel.to_dict()
+
+
+def test_phase_breakdown_indents_by_depth():
+    text = phase_breakdown(make_snapshot())
+    lines = text.splitlines()
+    assert any(line.startswith("sweep ") for line in lines)
+    # Nested path: indented, labelled with its two last segments.
+    assert any("    grid/run" in line for line in lines)
+
+
+def test_phase_breakdown_empty():
+    assert "no spans" in phase_breakdown({})
+
+
+def test_timeline_report_shows_engines_and_imbalance():
+    text = timeline_report(make_snapshot())
+    assert "setup=campus" in text and "approach=top" in text
+    assert "engine0" in text and "engine1" in text
+    assert "imbalance" in text
+    # engine0 total = 15 pkts, engine1 total = 15 pkts
+    assert text.count("15 pkts") == 2
+
+
+def test_timeline_report_rebins_long_series():
+    tel = Telemetry()
+    tel.timeline("engine.load", np.ones((2, 200)), interval=0.1, seed=1)
+    text = timeline_report(tel, max_bins=60)
+    assert "50 bins" in text  # 200 bins / factor 4
+    assert "0.4s" in text  # interval scaled by the re-bin factor
+
+
+def test_timeline_report_missing():
+    assert "no 'engine.load' timelines" in timeline_report({})
+
+
+def test_render_report_sections():
+    text = render_report(make_snapshot())
+    assert "== phase breakdown ==" in text
+    assert "== counters & gauges ==" in text
+    assert "== grid cells ==" in text
+    assert "== per-engine-node load timeline ==" in text
+    assert "cache hit rate" in text
+    assert "75.0%" in text
+    assert "1/2 ok" in text
+    assert "FAILED" in text
+
+
+def test_render_report_accepts_live_telemetry():
+    tel = Telemetry()
+    with tel.span("solo"):
+        pass
+    assert "solo" in render_report(tel)

@@ -1,0 +1,254 @@
+"""Unit tests for the telemetry collector itself.
+
+Span timings use an injected fake clock so aggregation is asserted
+exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import NULL_TELEMETRY, SCHEMA_VERSION, Telemetry, ensure_telemetry
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture()
+def tel(clock: FakeClock) -> Telemetry:
+    return Telemetry(clock=clock)
+
+
+# --------------------------------------------------------------------- #
+# Spans
+# --------------------------------------------------------------------- #
+def test_span_records_elapsed(tel, clock):
+    with tel.span("phase"):
+        clock.now += 2.5
+    assert tel.spans["phase"] == {
+        "count": 1, "total_s": 2.5, "min_s": 2.5, "max_s": 2.5,
+    }
+
+
+def test_span_aggregates_per_path(tel, clock):
+    for elapsed in (1.0, 3.0, 2.0):
+        with tel.span("phase"):
+            clock.now += elapsed
+    agg = tel.spans["phase"]
+    assert agg["count"] == 3
+    assert agg["total_s"] == pytest.approx(6.0)
+    assert agg["min_s"] == 1.0
+    assert agg["max_s"] == 3.0
+
+
+def test_span_nesting_builds_paths(tel, clock):
+    with tel.span("sweep"):
+        with tel.span("cell"):
+            with tel.span("routing"):
+                clock.now += 1.0
+            clock.now += 1.0
+        clock.now += 1.0
+    assert set(tel.spans) == {"sweep", "sweep/cell", "sweep/cell/routing"}
+    assert tel.spans["sweep/cell/routing"]["total_s"] == pytest.approx(1.0)
+    assert tel.spans["sweep/cell"]["total_s"] == pytest.approx(2.0)
+    assert tel.spans["sweep"]["total_s"] == pytest.approx(3.0)
+    # The span stack unwinds completely.
+    assert tel._stack == []
+
+
+def test_span_stack_unwinds_on_exception(tel, clock):
+    with pytest.raises(RuntimeError):
+        with tel.span("outer"):
+            with tel.span("inner"):
+                raise RuntimeError("boom")
+    assert tel._stack == []
+    assert set(tel.spans) == {"outer", "outer/inner"}
+
+
+def test_sibling_spans_share_prefix(tel, clock):
+    with tel.span("map"):
+        with tel.span("top"):
+            clock.now += 1.0
+        with tel.span("place"):
+            clock.now += 2.0
+    assert tel.spans["map/top"]["total_s"] == pytest.approx(1.0)
+    assert tel.spans["map/place"]["total_s"] == pytest.approx(2.0)
+
+
+def test_span_paths_sorted(tel, clock):
+    for name in ("b", "a", "c"):
+        with tel.span(name):
+            pass
+    assert list(tel.span_paths()) == ["a", "b", "c"]
+
+
+# --------------------------------------------------------------------- #
+# Counters / gauges / events / timelines
+# --------------------------------------------------------------------- #
+def test_counters_accumulate(tel):
+    tel.count("hits")
+    tel.count("hits", 4)
+    assert tel.counters["hits"] == 5
+
+
+def test_gauges_keep_latest(tel):
+    tel.gauge("depth", 3)
+    tel.gauge("depth", 7)
+    assert tel.gauges["depth"] == 7.0
+
+
+def test_events_append_in_order(tel):
+    tel.event("cells", seed=1, ok=True)
+    tel.event("cells", seed=2, ok=False)
+    assert tel.series["cells"] == [
+        {"seed": 1, "ok": True},
+        {"seed": 2, "ok": False},
+    ]
+
+
+def test_event_coerces_numpy_scalars(tel):
+    tel.event("cells", seed=np.int64(3), value=np.float32(0.5))
+    row = tel.series["cells"][0]
+    assert type(row["seed"]) is int
+    assert type(row["value"]) is float
+
+
+def test_timeline_stores_matrix_and_labels(tel):
+    loads = np.arange(6, dtype=np.float64).reshape(2, 3)
+    tel.timeline("engine.load", loads, interval=0.5, setup="campus", seed=1)
+    (entry,) = tel.timelines["engine.load"]
+    assert entry["interval"] == 0.5
+    assert entry["loads"] == [[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]]
+    assert entry["setup"] == "campus" and entry["seed"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Disabled collector
+# --------------------------------------------------------------------- #
+def test_null_telemetry_records_nothing():
+    with NULL_TELEMETRY.span("phase"):
+        pass
+    NULL_TELEMETRY.count("c")
+    NULL_TELEMETRY.gauge("g", 1.0)
+    NULL_TELEMETRY.event("s", a=1)
+    NULL_TELEMETRY.timeline("t", [[1.0]], interval=1.0)
+    NULL_TELEMETRY.merge(Telemetry())
+    assert not NULL_TELEMETRY.spans
+    assert not NULL_TELEMETRY.counters
+    assert not NULL_TELEMETRY.gauges
+    assert not NULL_TELEMETRY.series
+    assert not NULL_TELEMETRY.timelines
+
+
+def test_disabled_span_is_shared_singleton():
+    disabled = Telemetry(enabled=False)
+    assert disabled.span("a") is disabled.span("b")
+
+
+def test_bool_reflects_enabled():
+    assert Telemetry()
+    assert not NULL_TELEMETRY
+
+
+def test_ensure_telemetry():
+    assert ensure_telemetry(None) is NULL_TELEMETRY
+    live = Telemetry()
+    assert ensure_telemetry(live) is live
+
+
+# --------------------------------------------------------------------- #
+# Snapshot / merge
+# --------------------------------------------------------------------- #
+def _populated(clock=None) -> Telemetry:
+    tel = Telemetry(clock=clock or FakeClock())
+    with tel.span("run"):
+        tel._clock.now += 1.0
+        with tel.span("inner"):
+            tel._clock.now += 0.5
+    tel.count("packets", 10)
+    tel.gauge("lookahead", 0.25)
+    tel.event("cells", seed=1, ok=True)
+    tel.timeline("engine.load", [[1.0, 2.0]], interval=0.5, seed=1)
+    return tel
+
+
+def test_to_dict_is_json_serializable():
+    data = _populated().to_dict()
+    assert data["schema"] == SCHEMA_VERSION
+    json.dumps(data)  # raises if anything non-serializable slipped in
+
+
+def test_to_dict_snapshot_is_detached():
+    tel = _populated()
+    data = tel.to_dict()
+    tel.count("packets", 5)
+    with tel.span("run"):
+        pass
+    assert data["counters"]["packets"] == 10
+    assert data["spans"]["run"]["count"] == 1
+
+
+def test_from_dict_round_trip():
+    tel = _populated()
+    clone = Telemetry.from_dict(tel.to_dict())
+    assert clone.to_dict() == tel.to_dict()
+
+
+def test_snapshot_pickles():
+    data = _populated().to_dict()
+    assert pickle.loads(pickle.dumps(data)) == data
+
+
+def test_merge_aggregates_spans_and_counters():
+    a, b = _populated(), _populated()
+    b.spans["run"]["max_s"] = 9.0
+    b.spans["run"]["min_s"] = 0.1
+    a.merge(b)
+    assert a.spans["run"]["count"] == 2
+    assert a.spans["run"]["total_s"] == pytest.approx(3.0)
+    assert a.spans["run"]["min_s"] == 0.1
+    assert a.spans["run"]["max_s"] == 9.0
+    assert a.counters["packets"] == 20
+    assert len(a.series["cells"]) == 2
+    assert len(a.timelines["engine.load"]) == 2
+
+
+def test_merge_accepts_dict_snapshot():
+    a = _populated()
+    a.merge(_populated().to_dict())
+    assert a.counters["packets"] == 20
+
+
+def test_merge_new_paths_copy_not_alias():
+    a = Telemetry()
+    b = _populated()
+    snapshot = b.to_dict()
+    a.merge(snapshot)
+    a.merge(snapshot)  # second merge must not double via aliasing
+    assert a.spans["run"]["count"] == 2
+    snapshot["spans"]["run"]["count"] = 99
+    assert a.spans["run"]["count"] == 2
+
+
+def test_merge_empty_is_noop():
+    a = _populated()
+    before = a.to_dict()
+    a.merge({})
+    a.merge(Telemetry())
+    assert a.to_dict() == before

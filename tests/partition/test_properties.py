@@ -1,0 +1,145 @@
+"""Property-based partition invariants over random CSR graphs.
+
+Hypothesis draws the shape (n, k, seed); the graph itself is generated
+with a numpy RNG from the drawn seed (the idiom of the existing
+multilevel property test) — a ring keeps it connected, extra random
+edges and weights vary the structure.  Every registered algorithm must
+produce a complete in-range assignment whose reported diagnostics
+(edge cut, weighted cut, part weights, imbalance) match brute-force
+recomputation from the assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.api import ALGORITHMS, part_graph
+from repro.partition.csr import CSRGraph
+from repro.partition.metrics import max_imbalance
+
+ALL = tuple(sorted(ALGORITHMS))
+#: Algorithms that accept and honour the balance tolerance.
+TOLERANCE_AWARE = ("multilevel", "recursive", "spectral")
+
+shapes = st.tuples(
+    st.integers(min_value=8, max_value=40),   # n
+    st.integers(min_value=2, max_value=4),    # k
+    st.integers(min_value=0, max_value=10_000),  # graph/algorithm seed
+)
+
+
+def random_graph(n: int, seed: int, weighted: bool = True) -> CSRGraph:
+    """Connected random graph: ring + n/2 random chords."""
+    rng = np.random.default_rng(seed)
+    edges = {(i, (i + 1) % n): 1.0 for i in range(n)}
+    for a, b in rng.integers(0, n, size=(n // 2, 2)):
+        a, b = int(min(a, b)), int(max(a, b))
+        if a != b:
+            edges[(a, b)] = float(rng.uniform(0.5, 3.0)) if weighted else 1.0
+    vwgt = rng.uniform(1.0, 3.0, size=n) if weighted else np.ones(n)
+    return CSRGraph.from_edges(
+        n, [(u, v, w) for (u, v), w in edges.items()], vwgt=vwgt,
+    )
+
+
+def brute_force_cuts(graph: CSRGraph, parts: np.ndarray) -> tuple[int, float]:
+    """Edge cut and weighted cut recomputed edge-by-edge."""
+    n_cut, w_cut = 0, 0.0
+    for u, v, w in graph.edge_list():
+        if parts[u] != parts[v]:
+            n_cut += 1
+            w_cut += w
+    return n_cut, w_cut
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@given(shape=shapes)
+@settings(max_examples=20, deadline=None)
+def test_assignment_complete_and_in_range(algorithm, shape):
+    n, k, seed = shape
+    graph = random_graph(n, seed)
+    r = part_graph(graph, k, algorithm=algorithm, seed=seed)
+    assert r.parts.shape == (n,)
+    assert r.parts.dtype == np.int64
+    assert r.parts.min() >= 0 and r.parts.max() < k
+    assert r.k == k and r.algorithm == algorithm and r.seed == seed
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@given(shape=shapes)
+@settings(max_examples=20, deadline=None)
+def test_reported_cuts_match_brute_force(algorithm, shape):
+    n, k, seed = shape
+    graph = random_graph(n, seed)
+    r = part_graph(graph, k, algorithm=algorithm, seed=seed)
+    n_cut, w_cut = brute_force_cuts(graph, r.parts)
+    assert r.edge_cut == n_cut
+    assert r.weighted_cut == pytest.approx(w_cut)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@given(shape=shapes)
+@settings(max_examples=20, deadline=None)
+def test_reported_weights_and_imbalance_match_recomputation(algorithm, shape):
+    n, k, seed = shape
+    graph = random_graph(n, seed)
+    r = part_graph(graph, k, algorithm=algorithm, seed=seed)
+    expected = np.zeros((k, graph.ncon))
+    for v in range(n):
+        expected[r.parts[v]] += graph.vwgt[v]
+    assert np.allclose(r.part_weight, expected)
+    totals = expected.sum(axis=0)
+    ratios = expected / (totals / k)
+    assert r.max_imbalance == pytest.approx(float(ratios.max()))
+    assert r.max_imbalance == pytest.approx(
+        max_imbalance(graph, r.parts, k)
+    )
+    # Imbalance can never be below perfect.
+    assert r.max_imbalance >= 1.0 - 1e-12
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@given(shape=shapes)
+@settings(max_examples=10, deadline=None)
+def test_same_seed_same_partition(algorithm, shape):
+    n, k, seed = shape
+    graph = random_graph(n, seed)
+    a = part_graph(graph, k, algorithm=algorithm, seed=seed)
+    b = part_graph(graph, k, algorithm=algorithm, seed=seed)
+    assert np.array_equal(a.parts, b.parts)
+
+
+balanced_shapes = st.integers(min_value=2, max_value=4).flatmap(
+    lambda k: st.tuples(
+        st.integers(min_value=10 * k, max_value=40),  # n: room to balance
+        st.just(k),
+        st.integers(min_value=0, max_value=10_000),
+    )
+)
+
+
+@pytest.mark.parametrize("algorithm", TOLERANCE_AWARE)
+@given(shape=balanced_shapes)
+@settings(max_examples=20, deadline=None)
+def test_balance_tolerance_respected(algorithm, shape):
+    """Within the envelope plus the heaviest-vertex feasibility slack.
+
+    A partitioner can always overshoot a part by (roughly) one heavy
+    vertex, so the assertion grants a few heaviest-vertex widths of slack
+    on top of the envelope — ``tolerance + 3 k wmax / total`` — on graphs
+    large enough (``n >= 10 k``) for balance to be feasible.  That is the
+    property-test analogue of the fixed-graph balance test's 1.35 ceiling
+    at tolerance 1.10 (recursive bisection and spectral rounding both
+    land between the 2x and 3x slack multiples on adversarial shapes).
+    """
+    n, k, seed = shape
+    tolerance = 1.10
+    graph = random_graph(n, seed)
+    r = part_graph(graph, k, algorithm=algorithm, tolerance=tolerance,
+                   seed=seed)
+    total = float(graph.total_vwgt()[0])
+    wmax = float(graph.vwgt[:, 0].max())
+    assert r.max_imbalance <= tolerance + 3 * k * wmax / total + 1e-9

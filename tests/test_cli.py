@@ -168,3 +168,56 @@ def test_massf_sweep_bad_seeds(capsys):
 
     with pytest.raises(SystemExit):
         massf(["sweep", "--seeds", "one,two"])
+
+
+def test_massf_sweep_stats_and_report(tmp_path, capsys):
+    """--stats writes a telemetry snapshot `massf stats` can render."""
+    from repro.cli import massf
+    from repro.obs import SCHEMA_VERSION
+
+    stats = tmp_path / "tel.json"
+    rc = massf([
+        "sweep", "--topology", "campus", "--app", "scalapack",
+        "--intensity", "light", "--approaches", "top,place",
+        "--seeds", "1", "--workers", "0", "--duration", "50",
+        "--no-cache", "--quiet", "--stats", str(stats),
+    ])
+    assert rc == 0
+    snapshot = json.loads(stats.read_text())
+    assert snapshot["schema"] == SCHEMA_VERSION
+    assert "sweep" in snapshot["spans"]
+    assert len(snapshot["series"]["cells"]) == 2
+    assert len(snapshot["timelines"]["engine.load"]) == 2
+    capsys.readouterr()
+
+    rc = massf(["stats", str(stats)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== phase breakdown ==" in out
+    assert "== per-engine-node load timeline ==" in out
+    assert "approach=place" in out
+
+    rc = massf(["stats", str(stats), "--csv", str(tmp_path / "csv")])
+    assert rc == 0
+    written = sorted(p.name for p in (tmp_path / "csv").glob("*.csv"))
+    assert "spans.csv" in written and "series_cells.csv" in written
+
+
+def test_massf_stats_sections(tmp_path, capsys):
+    from repro.cli import massf
+    from repro.obs import Telemetry, write_json
+
+    tel = Telemetry()
+    with tel.span("solo"):
+        pass
+    tel.count("cache.hits", 1)
+    path = tmp_path / "tel.json"
+    write_json(tel, path)
+
+    assert massf(["stats", str(path), "--section", "phases"]) == 0
+    out = capsys.readouterr().out
+    assert "solo" in out and "cache.hits" not in out
+
+    assert massf(["stats", str(path), "--section", "counters"]) == 0
+    out = capsys.readouterr().out
+    assert "cache.hits" in out and "solo" not in out
