@@ -1,11 +1,24 @@
-"""Table 2 — ScaLapack on the larger network (§4.2.3).
+"""Table 2 — ScaLapack on the larger network (§4.2.3) + the large-N
+partitioning extension.
 
 200 routers / 364 hosts (single AS) emulated on 20 engine nodes with higher
 background intensity.  Paper's values: load imbalance 1.019 / 0.722 / 0.688
 and execution time 559 / 485 / 461 s for TOP / PLACE / PROFILE — i.e.
 PROFILE still builds the best partition at scale, and absolute imbalance is
 much larger than on the small runs.
+
+The paper's experiments stop at 200 routers (single-AS BRITE + the
+``10 + x**2`` routing-memory wall).  The large-N variant below extends the
+table along the axis the paper argues toward: partitioning synthetic
+hierarchical topologies of 1k–5k routers (plus as many hosts) under an
+explicit wall-time budget, exercising the incremental-gain refinement hot
+path at the scale it was built for.
 """
+
+import time
+
+import numpy as np
+import pytest
 
 from benchmarks.conftest import run_once
 
@@ -29,3 +42,69 @@ def test_table2_scalability(campaign, benchmark):
     # numbers (scale effect the paper highlights in §4.2.1).
     fig4 = campaign.fig4_imbalance_scalapack()
     assert top_i > fig4.values[0, 0] * 0.8
+
+
+# --------------------------------------------------------------------- #
+# Large-N partitioning variant
+# --------------------------------------------------------------------- #
+#: (n_routers, wall-time budget in seconds).  The 5k budget is the PR's
+#: acceptance bar; smaller sizes get proportionally tighter budgets so a
+#: superlinear regression shows up before the big case times out.
+_SCALE_CASES = [(1000, 10.0), (2000, 15.0), (5000, 30.0)]
+
+
+def _partition_synth(n_routers: int, k: int = 16):
+    from repro.core.graphbuild import network_csr
+    from repro.partition.api import part_graph
+    from repro.topology.synth import synth_network
+
+    net = synth_network(n_routers=n_routers, seed=3)
+    graph, _ = network_csr(net)
+    start = time.perf_counter()
+    result = part_graph(graph, k, algorithm="multilevel", tolerance=1.2,
+                        seed=0)
+    wall = time.perf_counter() - start
+    return graph, result, wall
+
+
+@pytest.mark.parametrize("n_routers,budget", _SCALE_CASES)
+def test_table2_large_n_partition(benchmark, n_routers, budget):
+    """Multilevel partitioning stays inside the wall-time budget at scale
+    and still produces a balanced, non-degenerate partition."""
+    graph, result, wall = run_once(benchmark, _partition_synth, n_routers)
+    print(f"\nn_routers={n_routers}: {wall:.2f}s "
+          f"(budget {budget:.0f}s) {result.summary()}")
+    assert wall < budget, (
+        f"multilevel on {n_routers} routers took {wall:.1f}s "
+        f"(budget {budget:.0f}s)"
+    )
+    # Partition quality: the balance envelope holds and every part is used.
+    assert result.max_imbalance <= 1.2 + 1e-6
+    assert len(np.unique(result.parts)) == result.k
+    # Cut sanity: the backbone-aware cut must be a tiny fraction of the
+    # total edge weight (hierarchical topologies cut cleanly between ASes).
+    assert result.weighted_cut < 0.05 * graph.total_adjwgt()
+
+
+def test_table2_large_n_profile_graph_parity(benchmark):
+    """The same 2k-router graph partitions identically through the public
+    api whether or not telemetry is attached (the obs layer must never
+    perturb the partition)."""
+    from repro.core.graphbuild import network_csr
+    from repro.obs import Telemetry
+    from repro.partition.api import part_graph
+    from repro.topology.synth import synth_network
+
+    net = synth_network(n_routers=2000, seed=3)
+    graph, _ = network_csr(net)
+
+    def both():
+        plain = part_graph(graph, 16, tolerance=1.2, seed=0)
+        tel = Telemetry()
+        observed = part_graph(graph, 16, tolerance=1.2, seed=0,
+                              telemetry=tel)
+        return plain, observed, tel
+
+    plain, observed, tel = run_once(benchmark, both)
+    assert np.array_equal(plain.parts, observed.parts)
+    assert any(p.startswith("partition/") for p in tel.span_paths())

@@ -389,6 +389,118 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# massf bench
+# --------------------------------------------------------------------- #
+def _configure_bench(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("what", choices=("partition",),
+                        help="benchmark suite to run")
+    parser.add_argument("--sizes", default="1000,2000,5000",
+                        help="comma-separated router counts for the "
+                        "synthetic hierarchical topology")
+    parser.add_argument("--algorithms", default="multilevel,recursive",
+                        help="comma-separated partitioning algorithms")
+    parser.add_argument("-k", "--parts", type=int, default=16,
+                        help="number of parts (engine nodes)")
+    parser.add_argument("--tolerance", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for both the generator and the "
+                        "partitioners")
+    parser.add_argument("--hosts-per-router", type=float, default=1.0)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="per-run wall-time budget in seconds; exceeding "
+                        "it fails the command (CI smoke guard)")
+    parser.add_argument("--stats", metavar="PATH",
+                        help="write a telemetry JSON snapshot here "
+                        "(render with `massf stats`)")
+    parser.add_argument("-o", "--output", help="write the result rows as "
+                        "JSON here")
+
+
+def _cmd_bench(parser: argparse.ArgumentParser, args) -> int:
+    import time
+
+    from repro.core.graphbuild import network_csr
+    from repro.obs import Telemetry, write_json
+    from repro.partition.api import part_graph, resolve_algorithm
+    from repro.topology.synth import SynthError, synth_network
+
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"bad --sizes value {args.sizes!r}")
+    if not sizes:
+        parser.error("--sizes must name at least one router count")
+    try:
+        algorithms = [
+            resolve_algorithm(a)
+            for a in args.algorithms.split(",")
+            if a.strip()
+        ]
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not algorithms:
+        parser.error("--algorithms must name at least one algorithm")
+
+    telemetry = Telemetry()
+    rows: list[dict] = []
+    over_budget: list[str] = []
+    print(f"{'routers':>8s} {'algorithm':<12s} {'wall_s':>8s} "
+          f"{'cut':>12s} {'imbalance':>9s}")
+    for n in sizes:
+        with telemetry.span(f"bench/generate/n{n}"):
+            try:
+                net = synth_network(
+                    n_routers=n, hosts_per_router=args.hosts_per_router,
+                    seed=args.seed,
+                )
+            except SynthError as exc:
+                parser.error(f"cannot generate n_routers={n}: {exc}")
+            graph, _ = network_csr(net)
+        telemetry.count("bench.vertices", graph.n)
+        for algo in algorithms:
+            start = time.perf_counter()
+            with telemetry.span(f"bench/partition/n{n}/{algo}"):
+                result = part_graph(
+                    graph, args.parts, algorithm=algo,
+                    tolerance=args.tolerance, seed=args.seed,
+                    telemetry=telemetry,
+                )
+            wall = time.perf_counter() - start
+            telemetry.count("bench.runs")
+            telemetry.gauge(f"bench.wall_s.n{n}.{algo}", wall)
+            row = {
+                "n_routers": n,
+                "n_vertices": graph.n,
+                "algorithm": algo,
+                "k": args.parts,
+                "wall_s": wall,
+                "weighted_cut": result.weighted_cut,
+                "edge_cut": result.edge_cut,
+                "max_imbalance": result.max_imbalance,
+            }
+            rows.append(row)
+            print(f"{n:8d} {algo:<12s} {wall:8.2f} "
+                  f"{result.weighted_cut:12.4g} {result.max_imbalance:9.3f}")
+            if args.budget is not None and wall > args.budget:
+                over_budget.append(
+                    f"n={n} {algo}: {wall:.2f}s > budget {args.budget:.2f}s"
+                )
+
+    if args.stats:
+        write_json(telemetry, args.stats)
+        print(f"telemetry written to {args.stats} "
+              f"(render with `massf stats {args.stats}`)", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(rows, indent=2) + "\n")
+    if over_budget:
+        for line in over_budget:
+            print(f"BUDGET EXCEEDED: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # massf stats
 # --------------------------------------------------------------------- #
 def _configure_stats(parser: argparse.ArgumentParser) -> None:
@@ -453,6 +565,8 @@ _SUBCOMMANDS = {
               "sweep an experiment across seeds on the parallel runtime"),
     "stats": (_configure_stats, _cmd_stats,
               "render a telemetry snapshot (from `sweep --stats`)"),
+    "bench": (_configure_bench, _cmd_bench,
+              "benchmark partitioning on synthetic scale topologies"),
 }
 
 

@@ -10,10 +10,15 @@ baseline partitioners discussed in the paper's related work:
   ``"linear"`` or ``"greedy-kcluster"``.
 - :class:`repro.partition.csr.CSRGraph` — the shared graph representation.
 - :mod:`repro.partition.metrics` — edge cut / balance diagnostics.
+- :class:`repro.partition.perf.RefineStats` — operation counters proving the
+  refinement kernels stay incremental (one gain/connectivity-table build per
+  call); the pre-optimization kernels live on in
+  :mod:`repro.partition._reference` as differential-test oracles.
 """
 
 from repro.partition.api import PartitionResult, part_graph
 from repro.partition.csr import CSRGraph
+from repro.partition.perf import RefineStats
 from repro.partition.metrics import (
     edge_cut,
     max_imbalance,
@@ -29,4 +34,5 @@ __all__ = [
     "weighted_edge_cut",
     "part_weights",
     "max_imbalance",
+    "RefineStats",
 ]

@@ -1,0 +1,262 @@
+"""Reference (pre-optimization) refinement implementations — test oracles.
+
+These are the original pure-Python FM and greedy k-way refinement kernels,
+kept verbatim so the differential parity suite can prove the optimized
+implementations in :mod:`repro.partition.fm` and
+:mod:`repro.partition.kwayrefine` produce cuts no worse — and, under fixed
+seeds on graphs with exactly-representable weights, *identical*
+assignments.  They recompute gains / connectivity from scratch (O(n) and
+O(n·k) per pass respectively), which is exactly the scaling behaviour the
+optimized kernels exist to avoid; never call them from production code.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.partition.csr import CSRGraph
+
+__all__ = ["fm_refine_reference", "kway_refine_reference"]
+
+
+# --------------------------------------------------------------------- #
+# FM bisection refinement (original)
+# --------------------------------------------------------------------- #
+def _bisection_gains_reference(graph: CSRGraph, parts: np.ndarray) -> np.ndarray:
+    """Per-vertex flip gains, recomputed from scratch (O(n) python loop)."""
+    n = graph.n
+    gains = np.zeros(n, dtype=np.float64)
+    for v in range(n):
+        weights = graph.neighbor_weights(v)
+        same = parts[graph.neighbors(v)] == parts[v]
+        gains[v] = float(weights[~same].sum() - weights[same].sum())
+    return gains
+
+
+def _part_weights(graph: CSRGraph, parts: np.ndarray) -> np.ndarray:
+    pw = np.zeros((2, graph.ncon), dtype=np.float64)
+    np.add.at(pw, parts, graph.vwgt)
+    return pw
+
+
+def fm_refine_reference(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    target_frac: float = 0.5,
+    tolerance: float = 1.05,
+    max_passes: int = 8,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Original FM refinement — full gain rescan at every pass start."""
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    n = graph.n
+    if n == 0:
+        return parts
+    rng = rng or np.random.default_rng(0)
+
+    totals = graph.total_vwgt()
+    share = np.array([target_frac, 1.0 - target_frac])
+    cap = (
+        tolerance * share[:, None] * totals[None, :]
+        + graph.vwgt.max(axis=0)[None, :]
+    )
+
+    pw = _part_weights(graph, parts)
+    counts = np.bincount(parts, minlength=2)
+
+    def admissible(v: int, dest: int) -> bool:
+        if counts[1 - dest] <= 1:  # never empty a side
+            return False
+        new = pw[dest] + graph.vwgt[v]
+        return bool(np.all(new <= cap[dest] + 1e-9))
+
+    def apply_move(v: int, dest: int) -> None:
+        src = parts[v]
+        pw[src] -= graph.vwgt[v]
+        pw[dest] += graph.vwgt[v]
+        counts[src] -= 1
+        counts[dest] += 1
+        parts[v] = dest
+
+    # Balance repair pre-pass (recomputes all gains per repaired vertex).
+    for _ in range(n):
+        over = [
+            p for p in (0, 1) if np.any(pw[p] > cap[p] + 1e-9)
+        ]
+        if not over:
+            break
+        src = over[0]
+        gains = _bisection_gains_reference(graph, parts)
+        candidates = np.nonzero(parts == src)[0]
+        if len(candidates) == 0:
+            break
+        best_v = int(candidates[np.argmax(gains[candidates])])
+        if not admissible(best_v, 1 - src):
+            break
+        apply_move(best_v, 1 - src)
+
+    for _ in range(max_passes):
+        gains = _bisection_gains_reference(graph, parts)
+        locked = np.zeros(n, dtype=bool)
+        heap: list[tuple[float, float, int]] = []
+        for v in range(n):
+            heapq.heappush(heap, (-gains[v], rng.random(), v))
+
+        moves: list[tuple[int, int]] = []  # (vertex, previous part)
+        cum = 0.0
+        best_cum = 0.0
+        best_len = 0
+        stale_limit = n  # whole pass
+
+        while heap and len(moves) < stale_limit:
+            neg_gain, _, v = heapq.heappop(heap)
+            if locked[v]:
+                continue
+            if -neg_gain != gains[v]:  # stale entry
+                heapq.heappush(heap, (-gains[v], rng.random(), v))
+                continue
+            dest = 1 - parts[v]
+            if not admissible(v, dest):
+                locked[v] = True
+                continue
+            prev = parts[v]
+            apply_move(v, dest)
+            locked[v] = True
+            moves.append((v, prev))
+            cum += gains[v]
+            if cum > best_cum + 1e-12:
+                best_cum = cum
+                best_len = len(moves)
+            for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+                u = int(u)
+                if locked[u]:
+                    continue
+                delta = 2.0 * float(w) if parts[u] == prev else -2.0 * float(w)
+                gains[u] += delta
+                heapq.heappush(heap, (-gains[u], rng.random(), u))
+            gains[v] = -gains[v]
+
+        for v, prev in reversed(moves[best_len:]):
+            apply_move(v, prev)
+        if best_len == 0:
+            break
+    return parts
+
+
+# --------------------------------------------------------------------- #
+# Greedy k-way refinement (original)
+# --------------------------------------------------------------------- #
+def _part_connectivity_reference(
+    graph: CSRGraph, parts: np.ndarray, v: int, k: int
+) -> np.ndarray:
+    conn = np.zeros(k, dtype=np.float64)
+    np.add.at(conn, parts[graph.neighbors(v)], graph.neighbor_weights(v))
+    return conn
+
+
+def kway_refine_reference(
+    graph: CSRGraph,
+    parts: np.ndarray,
+    k: int,
+    target_fracs: np.ndarray | None = None,
+    tolerance: float = 1.05,
+    max_passes: int = 8,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Original greedy k-way refinement — per-vertex connectivity rescan."""
+    parts = np.asarray(parts, dtype=np.int64).copy()
+    n = graph.n
+    if n == 0 or k <= 1:
+        return parts
+    rng = rng or np.random.default_rng(0)
+    if target_fracs is None:
+        target_fracs = np.full(k, 1.0 / k)
+    target_fracs = np.asarray(target_fracs, dtype=np.float64)
+
+    totals = graph.total_vwgt()
+    cap = tolerance * target_fracs[:, None] * totals[None, :]
+    if graph.n:
+        cap = np.maximum(cap, graph.vwgt.max(axis=0)[None, :])
+    pw = np.zeros((k, graph.ncon), dtype=np.float64)
+    np.add.at(pw, parts, graph.vwgt)
+    counts = np.bincount(parts, minlength=k)
+    safe_totals = np.where(totals > 0, totals, 1.0)
+
+    def admissible(v: int, dest: int) -> bool:
+        if counts[parts[v]] <= 1:  # never empty a part
+            return False
+        return bool(np.all(pw[dest] + graph.vwgt[v] <= cap[dest] + 1e-9))
+
+    def norm_load(weights: np.ndarray) -> float:
+        return float((weights / safe_totals).max())
+
+    def move(v: int, dest: int) -> None:
+        pw[parts[v]] -= graph.vwgt[v]
+        pw[dest] += graph.vwgt[v]
+        counts[parts[v]] -= 1
+        counts[dest] += 1
+        parts[v] = dest
+
+    # Balance repair.
+    for _ in range(n):
+        over = np.nonzero(np.any(pw > cap + 1e-9, axis=1))[0]
+        if len(over) == 0:
+            break
+        src = int(over[0])
+        members = np.nonzero(parts == src)[0]
+        best_key: tuple[float, float] | None = None
+        best_move: tuple[int, int] | None = None
+        for v in members:
+            conn = _part_connectivity_reference(graph, parts, int(v), k)
+            for dest in range(k):
+                if dest == src or not admissible(int(v), dest):
+                    continue
+                gain = conn[dest] - conn[src]
+                key = (-gain, rng.random())
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_move = (int(v), dest)
+        if best_move is None:
+            break
+        move(*best_move)
+
+    # Gain passes.
+    for _ in range(max_passes):
+        moved = 0
+        order = rng.permutation(n)
+        for v in order:
+            v = int(v)
+            conn = _part_connectivity_reference(graph, parts, v, k)
+            src = parts[v]
+            if np.all(conn[np.arange(k) != src] == 0):
+                continue  # interior vertex
+            best_dest = -1
+            best_gain = 0.0
+            best_load = norm_load(pw[src])
+            for dest in range(k):
+                if dest == src or conn[dest] <= 0.0:
+                    continue
+                if not admissible(v, dest):
+                    continue
+                gain = conn[dest] - conn[src]
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_dest = dest
+                elif (
+                    abs(gain - best_gain) <= 1e-12
+                    and gain >= -1e-12
+                    and norm_load(pw[dest] + graph.vwgt[v]) < best_load - 1e-12
+                ):
+                    best_dest = dest
+                    best_load = norm_load(pw[dest] + graph.vwgt[v])
+            if best_dest >= 0 and (best_gain > 1e-12 or best_dest != src):
+                if best_gain > 1e-12 or norm_load(
+                    pw[best_dest] + graph.vwgt[v]
+                ) < norm_load(pw[src]):
+                    move(v, best_dest)
+                    moved += 1
+        if moved == 0:
+            break
+    return parts

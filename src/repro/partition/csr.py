@@ -93,7 +93,8 @@ class CSRGraph:
 
         Invariants: monotone ``xadj``; neighbour ids in range; no self
         loops; symmetric adjacency with symmetric weights; ``vwgt`` has one
-        row per vertex and is non-negative.
+        row per vertex and is non-negative.  Runs vectorized (sort-based
+        symmetry check), so validating 10k-vertex graphs is cheap.
         """
         if self.xadj[0] != 0 or self.xadj[-1] != len(self.adjncy):
             raise ValueError("xadj does not span adjncy")
@@ -106,30 +107,123 @@ class CSRGraph:
         if np.any(self.vwgt < 0):
             raise ValueError("vertex weights must be non-negative")
         n = self.n
-        if len(self.adjncy) and (self.adjncy.min() < 0 or self.adjncy.max() >= n):
+        if len(self.adjncy) == 0:
+            return
+        if self.adjncy.min() < 0 or self.adjncy.max() >= n:
             raise ValueError("neighbour id out of range")
-        for v in range(n):
-            nbrs = self.neighbors(v)
-            if np.any(nbrs == v):
-                raise ValueError(f"self loop at vertex {v}")
-        # Symmetry: every (u, v, w) must have a matching (v, u, w).
-        fwd: dict[tuple[int, int], float] = {}
-        for v in range(n):
-            for u, w in zip(self.neighbors(v), self.neighbor_weights(v)):
-                key = (v, int(u))
-                if key in fwd:
-                    raise ValueError(f"duplicate edge {key}")
-                fwd[key] = float(w)
-        for (v, u), w in fwd.items():
-            back = fwd.get((u, v))
-            if back is None:
-                raise ValueError(f"edge ({v},{u}) missing reverse")
-            if not np.isclose(back, w):
-                raise ValueError(f"asymmetric weight on edge ({v},{u})")
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.xadj))
+        loops = np.nonzero(src == self.adjncy)[0]
+        if len(loops):
+            raise ValueError(f"self loop at vertex {int(src[loops[0]])}")
+        # Symmetry: the multiset of directed slots must equal its reverse,
+        # with matching weights.  Sort both key sets and compare.
+        fwd_keys = src * n + self.adjncy
+        order_f = np.argsort(fwd_keys, kind="stable")
+        sorted_f = fwd_keys[order_f]
+        dup = np.nonzero(np.diff(sorted_f) == 0)[0]
+        if len(dup):
+            key = int(sorted_f[dup[0]])
+            raise ValueError(f"duplicate edge {(key // n, key % n)}")
+        bwd_keys = self.adjncy * n + src
+        order_b = np.argsort(bwd_keys, kind="stable")
+        sorted_b = bwd_keys[order_b]
+        mismatch = np.nonzero(sorted_f != sorted_b)[0]
+        if len(mismatch):
+            key = int(sorted_f[mismatch[0]])
+            raise ValueError(f"edge ({key // n},{key % n}) missing reverse")
+        w_f = self.adjwgt[order_f]
+        w_b = self.adjwgt[order_b]
+        bad = np.nonzero(~np.isclose(w_f, w_b))[0]
+        if len(bad):
+            key = int(sorted_f[bad[0]])
+            raise ValueError(f"asymmetric weight on edge ({key // n},{key % n})")
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        n: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        vwgt: np.ndarray | Sequence[float] | None = None,
+        first_appearance: bool = False,
+    ) -> "CSRGraph":
+        """Build a graph from parallel endpoint/weight arrays, vectorized.
+
+        Same semantics as :meth:`from_edges` — each undirected edge listed
+        once, parallel edges merged by summing weights, self loops dropped —
+        but O(m log m) numpy work with no python-level edge loop, which is
+        what keeps contraction cheap on 10k-router topologies.
+
+        ``first_appearance`` selects the adjacency slot order.  The default
+        is canonical sorted order.  With ``first_appearance=True`` the slots
+        replicate :meth:`from_edges` exactly: merged edges rank by first
+        occurrence in the input, and both directions of edge ``i`` enqueue
+        at step ``i`` (the dict-plus-cursor construction).  Seed-dependent
+        algorithms tie-break through CSR order, so the coarsening and
+        subgraph paths use this mode to stay bit-identical with the
+        python-loop constructors they replaced.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if not (len(u) == len(v) == len(w)):
+            raise ValueError("edge arrays must be parallel")
+        if len(u):
+            lo = min(int(u.min()), int(v.min()))
+            hi = max(int(u.max()), int(v.max()))
+            if lo < 0 or hi >= n:
+                bad = np.nonzero((u < 0) | (u >= n) | (v < 0) | (v >= n))[0][0]
+                raise ValueError(
+                    f"edge ({int(u[bad])},{int(v[bad])}) out of range for n={n}"
+                )
+        keep = u != v  # drop self loops
+        a = np.minimum(u[keep], v[keep])
+        b = np.maximum(u[keep], v[keep])
+        w = w[keep]
+
+        # Merge parallel edges: sum weights per packed undirected key.
+        keys = a * n + b
+        uniq, first_idx, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        merged_w = np.bincount(inverse, weights=w, minlength=len(uniq))
+        a = uniq // n
+        b = uniq % n
+
+        if first_appearance:
+            rank = np.argsort(first_idx, kind="stable")
+            a, b, merged_w = a[rank], b[rank], merged_w[rank]
+            seq = np.arange(len(a), dtype=np.int64)
+            all_u = np.concatenate([a, b])
+            all_v = np.concatenate([b, a])
+            all_w = np.concatenate([merged_w, merged_w])
+            # Per-source slots in global insertion-step order.
+            order = np.lexsort((np.concatenate([seq, seq]), all_u))
+        else:
+            all_u = np.concatenate([a, b])
+            all_v = np.concatenate([b, a])
+            all_w = np.concatenate([merged_w, merged_w])
+            order = np.lexsort((all_v, all_u))
+        adjncy = all_v[order]
+        adjwgt = all_w[order]
+        deg = np.bincount(all_u, minlength=n)
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=xadj[1:])
+
+        if vwgt is None:
+            vw = np.ones((n, 1), dtype=np.float64)
+        else:
+            vw = np.asarray(vwgt, dtype=np.float64)
+            if vw.ndim == 1:
+                vw = vw[:, None]
+            if vw.shape[0] != n:
+                raise ValueError("vwgt must have one row per vertex")
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vw)
+
     @classmethod
     def from_edges(
         cls,
@@ -151,6 +245,12 @@ class CSRGraph:
             Vertex weights, shape ``(n,)`` or ``(n, ncon)``; defaults to
             all-ones.
         """
+        # Note: adjacency slots keep first-appearance order (dict insertion
+        # order of the merged edge keys), NOT sorted order.  Seed-dependent
+        # algorithms tie-break through CSR order, so this ordering is part
+        # of the constructor's observable behaviour; the vectorized
+        # :meth:`from_edge_arrays` (sorted adjacency) is for internal
+        # coarsening/subgraph paths that define their own canonical order.
         merged: dict[tuple[int, int], float] = {}
         for u, v, w in edges:
             u, v = int(u), int(v)

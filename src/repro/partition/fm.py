@@ -5,6 +5,13 @@ best-gain order, keeping the best prefix of each pass.  Moves must respect a
 per-constraint balance envelope; a pre-pass restores balance when the input
 partition violates it (which happens after projecting a coarse partition to
 a finer level).
+
+The gain table is built **once** per call (a vectorized O(m) sweep over the
+CSR arrays) and maintained incrementally from then on: every move — repair
+moves, pass moves, and best-prefix rollbacks alike — touches only the moved
+vertex's neighborhood.  The original per-pass full-rescan kernel survives as
+:func:`repro.partition._reference.fm_refine_reference`, the oracle the
+differential parity suite checks this implementation against.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import heapq
 import numpy as np
 
 from repro.partition.csr import CSRGraph
+from repro.partition.perf import RefineStats
 
 __all__ = ["fm_refine", "bisection_gains"]
 
@@ -22,15 +30,16 @@ def bisection_gains(graph: CSRGraph, parts: np.ndarray) -> np.ndarray:
     """Cut gain of flipping each vertex to the other side.
 
     ``gain[v] = external(v) - internal(v)`` where external/internal are the
-    incident edge weights crossing / not crossing the cut.
+    incident edge weights crossing / not crossing the cut.  Computed in one
+    vectorized sweep over the CSR arrays.
     """
     n = graph.n
-    gains = np.zeros(n, dtype=np.float64)
-    for v in range(n):
-        weights = graph.neighbor_weights(v)
-        same = parts[graph.neighbors(v)] == parts[v]
-        gains[v] = float(weights[~same].sum() - weights[same].sum())
-    return gains
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    cross = parts[graph.adjncy] != parts[src]
+    signed = np.where(cross, graph.adjwgt, -graph.adjwgt)
+    return np.bincount(src, weights=signed, minlength=n)
 
 
 def _part_weights(graph: CSRGraph, parts: np.ndarray) -> np.ndarray:
@@ -46,6 +55,7 @@ def fm_refine(
     tolerance: float = 1.05,
     max_passes: int = 8,
     rng: np.random.Generator | None = None,
+    stats: RefineStats | None = None,
 ) -> np.ndarray:
     """Refine a bisection in place-free style (returns a new array).
 
@@ -60,12 +70,17 @@ def fm_refine(
         ``tolerance * target_share[p]`` of each constraint.
     max_passes:
         FM passes; each pass stops improving when its best prefix is empty.
+    stats:
+        Optional :class:`~repro.partition.perf.RefineStats` filled with
+        operation counts (the perf-guard tests assert exactly one full
+        gain-table build per call).
     """
     parts = np.asarray(parts, dtype=np.int64).copy()
     n = graph.n
     if n == 0:
         return parts
     rng = rng or np.random.default_rng(0)
+    stats = stats if stats is not None else RefineStats()
 
     totals = graph.total_vwgt()
     share = np.array([target_frac, 1.0 - target_frac])
@@ -80,19 +95,63 @@ def fm_refine(
     pw = _part_weights(graph, parts)
     counts = np.bincount(parts, minlength=2)
 
+    # The hot path runs on python scalars.  FM makes hundreds of thousands
+    # of single-vertex moves (including rollbacks), and per-move numpy
+    # overhead on length-ncon rows and degree-sized slices costs ~50x the
+    # identical python float arithmetic.  Every mirrored update below is an
+    # element-wise IEEE add/subtract applied in the same order as the numpy
+    # reference, so the arithmetic — and therefore every decision — matches
+    # the reference kernel bit-for-bit.
+    ncon = graph.ncon
+    rcon = range(ncon)
+    vw_list: list[list[float]] = graph.vwgt.tolist()
+    pw_list: list[list[float]] = pw.tolist()
+    counts_list: list[int] = counts.tolist()
+    cap_eps: list[list[float]] = (cap + 1e-9).tolist()
+    parts_l: list[int] = parts.tolist()
+    xadj_l: list[int] = graph.xadj.tolist()
+    adjncy_l: list[int] = graph.adjncy.tolist()
+    adjwgt_l: list[float] = graph.adjwgt.tolist()
+
+    # The only full gain-table build of the call; every move below updates
+    # it through the moved vertex's neighborhood.
+    gains: list[float] = bisection_gains(graph, parts).tolist()
+    stats.full_gain_builds += 1
+
     def admissible(v: int, dest: int) -> bool:
-        if counts[1 - dest] <= 1:  # never empty a side
+        if counts_list[1 - dest] <= 1:  # never empty a side
             return False
-        new = pw[dest] + graph.vwgt[v]
-        return bool(np.all(new <= cap[dest] + 1e-9))
+        pd = pw_list[dest]
+        wv = vw_list[v]
+        ce = cap_eps[dest]
+        for c in rcon:
+            if pd[c] + wv[c] > ce[c]:
+                return False
+        return True
 
     def apply_move(v: int, dest: int) -> None:
-        src = parts[v]
-        pw[src] -= graph.vwgt[v]
-        pw[dest] += graph.vwgt[v]
-        counts[src] -= 1
-        counts[dest] += 1
-        parts[v] = dest
+        """Move ``v`` and repair the gain table in its neighborhood."""
+        src = parts_l[v]
+        wv = vw_list[v]
+        ps, pd = pw_list[src], pw_list[dest]
+        for c in rcon:
+            ps[c] -= wv[c]
+            pd[c] += wv[c]
+        counts_list[src] -= 1
+        counts_list[dest] += 1
+        parts_l[v] = dest
+        # Edge (v, u) flips internal/external: neighbors left behind on the
+        # source side gain 2w, neighbors on the destination side lose 2w.
+        lo, hi = xadj_l[v], xadj_l[v + 1]
+        for i in range(lo, hi):
+            u = adjncy_l[i]
+            if parts_l[u] == src:
+                gains[u] += 2.0 * adjwgt_l[i]
+            else:
+                gains[u] -= 2.0 * adjwgt_l[i]
+        gains[v] = -gains[v]
+        stats.moves += 1
+        stats.neighbor_updates += hi - lo
 
     # --- balance repair pre-pass -------------------------------------- #
     # Projected partitions may start outside the envelope; FM's best-prefix
@@ -101,16 +160,20 @@ def fm_refine(
     # of the overloaded side.
     for _ in range(n):
         over = [
-            p for p in (0, 1) if np.any(pw[p] > cap[p] + 1e-9)
+            p
+            for p in (0, 1)
+            if any(pw_list[p][c] > cap_eps[p][c] for c in rcon)
         ]
         if not over:
             break
         src = over[0]
-        gains = bisection_gains(graph, parts)
-        candidates = np.nonzero(parts == src)[0]
-        if len(candidates) == 0:
+        best_v = -1
+        best_gain = 0.0
+        for v in range(n):  # first-max, like np.argmax over the candidates
+            if parts_l[v] == src and (best_v < 0 or gains[v] > best_gain):
+                best_v, best_gain = v, gains[v]
+        if best_v < 0:
             break
-        best_v = int(candidates[np.argmax(gains[candidates])])
         if not admissible(best_v, 1 - src):
             # Receiving side is also at capacity; moving would just swap the
             # violation, so stop.
@@ -118,8 +181,8 @@ def fm_refine(
         apply_move(best_v, 1 - src)
 
     for _ in range(max_passes):
-        gains = bisection_gains(graph, parts)
-        locked = np.zeros(n, dtype=bool)
+        stats.passes += 1
+        locked = [False] * n
         heap: list[tuple[float, float, int]] = []
         for v in range(n):
             heapq.heappush(heap, (-gains[v], rng.random(), v))
@@ -137,31 +200,32 @@ def fm_refine(
             if -neg_gain != gains[v]:  # stale entry
                 heapq.heappush(heap, (-gains[v], rng.random(), v))
                 continue
-            dest = 1 - parts[v]
+            dest = 1 - parts_l[v]
             if not admissible(v, dest):
                 locked[v] = True  # cannot move this pass
                 continue
-            prev = parts[v]
+            moved_gain = gains[v]
+            prev = parts_l[v]
             apply_move(v, dest)
             locked[v] = True
             moves.append((v, prev))
-            cum += gains[v]
+            cum += moved_gain
             if cum > best_cum + 1e-12:
                 best_cum = cum
                 best_len = len(moves)
-            # Update neighbour gains: edge (v, u) flips internal/external.
-            for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
-                u = int(u)
+            # apply_move already updated every neighbor's gain; re-enqueue
+            # the unlocked ones (locked vertices stay out of this pass but
+            # their table entries are now current, so no pass-start rescan
+            # is ever needed).
+            for i in range(xadj_l[v], xadj_l[v + 1]):
+                u = adjncy_l[i]
                 if locked[u]:
                     continue
-                delta = 2.0 * float(w) if parts[u] == prev else -2.0 * float(w)
-                gains[u] += delta
                 heapq.heappush(heap, (-gains[u], rng.random(), u))
-            gains[v] = -gains[v]
 
-        # Roll back moves beyond the best prefix.
+        # Roll back moves beyond the best prefix (gain table follows along).
         for v, prev in reversed(moves[best_len:]):
             apply_move(v, prev)
         if best_len == 0:
             break
-    return parts
+    return np.array(parts_l, dtype=np.int64)

@@ -5,6 +5,15 @@ are scanned in random order and moved to the adjacent part with the best cut
 gain, subject to a per-constraint balance envelope.  Zero-gain moves are
 taken when they reduce the worst normalized part load, which lets refinement
 trade cut for balance the way METIS's k-way refinement does.
+
+The hot path is incremental: a per-vertex connectivity table (``(n, k)``
+edge weight into each part) is built **once** per call with a vectorized
+sweep over the CSR arrays, then invalidated only in the neighborhood of
+each moved vertex.  A cached external-weight vector makes the interior-
+vertex test O(1), so passes cost O(boundary) instead of O(n · k).  The
+original rescan-everything kernel survives as
+:func:`repro.partition._reference.kway_refine_reference`, the differential
+parity suite's oracle.
 """
 
 from __future__ import annotations
@@ -12,8 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.partition.csr import CSRGraph
+from repro.partition.perf import RefineStats
 
-__all__ = ["kway_refine", "part_connectivity"]
+__all__ = ["kway_refine", "part_connectivity", "connectivity_table"]
 
 
 def part_connectivity(
@@ -22,6 +32,23 @@ def part_connectivity(
     """Edge weight from ``v`` into each part, shape ``(k,)``."""
     conn = np.zeros(k, dtype=np.float64)
     np.add.at(conn, parts[graph.neighbors(v)], graph.neighbor_weights(v))
+    return conn
+
+
+def connectivity_table(
+    graph: CSRGraph, parts: np.ndarray, k: int
+) -> np.ndarray:
+    """Full ``(n, k)`` connectivity table in one vectorized sweep.
+
+    ``table[v, p]`` is the edge weight from ``v`` into part ``p`` — row
+    ``v`` equals :func:`part_connectivity` for every vertex at once.
+    """
+    n = graph.n
+    conn = np.zeros((n, k), dtype=np.float64)
+    if n == 0 or len(graph.adjncy) == 0:
+        return conn
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    np.add.at(conn, (src, parts[graph.adjncy]), graph.adjwgt)
     return conn
 
 
@@ -44,6 +71,7 @@ def kway_refine(
     tolerance: float = 1.05,
     max_passes: int = 8,
     rng: np.random.Generator | None = None,
+    stats: RefineStats | None = None,
 ) -> np.ndarray:
     """Refine a k-way partition; returns a new assignment array.
 
@@ -53,38 +81,94 @@ def kway_refine(
         Desired weight share per part (defaults to uniform ``1/k``).
     tolerance:
         Multiplicative envelope over the target share, per constraint.
+    stats:
+        Optional :class:`~repro.partition.perf.RefineStats`; the perf-guard
+        tests assert exactly one connectivity-table build per call.
     """
     parts = np.asarray(parts, dtype=np.int64).copy()
     n = graph.n
     if n == 0 or k <= 1:
         return parts
     rng = rng or np.random.default_rng(0)
+    stats = stats if stats is not None else RefineStats()
     if target_fracs is None:
         target_fracs = np.full(k, 1.0 / k)
     target_fracs = np.asarray(target_fracs, dtype=np.float64)
 
     cap = _caps(graph, k, target_fracs, tolerance)
+    vwgt = graph.vwgt
     pw = np.zeros((k, graph.ncon), dtype=np.float64)
-    np.add.at(pw, parts, graph.vwgt)
+    np.add.at(pw, parts, vwgt)
     counts = np.bincount(parts, minlength=k)
     totals = graph.total_vwgt()
     safe_totals = np.where(totals > 0, totals, 1.0)
 
-    def admissible(v: int, dest: int) -> bool:
-        if counts[parts[v]] <= 1:  # never empty a part
-            return False
-        return bool(np.all(pw[dest] + graph.vwgt[v] <= cap[dest] + 1e-9))
+    # Python-scalar mirrors of the small per-part state.  The admissibility
+    # and load tests run per candidate move (hundreds of thousands of times
+    # per call); tiny-array numpy reductions dominate wall time there, while
+    # python float arithmetic performs the *same IEEE operations* bit-for-
+    # bit, so mirrored tests decide identically to the reference kernel.
+    ncon = graph.ncon
+    rcon = range(ncon)
+    vw_list: list[list[float]] = vwgt.tolist()
+    pw_list: list[list[float]] = pw.tolist()
+    counts_list: list[int] = counts.tolist()
+    cap_eps: list[list[float]] = (cap + 1e-9).tolist()
+    safe_list: list[float] = safe_totals.tolist()
 
-    def norm_load(weights: np.ndarray) -> float:
-        """Worst normalized load of a single part-weight row."""
-        return float((weights / safe_totals).max())
+    # --- incremental state: built once, invalidated per-neighborhood --- #
+    conn = connectivity_table(graph, parts, k)
+    stats.conn_builds += 1
+    # Total incident weight never changes with reassignment, so the
+    # external weight (the boundary test) is tot - conn[v, parts[v]].
+    tot = conn.sum(axis=1)
+    ext = tot - conn[np.arange(n), parts]
+
+    def admissible(v: int, dest: int) -> bool:
+        if counts_list[parts[v]] <= 1:  # never empty a part
+            return False
+        pd = pw_list[dest]
+        wv = vw_list[v]
+        ce = cap_eps[dest]
+        for c in rcon:
+            if pd[c] + wv[c] > ce[c]:
+                return False
+        return True
+
+    def norm_load_part(p: int) -> float:
+        """Worst normalized load of part ``p`` as currently weighted."""
+        row = pw_list[p]
+        return max(row[c] / safe_list[c] for c in rcon)
+
+    def norm_load_with(dest: int, v: int) -> float:
+        """Worst normalized load of ``dest`` if ``v`` moved into it."""
+        row = pw_list[dest]
+        wv = vw_list[v]
+        return max((row[c] + wv[c]) / safe_list[c] for c in rcon)
 
     def move(v: int, dest: int) -> None:
-        pw[parts[v]] -= graph.vwgt[v]
-        pw[dest] += graph.vwgt[v]
-        counts[parts[v]] -= 1
+        """Move ``v`` and repair conn/ext in its neighborhood only."""
+        src = parts[v]
+        pw[src] -= vwgt[v]
+        pw[dest] += vwgt[v]
+        wv = vw_list[v]
+        ps, pd = pw_list[src], pw_list[dest]
+        for c in rcon:
+            ps[c] -= wv[c]
+            pd[c] += wv[c]
+        counts[src] -= 1
         counts[dest] += 1
+        counts_list[src] -= 1
+        counts_list[dest] += 1
         parts[v] = dest
+        nbrs = graph.neighbors(v)
+        w = graph.neighbor_weights(v)
+        np.subtract.at(conn, (nbrs, src), w)
+        np.add.at(conn, (nbrs, dest), w)
+        ext[nbrs] = tot[nbrs] - conn[nbrs, parts[nbrs]]
+        ext[v] = tot[v] - conn[v, dest]
+        stats.moves += 1
+        stats.neighbor_updates += len(nbrs)
 
     # --- balance repair ------------------------------------------------ #
     for _ in range(n):
@@ -96,53 +180,57 @@ def kway_refine(
         best_key: tuple[float, float] | None = None
         best_move: tuple[int, int] | None = None
         for v in members:
-            conn = part_connectivity(graph, parts, int(v), k)
+            v = int(v)
+            conn_v = conn[v]
             for dest in range(k):
-                if dest == src or not admissible(int(v), dest):
+                if dest == src or not admissible(v, dest):
                     continue
-                gain = conn[dest] - conn[src]
+                gain = conn_v[dest] - conn_v[src]
                 key = (-gain, rng.random())
                 if best_key is None or key < best_key:
                     best_key = key
-                    best_move = (int(v), dest)
+                    best_move = (v, dest)
         if best_move is None:
             break
         move(*best_move)
 
     # --- gain passes ----------------------------------------------------#
     for _ in range(max_passes):
+        stats.passes += 1
         moved = 0
         order = rng.permutation(n)
         for v in order:
             v = int(v)
-            conn = part_connectivity(graph, parts, v, k)
-            src = parts[v]
-            if np.all(conn[np.arange(k) != src] == 0):
-                continue  # interior vertex
+            if ext[v] <= 0.0:
+                continue  # interior vertex: no external connectivity
+            stats.boundary_scans += 1
+            src = int(parts[v])
+            conn_v = conn[v]
             best_dest = -1
             best_gain = 0.0
-            best_load = norm_load(pw[src])  # load of own part pre-move
-            for dest in range(k):
-                if dest == src or conn[dest] <= 0.0:
+            best_load = norm_load_part(src)  # load of own part pre-move
+            for dest in np.nonzero(conn_v > 0.0)[0]:
+                dest = int(dest)
+                if dest == src:
                     continue
                 if not admissible(v, dest):
                     continue
-                gain = conn[dest] - conn[src]
+                gain = conn_v[dest] - conn_v[src]
                 if gain > best_gain + 1e-12:
                     best_gain = gain
                     best_dest = dest
                 elif (
                     abs(gain - best_gain) <= 1e-12
                     and gain >= -1e-12
-                    and norm_load(pw[dest] + graph.vwgt[v]) < best_load - 1e-12
+                    and norm_load_with(dest, v) < best_load - 1e-12
                 ):
                     # Zero-gain balance-improving move.
                     best_dest = dest
-                    best_load = norm_load(pw[dest] + graph.vwgt[v])
+                    best_load = norm_load_with(dest, v)
             if best_dest >= 0 and (best_gain > 1e-12 or best_dest != src):
-                if best_gain > 1e-12 or norm_load(
-                    pw[best_dest] + graph.vwgt[v]
-                ) < norm_load(pw[src]):
+                if best_gain > 1e-12 or norm_load_with(
+                    best_dest, v
+                ) < norm_load_part(src):
                     move(v, best_dest)
                     moved += 1
         if moved == 0:

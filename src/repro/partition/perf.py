@@ -1,0 +1,60 @@
+"""Operation counters for the refinement hot paths.
+
+The scalable refinement kernels promise *incremental* gain maintenance:
+one full gain-table (or connectivity-table) build per call, then
+neighborhood-local updates per move.  :class:`RefineStats` counts the
+operations that would betray a regression to per-pass O(n) / O(n·k)
+rescanning, and the perf-guard test (``tests/partition/test_perf_guard.py``)
+asserts the bounds so the build fails if someone reintroduces a rescan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RefineStats"]
+
+
+@dataclass
+class RefineStats:
+    """Counters filled in by :func:`~repro.partition.fm.fm_refine` and
+    :func:`~repro.partition.kwayrefine.kway_refine`.
+
+    Attributes
+    ----------
+    full_gain_builds:
+        Complete gain-table constructions (FM).  The incremental kernel
+        performs exactly one per call, regardless of pass count.
+    conn_builds:
+        Complete (n, k) connectivity-table constructions (k-way).  One per
+        call in the incremental kernel.
+    passes:
+        Refinement passes actually executed.
+    moves:
+        Vertex moves applied (including moves later rolled back by FM's
+        best-prefix rule).
+    neighbor_updates:
+        Per-neighbor incremental gain/connectivity updates — the work that
+        *should* scale with moves × degree, not with n × passes.
+    boundary_scans:
+        Vertices inspected during gain passes (k-way: boundary vertices
+        only; interior vertices are skipped via the cached external-weight
+        table).
+    """
+
+    full_gain_builds: int = 0
+    conn_builds: int = 0
+    passes: int = 0
+    moves: int = 0
+    neighbor_updates: int = 0
+    boundary_scans: int = 0
+
+    def merge(self, other: "RefineStats") -> None:
+        """Accumulate another stats object into this one (multilevel
+        drivers aggregate over refinement calls)."""
+        self.full_gain_builds += other.full_gain_builds
+        self.conn_builds += other.conn_builds
+        self.passes += other.passes
+        self.moves += other.moves
+        self.neighbor_updates += other.neighbor_updates
+        self.boundary_scans += other.boundary_scans

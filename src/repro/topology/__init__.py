@@ -9,6 +9,8 @@
 - :func:`repro.topology.brite.brite_network` — BRITE-like Internet topology
   generator (Barabási–Albert or Waxman), used for the 160-router and
   200-router experiments.
+- :func:`repro.topology.synth.synth_network` — hierarchical AS-of-routers
+  generator for the 1k–10k router scalability studies.
 - :mod:`repro.topology.dml` — the network description file format
   (MaSSF stores networks in DML; we provide a round-trippable equivalent).
 """
@@ -17,6 +19,7 @@ from repro.topology.brite import brite_network
 from repro.topology.campus import campus_network
 from repro.topology.elements import Link, NetNode, NodeKind
 from repro.topology.network import Network
+from repro.topology.synth import SynthConfig, SynthError, synth_network
 from repro.topology.teragrid import teragrid_network
 
 __all__ = [
@@ -27,4 +30,7 @@ __all__ = [
     "campus_network",
     "teragrid_network",
     "brite_network",
+    "synth_network",
+    "SynthConfig",
+    "SynthError",
 ]

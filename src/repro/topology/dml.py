@@ -108,20 +108,51 @@ def _parse_block(tokens: list[str], pos: int) -> tuple[dict, int]:
     raise DMLError("unbalanced brackets")
 
 
-def _scalar(block: dict, key: str, default=None):
+def _scalar(block: dict, key: str, default=None, where: str = "net block"):
     values = block.get(key)
     if not values:
         if default is not None:
             return default
-        raise DMLError(f"missing key {key!r}")
+        raise DMLError(f"{where}: missing key {key!r}")
     value = values[0]
+    if isinstance(value, dict):
+        raise DMLError(
+            f"{where}: key {key!r} must be a scalar, got a nested block"
+        )
     if isinstance(value, str) and value.startswith('"'):
         return value[1:-1]
     return value
 
 
+def _int_scalar(block: dict, key: str, default=None, where: str = "net block"):
+    raw = _scalar(block, key, default=default, where=where)
+    try:
+        return int(raw)
+    except ValueError:
+        raise DMLError(
+            f"{where}: key {key!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _float_scalar(
+    block: dict, key: str, default=None, where: str = "net block"
+):
+    raw = _scalar(block, key, default=default, where=where)
+    try:
+        return float(raw)
+    except ValueError:
+        raise DMLError(
+            f"{where}: key {key!r} must be a number, got {raw!r}"
+        ) from None
+
+
 def loads(text: str) -> Network:
-    """Parse DML text into a :class:`Network`."""
+    """Parse DML text into a :class:`Network`.
+
+    Malformed input raises :class:`DMLError` whose message names the
+    offending block (``node block 3``, ``link block 0``) and the key or
+    constraint violated, so a bad line in a thousand-node file is findable.
+    """
     tokens = list(_tokenize(text))
     if len(tokens) < 3 or tokens[0] != "net" or tokens[1] != "[":
         raise DMLError("expected top-level 'net [ ... ]'")
@@ -130,29 +161,53 @@ def loads(text: str) -> Network:
         raise DMLError("trailing tokens after net block")
 
     net = Network(str(_scalar(block, "name", default="net")))
-    nodes = sorted(block.get("node", []), key=lambda b: int(_scalar(b, "id")))
+    node_blocks = block.get("node", [])
+    for b in node_blocks:
+        if not isinstance(b, dict):
+            raise DMLError(f"node entries must be blocks, got {b!r}")
+    nodes = sorted(
+        node_blocks,
+        key=lambda b: _int_scalar(b, "id", where="node block"),
+    )
     for i, nb in enumerate(nodes):
-        if int(_scalar(nb, "id")) != i:
+        where = f"node block {i}"
+        if _int_scalar(nb, "id", where=where) != i:
             raise DMLError("node ids must be dense and start at 0")
-        kind = str(_scalar(nb, "kind"))
+        kind = str(_scalar(nb, "kind", where=where))
         try:
             node_kind = NodeKind(kind)
         except ValueError:
-            raise DMLError(f"unknown node kind {kind!r}") from None
-        net.add_node(
-            str(_scalar(nb, "name")),
-            node_kind,
-            as_id=int(_scalar(nb, "as", default="0")),
-            site=str(_scalar(nb, "site", default="")),
-        )
-    links = sorted(block.get("link", []), key=lambda b: int(_scalar(b, "id")))
+            raise DMLError(f"{where}: unknown node kind {kind!r}") from None
+        try:
+            net.add_node(
+                str(_scalar(nb, "name", where=where)),
+                node_kind,
+                as_id=_int_scalar(nb, "as", default="0", where=where),
+                site=str(_scalar(nb, "site", default="", where=where)),
+            )
+        except ValueError as exc:
+            raise DMLError(f"{where}: {exc}") from None
+    link_blocks = block.get("link", [])
+    for b in link_blocks:
+        if not isinstance(b, dict):
+            raise DMLError(f"link entries must be blocks, got {b!r}")
+    links = sorted(
+        link_blocks,
+        key=lambda b: _int_scalar(b, "id", where="link block"),
+    )
     for lb in links:
-        net.add_link(
-            int(_scalar(lb, "from")),
-            int(_scalar(lb, "to")),
-            float(_scalar(lb, "bandwidth")),
-            float(_scalar(lb, "latency")),
-        )
+        where = f"link block {_int_scalar(lb, 'id', where='link block')}"
+        u = _int_scalar(lb, "from", where=where)
+        v = _int_scalar(lb, "to", where=where)
+        try:
+            net.add_link(
+                u,
+                v,
+                _float_scalar(lb, "bandwidth", where=where),
+                _float_scalar(lb, "latency", where=where),
+            )
+        except (ValueError, IndexError, KeyError) as exc:
+            raise DMLError(f"{where}: {exc}") from None
     return net
 
 

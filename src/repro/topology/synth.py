@@ -1,0 +1,271 @@
+"""Synthetic hierarchical topology generator for scalability studies.
+
+The paper's experiments stop at 200 routers because its BRITE build could
+not emit multi-AS topologies and the per-router routing state grows as
+``10 + x**2`` with AS size ``x``.  This module generates the topology the
+paper *argues toward*: a BRITE-like Internet of many ASes — each AS an
+intra-domain Barabási–Albert router graph, ASes wired together by a second
+preferential-attachment process at the AS level — so partitioning can be
+stress-tested at 1k–10k routers while every AS stays small enough for the
+memory model.
+
+Design notes
+------------
+- Everything is deterministic from ``SynthConfig.seed``.
+- The preferential-attachment sampler draws from a *preallocated* numpy
+  endpoint array instead of an ever-growing python list (the naive version
+  is O(n²) from list reallocation + ``rng.choice`` setup, and dominates at
+  10k routers).
+- Configuration errors raise :class:`SynthError` with a message naming the
+  offending parameter and the constraint it violates; the error-path test
+  suite (``tests/topology/test_synth_errors.py``) pins those messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.elements import Gbps, Mbps, ms
+from repro.topology.network import Network
+
+__all__ = ["SynthConfig", "SynthError", "synth_network"]
+
+
+class SynthError(ValueError):
+    """Invalid :class:`SynthConfig` (message names parameter + constraint)."""
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Hierarchical generator parameters.
+
+    Attributes
+    ----------
+    n_routers:
+        Total routers across all ASes.  The scalability suite sweeps
+        1000–10000.
+    n_as:
+        Autonomous systems.  ``0`` (default) derives a count that keeps
+        ASes near ``target_as_size`` routers, the regime where the
+        ``10 + x**2`` routing-memory model stays affordable.
+    target_as_size:
+        Preferred routers per AS when ``n_as`` is derived.
+    hosts_per_router:
+        Hosts attached per router on average; ``n_hosts`` overrides.
+    n_hosts:
+        Explicit total host count (``None`` → derived).
+    ba_m:
+        Edges per new router in the intra-AS Barabási–Albert process.
+    as_m:
+        Edges per new AS in the inter-AS attachment process.
+    plane_size_km:
+        Side of the square plane AS centres are scattered on; distances
+        set propagation latencies.
+    seed:
+        RNG seed; the generator is fully deterministic given the config.
+    """
+
+    n_routers: int = 1000
+    n_as: int = 0
+    target_as_size: int = 50
+    hosts_per_router: float = 1.0
+    n_hosts: int | None = None
+    ba_m: int = 2
+    as_m: int = 2
+    plane_size_km: float = 8000.0
+    seed: int = 0
+
+
+_SPEED_KM_PER_S = 2.0e5  # signal speed in fibre, ~2/3 c
+
+
+def _validate(config: SynthConfig) -> tuple[int, int]:
+    """Check the config; return the resolved ``(n_as, n_hosts)``."""
+    if config.n_routers < 2:
+        raise SynthError(
+            f"n_routers must be >= 2, got {config.n_routers}"
+        )
+    if config.ba_m < 1:
+        raise SynthError(f"ba_m must be >= 1, got {config.ba_m}")
+    if config.as_m < 1:
+        raise SynthError(f"as_m must be >= 1, got {config.as_m}")
+    if config.target_as_size < 1:
+        raise SynthError(
+            f"target_as_size must be >= 1, got {config.target_as_size}"
+        )
+    if config.plane_size_km <= 0:
+        raise SynthError(
+            f"plane_size_km must be positive, got {config.plane_size_km}"
+        )
+    if config.n_as < 0:
+        raise SynthError(
+            f"n_as must be >= 1 (or 0 to derive it), got {config.n_as}"
+        )
+    min_as_size = config.ba_m + 1
+    n_as = config.n_as
+    if n_as == 0:
+        # Derived counts are clamped so every AS keeps >= ba_m + 1 routers
+        # (the BA process degrades gracefully below that, but the caller
+        # never asked for degenerate ASes, so avoid them).
+        n_as = max(1, min(round(config.n_routers / config.target_as_size),
+                          config.n_routers // min_as_size))
+    elif config.n_routers < n_as * min_as_size:
+        raise SynthError(
+            f"n_as={n_as} leaves fewer than ba_m+1={min_as_size} routers "
+            f"per AS (n_routers={config.n_routers}); lower n_as or ba_m"
+        )
+    if config.n_hosts is not None:
+        if config.n_hosts < 0:
+            raise SynthError(
+                f"n_hosts must be >= 0, got {config.n_hosts}"
+            )
+        n_hosts = config.n_hosts
+    else:
+        if config.hosts_per_router < 0:
+            raise SynthError(
+                "hosts_per_router must be >= 0, got "
+                f"{config.hosts_per_router}"
+            )
+        n_hosts = int(round(config.n_routers * config.hosts_per_router))
+    return n_as, n_hosts
+
+
+def _ba_edges(
+    n: int, m: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Barabási–Albert edges on ``n`` vertices, ``m`` per arrival.
+
+    Preferential attachment samples uniformly from the endpoint multiset;
+    the multiset lives in a preallocated array sized for the final edge
+    count, so generation is O(n·m) instead of the O(n²) a growing python
+    list costs.
+    """
+    m = min(m, n - 1)
+    n_seed = m + 1
+    n_edges = n_seed * (n_seed - 1) // 2 + (n - n_seed) * m
+    eu = np.empty(n_edges, dtype=np.int64)
+    ev = np.empty(n_edges, dtype=np.int64)
+    targets = np.empty(2 * n_edges, dtype=np.int64)
+    e = t = 0
+    for i in range(n_seed):  # seed clique keeps the early graph connected
+        for j in range(i + 1, n_seed):
+            eu[e] = i
+            ev[e] = j
+            targets[t] = i
+            targets[t + 1] = j
+            e += 1
+            t += 2
+    for new in range(n_seed, n):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(int(targets[int(rng.integers(t))]))
+        for tgt in chosen:
+            eu[e] = tgt
+            ev[e] = new
+            targets[t] = tgt
+            targets[t + 1] = new
+            e += 1
+            t += 2
+    return eu[:e], ev[:e]
+
+
+def synth_network(config: SynthConfig | None = None, **overrides) -> Network:
+    """Generate a hierarchical AS-of-routers network.
+
+    ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
+    ``synth_network(n_routers=5000, seed=7)``.
+    """
+    if config is None:
+        config = SynthConfig(**overrides)
+    elif overrides:
+        config = SynthConfig(**{**config.__dict__, **overrides})
+    n_as, n_hosts = _validate(config)
+    rng = np.random.default_rng(config.seed)
+    n = config.n_routers
+
+    # Contiguous router-id blocks per AS, sizes differing by at most one.
+    sizes = np.full(n_as, n // n_as, dtype=np.int64)
+    sizes[: n % n_as] += 1
+    offsets = np.zeros(n_as + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    as_of = np.repeat(np.arange(n_as, dtype=np.int64), sizes)
+
+    # Geometry: AS centres on the plane, routers clustered around them.
+    centers = rng.uniform(0.0, config.plane_size_km, size=(n_as, 2))
+    spread = config.plane_size_km / (4.0 * max(np.sqrt(n_as), 1.0))
+    pos = centers[as_of] + rng.normal(0.0, spread, size=(n, 2))
+
+    # Intra-AS fabric: one BA graph per AS (local vertex ids + offset).
+    intra_u: list[np.ndarray] = []
+    intra_v: list[np.ndarray] = []
+    for a in range(n_as):
+        eu, ev = _ba_edges(int(sizes[a]), config.ba_m, rng)
+        intra_u.append(eu + offsets[a])
+        intra_v.append(ev + offsets[a])
+    iu = np.concatenate(intra_u)
+    iv = np.concatenate(intra_v)
+
+    # Inter-AS backbone: preferential attachment over ASes, each AS-level
+    # edge realized between a random router of each side.
+    if n_as > 1:
+        au, av = _ba_edges(n_as, config.as_m, rng)
+        gu = offsets[au] + rng.integers(0, sizes[au])
+        gv = offsets[av] + rng.integers(0, sizes[av])
+    else:
+        gu = np.zeros(0, dtype=np.int64)
+        gv = np.zeros(0, dtype=np.int64)
+
+    net = Network(f"synth-{n}r{n_hosts}h-{n_as}as")
+    routers = [
+        net.add_router(f"r{i}", as_id=int(as_of[i]), site=f"as{int(as_of[i])}")
+        for i in range(n)
+    ]
+
+    # Tiered capacities: inter-AS trunks are 10 Gbps; within an AS the
+    # top-degree decile forms a 2.5 Gbps regional backbone over 622 Mbps
+    # access links (BRITE's bandwidth-assignment step, hierarchically).
+    degree = np.bincount(
+        np.concatenate([iu, iv, gu, gv]), minlength=n
+    )
+    backbone_cut = np.quantile(degree, 0.9)
+
+    def _lat(a: int, b: int) -> float:
+        d = float(np.hypot(*(pos[a] - pos[b])))
+        return max(d / _SPEED_KM_PER_S, 1.0e-3)
+
+    for u, v in zip(iu.tolist(), iv.tolist()):
+        if degree[u] >= backbone_cut and degree[v] >= backbone_cut:
+            bw = Gbps(2.5)
+        else:
+            bw = Mbps(622)
+        net.add_link(routers[u], routers[v], bw, _lat(u, v))
+    seen_pairs = {(min(u, v), max(u, v)) for u, v in zip(iu, iv)}
+    for u, v in zip(gu.tolist(), gv.tolist()):
+        pair = (min(u, v), max(u, v))
+        if u == v or pair in seen_pairs:  # rare gateway collision
+            continue
+        seen_pairs.add(pair)
+        net.add_link(routers[u], routers[v], Gbps(10), _lat(u, v))
+
+    # Hosts cluster on low-degree (edge) routers with Zipf-like weights —
+    # stub networks come in very different sizes, and the skew is what
+    # gives profiled traffic its spatial structure.
+    if n_hosts:
+        edge_ids = np.nonzero(degree <= np.median(degree))[0]
+        if len(edge_ids) == 0:
+            edge_ids = np.arange(n)
+        weights = (rng.permutation(len(edge_ids)) + 1.0) ** -1.1
+        weights /= weights.sum()
+        attach = rng.choice(len(edge_ids), size=n_hosts, replace=True,
+                            p=weights)
+        for h in range(n_hosts):
+            r = int(edge_ids[int(attach[h])])
+            host = net.add_host(
+                f"h{h}", as_id=int(as_of[r]), site=f"as{int(as_of[r])}"
+            )
+            net.add_link(host, routers[r], Mbps(100), ms(2.5))
+
+    net.validate()
+    return net

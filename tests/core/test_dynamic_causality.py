@@ -1,0 +1,122 @@
+"""Causality regression for dynamic remapping.
+
+The §6 scheme is *strictly causal*: the remap decision taken at the start
+of epoch ``e`` may read only epoch ``e-1``'s observations.  These tests
+mutate the traffic of future epochs — and only future epochs — and assert
+that every earlier epoch's mapping, adoption flag, and migration bill come
+out identical.  Any information leak from the future (a lookahead slice, a
+whole-trace normalization, an RNG consumed data-dependently) breaks them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicConfig, dynamic_remap
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import Transfer
+from repro.engine.trace import EventTrace
+
+_CONFIG = DynamicConfig(n_epochs=4, migration_cost_s=0.005)
+
+
+@pytest.fixture(scope="module")
+def shifting_run():
+    """Campus workload whose hotspot moves mid-run (so remaps do happen)."""
+    from repro.routing.spf import build_routing
+    from repro.topology.campus import campus_network
+
+    net = campus_network()
+    tables = build_routing(net)
+    kern = EmulationKernel(net, tables, train_packets=8)
+    hosts = [h.node_id for h in net.hosts()]
+    rng = np.random.default_rng(3)
+    for t in np.arange(0.5, 58.0, 0.5):
+        src, dst = rng.choice(hosts[:8], size=2, replace=False)
+        kern.submit_transfer(
+            Transfer(src=int(src), dst=int(dst), nbytes=400e3), float(t)
+        )
+    for t in np.arange(60.5, 118.0, 0.5):
+        src, dst = rng.choice(hosts[-8:], size=2, replace=False)
+        kern.submit_transfer(
+            Transfer(src=int(src), dst=int(dst), nbytes=400e3), float(t)
+        )
+    trace = kern.run(until=120.0)
+    initial = (np.arange(net.n_nodes) % 3).astype(np.int64)
+    return net, trace, initial
+
+
+def _mutate_after(trace: EventTrace, t_cut: float,
+                  factor: int = 7) -> EventTrace:
+    """Scale packet counts of every event at or after ``t_cut``."""
+    packets = trace.packets.copy()
+    mask = trace.time >= t_cut
+    assert mask.any(), "mutation window is empty — test would be vacuous"
+    packets[mask] = packets[mask] * factor
+    mutated = EventTrace(
+        time=trace.time.copy(), node=trace.node.copy(),
+        next_node=trace.next_node.copy(), packets=packets,
+        flow=trace.flow.copy(), span=trace.span.copy(),
+        duration=trace.duration, n_nodes=trace.n_nodes,
+    )
+    mutated.validate()
+    return mutated
+
+
+def test_baseline_actually_remaps(shifting_run):
+    """Precondition: the workload provokes adopted remaps, otherwise the
+    causality assertions below would pass trivially."""
+    net, trace, initial = shifting_run
+    base = dynamic_remap(trace, net, initial, config=_CONFIG)
+    assert base.total_migrated > 0
+    assert any(e.remap_adopted for e in base.epochs)
+
+
+def test_final_epoch_mutation_changes_no_decision(shifting_run):
+    """Epoch 3's remap reads epoch 2 data; scaling epoch-3 traffic must
+    leave every epoch's mapping and adoption decision untouched."""
+    net, trace, initial = shifting_run
+    base = dynamic_remap(trace, net, initial, config=_CONFIG)
+    edges = np.linspace(0.0, trace.duration, _CONFIG.n_epochs + 1)
+    mutated = _mutate_after(trace, float(edges[-2]))
+
+    got = dynamic_remap(mutated, net, initial, config=_CONFIG)
+    for b, g in zip(base.epochs, got.epochs):
+        assert np.array_equal(b.parts, g.parts), f"epoch {b.epoch} remapped"
+        assert b.remap_adopted == g.remap_adopted
+        assert b.migrated_nodes == g.migrated_nodes
+        assert b.migration_cost_s == g.migration_cost_s
+    # Sanity: the mutation was visible in the final epoch's measurements.
+    assert (got.epochs[-1].metrics.loads.sum()
+            > base.epochs[-1].metrics.loads.sum())
+    # …and invisible in every earlier epoch's measurements.
+    for b, g in zip(base.epochs[:-1], got.epochs[:-1]):
+        assert b.metrics.wall_network == g.metrics.wall_network
+
+
+def test_mutation_at_epoch_boundary_spares_earlier_epochs(shifting_run):
+    """Scaling everything from t >= edges[2] may change epoch 3's decision
+    (it reads epoch-2 data) but never epochs 0–2's."""
+    net, trace, initial = shifting_run
+    base = dynamic_remap(trace, net, initial, config=_CONFIG)
+    edges = np.linspace(0.0, trace.duration, _CONFIG.n_epochs + 1)
+    mutated = _mutate_after(trace, float(edges[2]))
+
+    got = dynamic_remap(mutated, net, initial, config=_CONFIG)
+    for b, g in zip(base.epochs[:3], got.epochs[:3]):
+        assert np.array_equal(b.parts, g.parts), f"epoch {b.epoch} remapped"
+        assert b.remap_adopted == g.remap_adopted
+        assert b.migrated_nodes == g.migrated_nodes
+
+
+def test_epoch_zero_never_migrates(shifting_run):
+    """Epoch 0 has no past to learn from: it must run the initial mapping
+    with no migration bill no matter the traffic."""
+    net, trace, initial = shifting_run
+    result = dynamic_remap(
+        trace, net, initial, config=DynamicConfig(n_epochs=2)
+    )
+    first = result.epochs[0]
+    assert np.array_equal(first.parts, initial)
+    assert first.migrated_nodes == 0
+    assert first.migration_cost_s == 0.0
+    assert not first.remap_adopted

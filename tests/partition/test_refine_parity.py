@@ -1,0 +1,162 @@
+"""Differential parity: incremental refinement vs the in-tree oracles.
+
+The optimized kernels (:func:`repro.partition.fm.fm_refine`,
+:func:`repro.partition.kwayrefine.kway_refine`) maintain gain/connectivity
+tables incrementally; the originals in :mod:`repro.partition._reference`
+recompute them from scratch every pass.  Because every mirrored update is
+the same element-wise IEEE operation, the two must agree *bit for bit*
+under a fixed seed whenever the edge/vertex weights are exactly
+representable — which covers both the small-integer random graphs below
+and the paper topologies (bandwidth weights are integral floats).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graphbuild import network_csr
+from repro.partition._reference import (
+    fm_refine_reference,
+    kway_refine_reference,
+)
+from repro.partition.csr import CSRGraph
+from repro.partition.fm import fm_refine
+from repro.partition.kwayrefine import kway_refine
+
+
+def random_graph(seed: int, n: int = 60, extra: int = 90) -> CSRGraph:
+    """Connected random graph with small-integer weights (exact floats)."""
+    rng = np.random.default_rng(seed)
+    edges: dict[tuple[int, int], float] = {}
+    for i in range(1, n):  # random spanning tree keeps it connected
+        j = int(rng.integers(0, i))
+        edges[(j, i)] = float(rng.integers(1, 9))
+    for _ in range(extra):
+        a, b = (int(x) for x in rng.integers(0, n, size=2))
+        a, b = min(a, b), max(a, b)
+        if a != b and (a, b) not in edges:
+            edges[(a, b)] = float(rng.integers(1, 9))
+    vwgt = rng.integers(1, 5, size=n).astype(np.float64)
+    return CSRGraph.from_edges(
+        n, [(u, v, w) for (u, v), w in edges.items()], vwgt=vwgt
+    )
+
+
+def weighted_cut(graph: CSRGraph, parts: np.ndarray) -> float:
+    src = np.repeat(np.arange(graph.n), np.diff(graph.xadj))
+    return float(graph.adjwgt[parts[graph.adjncy] != parts[src]].sum()) / 2.0
+
+
+def paper_graph(name: str) -> CSRGraph:
+    if name == "campus":
+        from repro.topology.campus import campus_network
+
+        net = campus_network()
+    elif name == "teragrid":
+        from repro.topology.teragrid import teragrid_network
+
+        net = teragrid_network()
+    else:
+        from repro.topology.brite import brite_network
+
+        net = brite_network(n_routers=80, n_hosts=60, seed=11)
+    graph, _ = network_csr(net)
+    return graph
+
+
+# --------------------------------------------------------------------- #
+# Bit-exact identity under fixed seeds
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(8))
+def test_fm_identical_to_reference(seed):
+    graph = random_graph(seed)
+    init_rng = np.random.default_rng(seed + 100)
+    parts0 = init_rng.integers(0, 2, size=graph.n).astype(np.int64)
+    parts0[:2] = (0, 1)  # both sides populated
+    got = fm_refine(
+        graph, parts0, tolerance=1.1, rng=np.random.default_rng(seed)
+    )
+    want = fm_refine_reference(
+        graph, parts0, tolerance=1.1, rng=np.random.default_rng(seed)
+    )
+    assert np.array_equal(got, want)
+    assert weighted_cut(graph, got) <= weighted_cut(graph, parts0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("k", [3, 5])
+def test_kway_identical_to_reference(seed, k):
+    graph = random_graph(seed, n=70, extra=120)
+    init_rng = np.random.default_rng(seed + 200)
+    parts0 = init_rng.integers(0, k, size=graph.n).astype(np.int64)
+    parts0[:k] = np.arange(k)  # every part populated
+    got = kway_refine(
+        graph, parts0, k, tolerance=1.2, rng=np.random.default_rng(seed)
+    )
+    want = kway_refine_reference(
+        graph, parts0, k, tolerance=1.2, rng=np.random.default_rng(seed)
+    )
+    assert np.array_equal(got, want)
+    assert weighted_cut(graph, got) <= weighted_cut(graph, parts0)
+
+
+def test_fm_identical_from_unbalanced_start():
+    """The repair pre-pass (the trickiest shared code path) also matches."""
+    graph = random_graph(31)
+    parts0 = np.zeros(graph.n, dtype=np.int64)
+    parts0[: graph.n // 8] = 1  # far outside any reasonable envelope
+    got = fm_refine(
+        graph, parts0, tolerance=1.05, rng=np.random.default_rng(5)
+    )
+    want = fm_refine_reference(
+        graph, parts0, tolerance=1.05, rng=np.random.default_rng(5)
+    )
+    assert np.array_equal(got, want)
+
+
+def test_kway_identical_from_unbalanced_start():
+    graph = random_graph(32, n=80, extra=160)
+    parts0 = np.zeros(graph.n, dtype=np.int64)
+    parts0[:4] = (1, 2, 3, 3)
+    got = kway_refine(
+        graph, parts0, 4, tolerance=1.1, rng=np.random.default_rng(6)
+    )
+    want = kway_refine_reference(
+        graph, parts0, 4, tolerance=1.1, rng=np.random.default_rng(6)
+    )
+    assert np.array_equal(got, want)
+
+
+# --------------------------------------------------------------------- #
+# Paper topologies: no worse than the oracle
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ["campus", "teragrid", "brite"])
+def test_fm_parity_on_paper_topologies(name):
+    graph = paper_graph(name)
+    init_rng = np.random.default_rng(7)
+    parts0 = init_rng.integers(0, 2, size=graph.n).astype(np.int64)
+    parts0[:2] = (0, 1)
+    got = fm_refine(
+        graph, parts0, tolerance=1.15, rng=np.random.default_rng(0)
+    )
+    want = fm_refine_reference(
+        graph, parts0, tolerance=1.15, rng=np.random.default_rng(0)
+    )
+    assert np.array_equal(got, want)
+    assert weighted_cut(graph, got) <= weighted_cut(graph, parts0)
+
+
+@pytest.mark.parametrize("name", ["campus", "teragrid", "brite"])
+def test_kway_parity_on_paper_topologies(name):
+    graph = paper_graph(name)
+    k = 4
+    init_rng = np.random.default_rng(9)
+    parts0 = init_rng.integers(0, k, size=graph.n).astype(np.int64)
+    parts0[:k] = np.arange(k)
+    got = kway_refine(
+        graph, parts0, k, tolerance=1.2, rng=np.random.default_rng(0)
+    )
+    want = kway_refine_reference(
+        graph, parts0, k, tolerance=1.2, rng=np.random.default_rng(0)
+    )
+    assert np.array_equal(got, want)
+    assert weighted_cut(graph, got) <= weighted_cut(graph, parts0)

@@ -1,0 +1,98 @@
+"""In-process tests for `massf bench partition`."""
+
+import json
+
+import pytest
+
+from repro.cli import massf
+
+
+def test_bench_partition_writes_rows_and_telemetry(tmp_path, capsys):
+    rows_path = tmp_path / "rows.json"
+    stats_path = tmp_path / "telemetry.json"
+    rc = massf([
+        "bench", "partition",
+        "--sizes", "300",
+        "--algorithms", "multilevel",
+        "-k", "4",
+        "--seed", "1",
+        "--budget", "120",
+        "--stats", str(stats_path),
+        "-o", str(rows_path),
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "routers" in captured.out and "multilevel" in captured.out
+
+    rows = json.loads(rows_path.read_text(encoding="utf-8"))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["n_routers"] == 300
+    assert row["algorithm"] == "multilevel"
+    assert row["k"] == 4
+    assert row["wall_s"] > 0
+    assert row["max_imbalance"] <= 1.2 + 1e-6
+    assert row["n_vertices"] >= 300  # routers + hosts
+
+    snapshot = json.loads(stats_path.read_text(encoding="utf-8"))
+    text = json.dumps(snapshot)
+    assert "bench/generate/n300" in text
+    assert "bench/partition/n300/multilevel" in text
+
+
+def test_bench_telemetry_renders_via_stats(tmp_path, capsys):
+    stats_path = tmp_path / "telemetry.json"
+    rc = massf([
+        "bench", "partition", "--sizes", "200", "--algorithms", "recursive",
+        "-k", "3", "--stats", str(stats_path),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    assert massf(["stats", str(stats_path)]) == 0
+    rendered = capsys.readouterr().out
+    assert "bench" in rendered
+
+
+def test_bench_multiple_sizes_and_algorithms(tmp_path):
+    rows_path = tmp_path / "rows.json"
+    rc = massf([
+        "bench", "partition", "--sizes", "150,250",
+        "--algorithms", "multilevel,recursive", "-k", "3",
+        "-o", str(rows_path),
+    ])
+    assert rc == 0
+    rows = json.loads(rows_path.read_text(encoding="utf-8"))
+    assert [(r["n_routers"], r["algorithm"]) for r in rows] == [
+        (150, "multilevel"), (150, "recursive"),
+        (250, "multilevel"), (250, "recursive"),
+    ]
+
+
+def test_bench_budget_violation_fails(capsys):
+    rc = massf([
+        "bench", "partition", "--sizes", "200",
+        "--algorithms", "multilevel", "-k", "3", "--budget", "0",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "BUDGET EXCEEDED" in captured.err
+
+
+def test_bench_rejects_unknown_algorithm(capsys):
+    with pytest.raises(SystemExit):
+        massf(["bench", "partition", "--algorithms", "nope"])
+    assert "nope" in capsys.readouterr().err
+
+
+def test_bench_rejects_bad_sizes(capsys):
+    with pytest.raises(SystemExit):
+        massf(["bench", "partition", "--sizes", "12,many"])
+    assert "--sizes" in capsys.readouterr().err
+
+
+def test_bench_rejects_impossible_config(capsys):
+    # n_routers=2 with the default target AS size is fine, but ba_m makes
+    # the derived AS too small → the SynthError surfaces as a CLI error.
+    with pytest.raises(SystemExit):
+        massf(["bench", "partition", "--sizes", "0"])
+    assert "cannot generate" in capsys.readouterr().err

@@ -1,0 +1,92 @@
+"""Structural tests for the synthetic hierarchical topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.topology.elements import Gbps
+from repro.topology.synth import SynthConfig, synth_network
+
+
+@pytest.fixture(scope="module")
+def medium():
+    return synth_network(n_routers=400, seed=12)
+
+
+def test_counts_and_validation(medium):
+    assert len(medium.routers()) == 400
+    assert len(medium.hosts()) == 400  # hosts_per_router defaults to 1.0
+    medium.validate()  # connected, no parallel links, hosts attached
+
+
+def test_as_blocks_are_contiguous(medium):
+    """Router ids within one AS form a contiguous block — the property the
+    partitioners' locality heuristics and the memory model both lean on."""
+    as_ids = np.array([r.as_id for r in medium.routers()])
+    changes = np.nonzero(np.diff(as_ids) != 0)[0]
+    # Contiguous blocks change AS id exactly (n_as - 1) times.
+    assert len(changes) == len(set(as_ids.tolist())) - 1
+    assert np.all(np.diff(as_ids) >= 0)
+
+
+def test_as_sizes_near_target(medium):
+    sizes = medium.as_sizes()
+    assert len(sizes) == 8  # 400 routers / target 50
+    assert max(sizes.values()) - min(sizes.values()) <= 1
+
+
+def test_sites_follow_as(medium):
+    for node in medium.nodes:
+        assert node.site == f"as{node.as_id}"
+
+
+def test_inter_as_links_are_trunks(medium):
+    """Every link between routers of different ASes carries the 10 Gbps
+    backbone tier; everything inside an AS is strictly slower."""
+    nodes = medium.nodes
+    inter = intra = 0
+    for link in medium.links:
+        u, v = nodes[link.u], nodes[link.v]
+        if not (u.is_router and v.is_router):
+            continue
+        if u.as_id != v.as_id:
+            inter += 1
+            assert link.bandwidth_bps == Gbps(10)
+        else:
+            intra += 1
+            assert link.bandwidth_bps < Gbps(10)
+    assert inter >= 7  # at least a spanning AS backbone
+    assert intra > inter
+
+
+def test_latencies_have_floor(medium):
+    assert min(link.latency_s for link in medium.links) >= 1.0e-3
+
+
+def test_deterministic_per_seed():
+    a = synth_network(n_routers=120, seed=4)
+    b = synth_network(n_routers=120, seed=4)
+    c = synth_network(n_routers=120, seed=5)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_partitionable_end_to_end():
+    """The generator's output flows straight into the partition stack."""
+    from repro.core.graphbuild import network_csr
+    from repro.partition.api import part_graph
+
+    net = synth_network(n_routers=300, seed=1)
+    graph, _ = network_csr(net)
+    result = part_graph(graph, 8, algorithm="multilevel", tolerance=1.2,
+                        seed=0)
+    assert result.max_imbalance <= 1.2 + 1e-6
+    assert len(np.unique(result.parts)) == 8
+
+
+def test_config_dataclass_roundtrip():
+    cfg = SynthConfig(n_routers=64, n_as=4, seed=9)
+    net = synth_network(cfg)
+    assert len(net.routers()) == 64
+    assert len(net.as_sizes()) == 4
+    # Name encodes the resolved shape.
+    assert net.name == "synth-64r64h-4as"
