@@ -392,13 +392,14 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 # massf bench
 # --------------------------------------------------------------------- #
 def _configure_bench(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("what", choices=("partition",),
+    parser.add_argument("what", choices=("partition", "routing", "place"),
                         help="benchmark suite to run")
     parser.add_argument("--sizes", default="1000,2000,5000",
                         help="comma-separated router counts for the "
                         "synthetic hierarchical topology")
     parser.add_argument("--algorithms", default="multilevel,recursive",
-                        help="comma-separated partitioning algorithms")
+                        help="comma-separated partitioning algorithms "
+                        "(partition suite)")
     parser.add_argument("-k", "--parts", type=int, default=16,
                         help="number of parts (engine nodes)")
     parser.add_argument("--tolerance", type=float, default=1.2)
@@ -406,30 +407,58 @@ def _configure_bench(parser: argparse.ArgumentParser) -> None:
                         help="seed for both the generator and the "
                         "partitioners")
     parser.add_argument("--hosts-per-router", type=float, default=1.0)
+    parser.add_argument("--metric", default="latency",
+                        help="routing metric (routing / place suites)")
+    parser.add_argument("--hosts", type=int, default=200,
+                        help="foreground endpoints for the place suite "
+                        "(all-to-all over the first N hosts)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="route-block worker processes for the place "
+                        "suite (0 = inline)")
+    parser.add_argument("--no-representatives", action="store_true",
+                        help="disable the representative-endpoint "
+                        "traceroute optimization (place suite)")
     parser.add_argument("--budget", type=float, default=None,
                         help="per-run wall-time budget in seconds; exceeding "
                         "it fails the command (CI smoke guard)")
     parser.add_argument("--stats", metavar="PATH",
                         help="write a telemetry JSON snapshot here "
                         "(render with `massf stats`)")
+    parser.add_argument("--json", action="store_true",
+                        help="write the result rows to BENCH_<suite>.json "
+                        "in the working directory (CI artifact)")
     parser.add_argument("-o", "--output", help="write the result rows as "
                         "JSON here")
 
 
-def _cmd_bench(parser: argparse.ArgumentParser, args) -> int:
-    import time
-
-    from repro.core.graphbuild import network_csr
-    from repro.obs import Telemetry, write_json
-    from repro.partition.api import part_graph, resolve_algorithm
-    from repro.topology.synth import SynthError, synth_network
-
+def _bench_sizes(parser: argparse.ArgumentParser, args) -> list[int]:
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
     except ValueError:
         parser.error(f"bad --sizes value {args.sizes!r}")
     if not sizes:
         parser.error("--sizes must name at least one router count")
+    return sizes
+
+
+def _bench_net(parser: argparse.ArgumentParser, args, n: int):
+    from repro.topology.synth import SynthError, synth_network
+
+    try:
+        return synth_network(
+            n_routers=n, hosts_per_router=args.hosts_per_router,
+            seed=args.seed,
+        )
+    except SynthError as exc:
+        parser.error(f"cannot generate n_routers={n}: {exc}")
+
+
+def _bench_partition(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    import time
+
+    from repro.core.graphbuild import network_csr
+    from repro.partition.api import part_graph, resolve_algorithm
+
     try:
         algorithms = [
             resolve_algorithm(a)
@@ -441,20 +470,13 @@ def _cmd_bench(parser: argparse.ArgumentParser, args) -> int:
     if not algorithms:
         parser.error("--algorithms must name at least one algorithm")
 
-    telemetry = Telemetry()
     rows: list[dict] = []
     over_budget: list[str] = []
     print(f"{'routers':>8s} {'algorithm':<12s} {'wall_s':>8s} "
           f"{'cut':>12s} {'imbalance':>9s}")
-    for n in sizes:
+    for n in _bench_sizes(parser, args):
         with telemetry.span(f"bench/generate/n{n}"):
-            try:
-                net = synth_network(
-                    n_routers=n, hosts_per_router=args.hosts_per_router,
-                    seed=args.seed,
-                )
-            except SynthError as exc:
-                parser.error(f"cannot generate n_routers={n}: {exc}")
+            net = _bench_net(parser, args, n)
             graph, _ = network_csr(net)
         telemetry.count("bench.vertices", graph.n)
         for algo in algorithms:
@@ -485,14 +507,152 @@ def _cmd_bench(parser: argparse.ArgumentParser, args) -> int:
                 over_budget.append(
                     f"n={n} {algo}: {wall:.2f}s > budget {args.budget:.2f}s"
                 )
+    return rows, over_budget
+
+
+def _bench_routing(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    import time
+
+    from repro.routing.perf import RoutingStats
+    from repro.routing.spf import build_routing
+    from repro.routing.tables import METRICS
+
+    if args.metric not in METRICS:
+        parser.error(f"unknown metric {args.metric!r}; "
+                     f"choose from {METRICS}")
+    rows: list[dict] = []
+    over_budget: list[str] = []
+    print(f"{'routers':>8s} {'nodes':>8s} {'metric':<14s} {'wall_s':>8s} "
+          f"{'dijkstra':>9s} {'nh_rounds':>9s}")
+    for n in _bench_sizes(parser, args):
+        with telemetry.span(f"bench/generate/n{n}"):
+            net = _bench_net(parser, args, n)
+        stats = RoutingStats()
+        start = time.perf_counter()
+        build_routing(
+            net, args.metric, telemetry=telemetry, stats=stats
+        )
+        wall = time.perf_counter() - start
+        telemetry.count("bench.runs")
+        telemetry.gauge(f"bench.routing_wall_s.n{n}", wall)
+        row = {
+            "n_routers": n,
+            "n_nodes": net.n_nodes,
+            "metric": args.metric,
+            "wall_s": wall,
+            "dijkstra_calls": stats.dijkstra_calls,
+            "nexthop_rounds": stats.nexthop_rounds,
+        }
+        rows.append(row)
+        print(f"{n:8d} {net.n_nodes:8d} {args.metric:<14s} {wall:8.2f} "
+              f"{stats.dijkstra_calls:9d} {stats.nexthop_rounds:9d}")
+        if args.budget is not None and wall > args.budget:
+            over_budget.append(
+                f"n={n}: {wall:.2f}s > budget {args.budget:.2f}s"
+            )
+    return rows, over_budget
+
+
+class _BenchApp:
+    """Minimal all-to-all foreground app for the place benchmark."""
+
+    name = "bench-all-to-all"
+
+    def __init__(self, endpoints: list[int]) -> None:
+        self.endpoints = list(endpoints)
+
+    duration = 0.0
+
+    def offered_bytes(self):
+        return None
+
+
+def _bench_place(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    import time
+
+    from repro.core.place import build_place_inputs
+    from repro.routing.spf import build_routing
+    from repro.routing.tables import METRICS
+
+    if args.metric not in METRICS:
+        parser.error(f"unknown metric {args.metric!r}; "
+                     f"choose from {METRICS}")
+    if args.hosts < 2:
+        parser.error("--hosts must be >= 2")
+    rows: list[dict] = []
+    over_budget: list[str] = []
+    print(f"{'routers':>8s} {'nodes':>8s} {'hosts':>6s} {'pairs':>9s} "
+          f"{'wall_s':>8s} {'routes':>8s}")
+    for n in _bench_sizes(parser, args):
+        with telemetry.span(f"bench/generate/n{n}"):
+            net = _bench_net(parser, args, n)
+        hosts = [h.node_id for h in net.hosts()][: args.hosts]
+        if len(hosts) < 2:
+            parser.error(
+                f"n_routers={n} with --hosts-per-router "
+                f"{args.hosts_per_router} yields {len(hosts)} hosts; "
+                "the place suite needs at least 2"
+            )
+        with telemetry.span(f"bench/routing/n{n}"):
+            tables = build_routing(net, args.metric, telemetry=telemetry)
+        app = _BenchApp(hosts)
+        start = time.perf_counter()
+        inputs = build_place_inputs(
+            net, tables, background=[], apps=[app],
+            use_representatives=not args.no_representatives,
+            workers=args.workers, telemetry=telemetry,
+        )
+        wall = time.perf_counter() - start
+        telemetry.count("bench.runs")
+        telemetry.gauge(f"bench.place_wall_s.n{n}", wall)
+        n_pairs = len(hosts) * (len(hosts) - 1)
+        row = {
+            "n_routers": n,
+            "n_nodes": net.n_nodes,
+            "n_hosts": len(hosts),
+            "n_pairs": n_pairs,
+            "metric": args.metric,
+            "workers": args.workers,
+            "use_representatives": not args.no_representatives,
+            "wall_s": wall,
+            "n_routes": inputs.estimate.n_routes,
+        }
+        rows.append(row)
+        print(f"{n:8d} {net.n_nodes:8d} {len(hosts):6d} {n_pairs:9d} "
+              f"{wall:8.2f} {inputs.estimate.n_routes:8d}")
+        if args.budget is not None and wall > args.budget:
+            over_budget.append(
+                f"n={n}: {wall:.2f}s > budget {args.budget:.2f}s"
+            )
+    return rows, over_budget
+
+
+_BENCH_SUITES = {
+    "partition": _bench_partition,
+    "routing": _bench_routing,
+    "place": _bench_place,
+}
+
+
+def _cmd_bench(parser: argparse.ArgumentParser, args) -> int:
+    from repro.obs import Telemetry, write_json
+
+    telemetry = Telemetry()
+    rows, over_budget = _BENCH_SUITES[args.what](parser, args, telemetry)
 
     if args.stats:
         write_json(telemetry, args.stats)
         print(f"telemetry written to {args.stats} "
               f"(render with `massf stats {args.stats}`)", file=sys.stderr)
+    payload = json.dumps(rows, indent=2) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(rows, indent=2) + "\n")
+            handle.write(payload)
+    if args.json:
+        path = f"BENCH_{args.what}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"rows written to {path}", file=sys.stderr)
     if over_budget:
         for line in over_budget:
             print(f"BUDGET EXCEEDED: {line}", file=sys.stderr)

@@ -1,0 +1,95 @@
+"""Shared aggregation kernels for the mapping approaches.
+
+PLACE folds per-route predicted rates into per-link / per-node loads;
+PROFILE folds per-node NetFlow series into per-engine loads; both combine
+a compute load with the routing-table memory model into vertex weights.
+This module is the common home of those folds.
+
+The accumulation primitive is ``np.add.at`` — *unbuffered*, so repeated
+indices apply their additions in element order.  A vectorized fold over
+indices flattened in loop order is therefore **bit-identical** to the
+scalar Python loop it replaces, which is what lets the differential parity
+suite compare optimized and reference kernels with ``==`` instead of
+tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accumulate_rates",
+    "flatten_route_rates",
+    "balance_inputs",
+]
+
+
+def accumulate_rates(
+    idx: np.ndarray, values: np.ndarray, size: int
+) -> np.ndarray:
+    """Sum ``values`` into ``size`` buckets selected by ``idx``.
+
+    ``values`` may be ``(m,)`` or ``(m, ...)`` (rows accumulate whole).
+    Additions land in element order (``np.add.at`` is unbuffered), so the
+    result is bit-identical to the equivalent sequential loop.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros((size,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out, idx, values)
+    return out
+
+
+def flatten_route_rates(
+    paths: list[list[int]], rates: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten routed paths + per-path rates into accumulation arrays.
+
+    Returns ``(nodes, node_rates, us, vs, edge_rates)``: every node visit
+    and every traversed edge of every path, in path-major order — exactly
+    the order the scalar accumulation loop would touch them, so feeding
+    them to :func:`accumulate_rates` reproduces its sums bit-for-bit.
+    """
+    n_paths = len(paths)
+    rates = np.asarray(rates, dtype=np.float64)
+    lengths = np.fromiter(
+        (len(p) for p in paths), dtype=np.int64, count=n_paths
+    )
+    total = int(lengths.sum())
+    nodes = np.fromiter(
+        (v for p in paths for v in p), dtype=np.int64, count=total
+    )
+    node_rates = np.repeat(rates, lengths)
+    # Edges: consecutive node pairs within each path; the last slot of
+    # every path starts no edge.
+    is_last = np.zeros(total, dtype=bool)
+    if n_paths:
+        is_last[np.cumsum(lengths) - 1] = True
+    us = nodes[~is_last]
+    vs = nodes[1:][~is_last[:-1]] if total else nodes[:0]
+    edge_rates = node_rates[~is_last]
+    return nodes, node_rates, us, vs, edge_rates
+
+
+def balance_inputs(
+    compute: np.ndarray,
+    net,
+    memory_weight: float = 0.1,
+    memory_mode: str = "sum",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vertex weights + latency-objective edge weights for one approach.
+
+    The §2.2.2 recipe shared by PLACE and PROFILE: the approach's compute
+    load combines with the routing-table memory model into ``vwgt``, and
+    the network's latencies become the maximize-cut-latency objective.
+    Returns ``(vwgt, link_weights_latency)``.
+    """
+    from repro.core.graphbuild import (
+        combine_compute_memory,
+        latency_objective_weights,
+    )
+
+    vwgt = combine_compute_memory(
+        compute, net, memory_weight=memory_weight, mode=memory_mode
+    )
+    return vwgt, latency_objective_weights(net)

@@ -189,6 +189,7 @@ class Mapper:
                 memory_weight=self.config.memory_weight,
                 memory_mode=self.config.memory_mode,
                 use_representatives=self.config.use_representatives,
+                telemetry=self.telemetry,
             )
             result, mo_diag = self._partition_multi_objective(
                 inputs.vwgt, inputs.link_weights_latency,

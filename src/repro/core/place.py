@@ -14,16 +14,33 @@ the instantiated routing tables), optionally with one representative
 endpoint per sub-network to cut the number of traceroute executions.  The
 aggregated per-link load becomes the traffic objective; per-node
 through-traffic becomes the compute term of the vertex weight.
+
+The estimation hot path is batched: flows dedupe to distinct endpoint
+pairs with one vectorized pass, routes are discovered by batched TTL
+stepping (:func:`repro.routing.icmp.batched_walks`), and per-link /
+per-node rates accumulate through ``np.add.at`` in route order — so the
+result is bit-identical to the preserved scalar reference
+(:func:`repro.routing._reference.estimate_traffic_reference`).  Route
+blocks optionally fan out across a fork-shared process pool
+(:func:`repro.runtime.pmap.parallel_map`) with per-block artifact caching;
+block boundaries never change the sums because the parent folds the flat
+per-block arrays back in pair order before accumulating.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.graphbuild import combine_compute_memory, latency_objective_weights
-from repro.routing.icmp import discover_routes
+from repro.core.aggregate import (
+    accumulate_rates,
+    balance_inputs,
+    flatten_route_rates,
+)
+from repro.routing.icmp import batched_walks, plan_routes
+from repro.routing.spf import ROUTING_TABLE_VERSION
 from repro.routing.tables import RoutingTables
 from repro.topology.network import Network
 from repro.traffic.apps.base import ForegroundApp
@@ -99,33 +116,151 @@ def foreground_placement_flows(
     return flows
 
 
+def _dedupe_flows(
+    flows: list[PredictedFlow], n_nodes: int
+) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """Merge flows into (sorted distinct pairs, per-pair summed rates).
+
+    One vectorized pass: duplicate pairs sum their rates in flow order
+    (``np.add.at``), matching the scalar dict accumulation bit-for-bit.
+    """
+    m = len(flows)
+    src = np.fromiter((f.src for f in flows), dtype=np.int64, count=m)
+    dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=m)
+    rate = np.fromiter(
+        (f.bytes_per_s for f in flows), dtype=np.float64, count=m
+    )
+    keys = src * n_nodes + dst
+    uniq, inv = np.unique(keys, return_inverse=True)
+    pair_rates = accumulate_rates(inv, rate, uniq.size)
+    pairs = [
+        (int(k) // n_nodes, int(k) % n_nodes) for k in uniq.tolist()
+    ]
+    return pairs, pair_rates
+
+
+def _estimate_block(item: dict, shared) -> dict:
+    """Route one pair block and flatten its rate contributions.
+
+    ``item`` is pure data (cache-keyable): the block's pairs and rates
+    plus the routes already resolved by the plan (``known``, local
+    indices).  ``shared`` carries the routing tables (fork-inherited in
+    pool mode, never pickled) and, inline, the live stats object.
+    """
+    tables, stats = shared
+    pairs = item["pairs"]
+    known: dict[int, list[int]] = item["known"]
+    walk_local = [i for i in range(len(pairs)) if i not in known]
+    walked = batched_walks(
+        tables, [pairs[i] for i in walk_local], stats=stats
+    )
+    path_of = dict(known)
+    path_of.update(zip(walk_local, walked))
+    paths = [path_of[i] for i in range(len(pairs))]
+    nodes, node_rates, us, vs, edge_rates = flatten_route_rates(
+        paths, item["rates"]
+    )
+    return {
+        "nodes": nodes,
+        "node_rates": node_rates,
+        "lids": tables.link_ids_of(us, vs),
+        "edge_rates": edge_rates,
+    }
+
+
 def estimate_traffic(
     net: Network,
     tables: RoutingTables,
     flows: list[PredictedFlow],
     use_representatives: bool = True,
+    *,
+    workers: int | None = 0,
+    cache=None,
+    pairs_per_block: int | None = None,
+    telemetry=None,
+    stats=None,
 ) -> TrafficEstimate:
-    """Route predicted flows (traceroute) and aggregate per link/node."""
-    link_rate = np.zeros(net.n_links, dtype=np.float64)
-    node_rate = np.zeros(net.n_nodes, dtype=np.float64)
-    # Merge duplicate pairs first — one traceroute per distinct pair.
-    pair_rate: dict[tuple[int, int], float] = {}
-    for flow in flows:
-        key = (flow.src, flow.dst)
-        pair_rate[key] = pair_rate.get(key, 0.0) + flow.bytes_per_s
-    pairs = sorted(pair_rate)
-    routes, n_walks = discover_routes(
-        tables, pairs, use_representatives=use_representatives
-    )
-    for pair in pairs:
-        rate = pair_rate[pair]
-        path = routes[pair]
-        for node in path:
-            node_rate[node] += rate
-        for u, v in zip(path, path[1:]):
-            link_rate[tables.link_between(u, v).link_id] += rate
+    """Route predicted flows (traceroute) and aggregate per link/node.
+
+    ``workers`` fans the route blocks across a fork-shared process pool
+    (``0``/``1`` inline, ``None`` auto); ``cache`` (an
+    :class:`~repro.runtime.cache.ArtifactCache`) stores each block's
+    flattened contributions under kind ``"place-block"`` so repeated
+    estimates skip the route walks; ``pairs_per_block`` overrides the
+    block size.  All of these change scheduling only — the returned rates
+    are bit-identical in every configuration.  ``stats`` (a
+    :class:`repro.routing.perf.RoutingStats`) collects walk counters
+    (inline mode only — pool workers keep their own copies).
+    """
+    from repro.obs.telemetry import ensure_telemetry
+    from repro.runtime.pmap import parallel_map
+
+    tel = ensure_telemetry(telemetry)
+    with tel.span("place/estimate"):
+        if not flows:
+            return TrafficEstimate(
+                link_rate=np.zeros(net.n_links, dtype=np.float64),
+                node_rate=np.zeros(net.n_nodes, dtype=np.float64),
+                n_routes=0,
+            )
+        pairs, pair_rates = _dedupe_flows(flows, net.n_nodes)
+        n_pairs = len(pairs)
+        if stats is not None:
+            stats.routed_pairs += n_pairs
+        plan = plan_routes(
+            tables, pairs, use_representatives=use_representatives,
+            stats=stats,
+        )
+
+        n_workers = workers if workers is not None else (os.cpu_count() or 1)
+        if pairs_per_block is None:
+            if n_workers <= 1:
+                pairs_per_block = n_pairs
+            else:
+                pairs_per_block = max(1, -(-n_pairs // (4 * n_workers)))
+        items = []
+        for start in range(0, n_pairs, pairs_per_block):
+            end = min(start + pairs_per_block, n_pairs)
+            items.append({
+                "pairs": pairs[start:end],
+                "rates": pair_rates[start:end],
+                "known": {
+                    i - start: plan.known[i]
+                    for i in range(start, end)
+                    if i in plan.known
+                },
+            })
+
+        def _block_key(item: dict) -> tuple:
+            return (
+                net.fingerprint(), tables.metric, ROUTING_TABLE_VERSION,
+                item["pairs"], item["rates"], item["known"],
+            )
+
+        blocks = parallel_map(
+            _estimate_block, items, workers=workers,
+            shared=(tables, stats), cache=cache, kind="place-block",
+            key_of=_block_key, telemetry=telemetry,
+        )
+
+        # Fold the flat per-block arrays back in pair order: one unbuffered
+        # accumulation pass, bit-identical to the scalar per-pair loop.
+        link_rate = accumulate_rates(
+            np.concatenate([b["lids"] for b in blocks]),
+            np.concatenate([b["edge_rates"] for b in blocks]),
+            net.n_links,
+        )
+        node_rate = accumulate_rates(
+            np.concatenate([b["nodes"] for b in blocks]),
+            np.concatenate([b["node_rates"] for b in blocks]),
+            net.n_nodes,
+        )
+    tel.count("place.flows", len(flows))
+    tel.count("place.pairs", n_pairs)
+    tel.count("place.walks", plan.n_walks)
+    tel.count("place.blocks", len(items))
     return TrafficEstimate(
-        link_rate=link_rate, node_rate=node_rate, n_routes=n_walks
+        link_rate=link_rate, node_rate=node_rate, n_routes=plan.n_walks
     )
 
 
@@ -137,11 +272,18 @@ def build_place_inputs(
     memory_weight: float = 0.1,
     memory_mode: str = "sum",
     use_representatives: bool = True,
+    *,
+    workers: int | None = 0,
+    cache=None,
+    pairs_per_block: int | None = None,
+    telemetry=None,
 ) -> PlaceInputs:
     """Compute PLACE vertex/edge weights.
 
     ``background`` generators must already be prepared (populations fixed)
-    so their predictions are available.
+    so their predictions are available.  ``workers`` / ``cache`` /
+    ``pairs_per_block`` tune the traffic estimation (see
+    :func:`estimate_traffic`) without changing any output bit.
     """
     flows: list[PredictedFlow] = []
     for gen in background:
@@ -149,14 +291,17 @@ def build_place_inputs(
     for app in apps:
         flows.extend(foreground_placement_flows(net, app))
     estimate = estimate_traffic(
-        net, tables, flows, use_representatives=use_representatives
+        net, tables, flows, use_representatives=use_representatives,
+        workers=workers, cache=cache, pairs_per_block=pairs_per_block,
+        telemetry=telemetry,
     )
-    vwgt = combine_compute_memory(
-        estimate.node_rate, net, memory_weight=memory_weight, mode=memory_mode
+    vwgt, link_weights_latency = balance_inputs(
+        estimate.node_rate, net, memory_weight=memory_weight,
+        memory_mode=memory_mode,
     )
     return PlaceInputs(
         vwgt=vwgt,
-        link_weights_latency=latency_objective_weights(net),
+        link_weights_latency=link_weights_latency,
         link_weights_traffic=estimate.link_rate,
         estimate=estimate,
         diagnostics={

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.graphbuild import combine_compute_memory, latency_objective_weights
+from repro.core.aggregate import balance_inputs
+from repro.core.graphbuild import latency_objective_weights
 from repro.core.segments import find_segments, segment_weights
 from repro.profiling.aggregate import ProfileData
 from repro.routing.tables import memory_weights
@@ -79,15 +80,16 @@ def build_profile_inputs(
         # a column of its own would over-constrain small part counts.
         mem = memory_weights(net)
         vwgt = vwgt + memory_weight * (mem / max(mem.mean(), 1e-12))[:, None]
+        link_weights_latency = latency_objective_weights(net)
     else:
-        vwgt = combine_compute_memory(
+        vwgt, link_weights_latency = balance_inputs(
             profile.node_packets, net, memory_weight=memory_weight,
-            mode=memory_mode,
+            memory_mode=memory_mode,
         )
 
     return ProfileInputs(
         vwgt=vwgt,
-        link_weights_latency=latency_objective_weights(net),
+        link_weights_latency=link_weights_latency,
         link_weights_traffic=profile.link_packets.astype(np.float64),
         n_segments=len(segments),
         diagnostics={

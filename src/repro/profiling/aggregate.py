@@ -55,11 +55,11 @@ class ProfileData:
 
     def lp_series(self, parts: np.ndarray) -> np.ndarray:
         """Per-engine-node load series under a mapping, ``(k, n_bins)``."""
+        from repro.core.aggregate import accumulate_rates
+
         parts = np.asarray(parts, dtype=np.int64)
         k = int(parts.max()) + 1
-        out = np.zeros((k, self.n_bins), dtype=np.float64)
-        np.add.at(out, parts, self.node_series)
-        return out
+        return accumulate_rates(parts, self.node_series, k)
 
     # ------------------------------------------------------------------ #
     @classmethod

@@ -1,21 +1,39 @@
 """Routing substrate: shortest-path tables, memory model, ICMP/traceroute.
 
 - :func:`repro.routing.spf.build_routing` — all-pairs next-hop computation
-  (Dijkstra via :mod:`scipy.sparse.csgraph`).
+  (Dijkstra via :mod:`scipy.sparse.csgraph`, vectorized next-hop fill,
+  optional per-source blocking for 10k-node networks).
 - :class:`repro.routing.tables.RoutingTables` — path queries + the paper's
   per-router routing-table memory model (``10 + x²`` for AS size ``x``).
 - :func:`repro.routing.icmp.traceroute` — hop-by-hop TTL walk, the mechanism
-  PLACE uses to discover routes between traffic endpoints.
+  PLACE uses to discover routes between traffic endpoints
+  (:func:`repro.routing.icmp.batched_walks` steps many pairs at once).
+- :class:`repro.routing.perf.RoutingStats` — operation counters backing the
+  perf-guard tests; :mod:`repro.routing._reference` keeps the original
+  scalar kernels as differential-parity oracles.
 """
 
-from repro.routing.icmp import discover_routes, traceroute
-from repro.routing.spf import build_routing
-from repro.routing.tables import RoutingTables, memory_weights
+from repro.routing.icmp import batched_walks, discover_routes, traceroute
+from repro.routing.perf import RoutingStats
+from repro.routing.spf import ROUTING_TABLE_VERSION, build_routing
+from repro.routing.tables import (
+    METRICS,
+    RoutingTables,
+    link_cost,
+    link_cost_array,
+    memory_weights,
+)
 
 __all__ = [
     "build_routing",
+    "ROUTING_TABLE_VERSION",
     "RoutingTables",
+    "RoutingStats",
     "memory_weights",
     "traceroute",
     "discover_routes",
+    "batched_walks",
+    "METRICS",
+    "link_cost",
+    "link_cost_array",
 ]

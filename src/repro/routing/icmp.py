@@ -11,15 +11,31 @@ representatives."
 probes with increasing TTL, and each router that decrements TTL to zero
 answers with a TIME_EXCEEDED carrying its id.  :func:`discover_routes` adds
 the representative-endpoint optimization keyed on the nodes' ``site`` label.
+
+Route discovery is *batched*: all requested pairs step through the next-hop
+matrix simultaneously (one fancy-indexed gather per hop round, bounded by
+the longest route) instead of one Python walk per pair.  Routes are
+bit-identical to the preserved per-pair reference
+(:func:`repro.routing._reference.discover_routes_reference`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.routing.tables import RoutingTables
 
-__all__ = ["IcmpReply", "probe", "traceroute", "discover_routes"]
+__all__ = [
+    "IcmpReply",
+    "probe",
+    "traceroute",
+    "discover_routes",
+    "batched_walks",
+    "plan_routes",
+    "RoutePlan",
+]
 
 
 @dataclass(frozen=True)
@@ -68,58 +84,176 @@ def traceroute(
     raise RuntimeError(f"traceroute {src} -> {dst} exceeded {max_ttl} hops")
 
 
+def batched_walks(
+    tables: RoutingTables,
+    pairs: list[tuple[int, int]],
+    max_ttl: int = 64,
+    stats=None,
+) -> list[list[int]]:
+    """Traceroute many pairs at once by stepping them together.
+
+    Every pair advances one hop per round through a single fancy-indexed
+    ``next_hop`` gather, so the Python-level work is one round per hop of
+    the *longest* route instead of one loop iteration per hop per pair.
+    Paths (and the error behaviour of dead ends / hop-count overruns) match
+    :func:`traceroute` exactly.
+    """
+    n_pairs = len(pairs)
+    if n_pairs == 0:
+        return []
+    nh = tables.next_hop
+    src = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=n_pairs)
+    dst = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=n_pairs)
+    paths = [[int(s)] for s in src.tolist()]
+    cur = src.copy()
+    alive = np.arange(n_pairs)
+    if stats is not None:
+        stats.walks += n_pairs
+    for _ in range(max_ttl):
+        if alive.size == 0:
+            return paths
+        nxt = nh[cur[alive], dst[alive]]
+        dead = nxt < 0
+        if dead.any():
+            i = int(alive[int(np.argmax(dead))])
+            raise ValueError(f"no route {pairs[i][0]} -> {pairs[i][1]}")
+        cur[alive] = nxt
+        for i, v in zip(alive.tolist(), nxt.tolist()):
+            paths[i].append(v)
+        alive = alive[nxt != dst[alive]]
+        if stats is not None:
+            stats.walk_rounds += 1
+    if alive.size:
+        i = int(alive[0])
+        raise RuntimeError(
+            f"traceroute {pairs[i][0]} -> {pairs[i][1]} exceeded "
+            f"{max_ttl} hops"
+        )
+    return paths
+
+
+@dataclass
+class RoutePlan:
+    """Resolution plan for a batch of endpoint pairs.
+
+    ``known`` maps pair indices to routes already resolved during planning
+    (representative walks and spliced representative paths); ``walk_idx``
+    lists the pair indices that still need a traceroute.  ``n_walks`` is
+    the full traceroute budget of the plan: walks performed while planning
+    plus ``len(walk_idx)``.
+    """
+
+    pairs: list[tuple[int, int]]
+    walk_idx: list[int] = field(default_factory=list)
+    known: dict[int, list[int]] = field(default_factory=dict)
+    n_walks: int = 0
+
+
+def plan_routes(
+    tables: RoutingTables,
+    pairs: list[tuple[int, int]],
+    use_representatives: bool = False,
+    stats=None,
+) -> RoutePlan:
+    """Classify pairs into walks vs. representative-path reuse.
+
+    With ``use_representatives`` the first cross-site pair of each
+    (site(src), site(dst)) key is walked immediately (it anchors the
+    splice checks); every later pair of that key reuses the
+    representative's router-level core when it enters and leaves the core
+    at the same points.  Pairs sharing a site, or whose access hops differ
+    from the representative's, are scheduled for a direct walk, so the
+    resolved routes are always valid forwarding paths.
+    """
+    pairs = [(int(s), int(d)) for s, d in pairs]
+    plan = RoutePlan(pairs=pairs)
+    if not use_representatives:
+        plan.walk_idx = list(range(len(pairs)))
+        plan.n_walks = len(pairs)
+        return plan
+
+    site_of = {
+        n.node_id: (n.site or f"node{n.node_id}") for n in tables.net.nodes
+    }
+    rep_of: dict[tuple[str, str], int] = {}
+    candidates: list[int] = []
+    cand_key: list[tuple[str, str]] = []
+    for i, (src, dst) in enumerate(pairs):
+        key = (site_of[src], site_of[dst])
+        if key[0] == key[1]:
+            plan.walk_idx.append(i)
+        elif key not in rep_of:
+            rep_of[key] = i
+        else:
+            candidates.append(i)
+            cand_key.append(key)
+
+    # Walk the representatives now — their paths anchor the splice checks.
+    rep_idx = list(rep_of.values())
+    rep_walked = batched_walks(
+        tables, [pairs[i] for i in rep_idx], stats=stats
+    )
+    plan.known.update(zip(rep_idx, rep_walked))
+    plan.n_walks = len(rep_idx)
+
+    if candidates:
+        nh = tables.next_hop
+        srcs = np.array([pairs[i][0] for i in candidates], dtype=np.int64)
+        dsts = np.array([pairs[i][1] for i in candidates], dtype=np.int64)
+        reps = [plan.known[rep_of[k]] for k in cand_key]
+        long_enough = np.array([len(r) >= 3 for r in reps])
+        rep_first = np.array(
+            [r[1] if len(r) >= 3 else -2 for r in reps], dtype=np.int64
+        )
+        rep_penult = np.array(
+            [r[-2] if len(r) >= 3 else 0 for r in reps], dtype=np.int64
+        )
+        # Reuse the representative's path when this pair enters and leaves
+        # the core at the same points (same access hops).
+        splice = (
+            long_enough
+            & (nh[srcs, dsts] == rep_first)
+            & (nh[rep_penult, dsts] == dsts)
+        )
+        for j in np.flatnonzero(splice).tolist():
+            i = candidates[j]
+            rep = reps[j]
+            plan.known[i] = [pairs[i][0]] + rep[1:-1] + [pairs[i][1]]
+            if stats is not None:
+                stats.spliced_pairs += 1
+        direct = [candidates[j] for j in np.flatnonzero(~splice).tolist()]
+        plan.walk_idx.extend(direct)
+
+    plan.walk_idx.sort()
+    plan.n_walks += len(plan.walk_idx)
+    return plan
+
+
 def discover_routes(
     tables: RoutingTables,
     pairs: list[tuple[int, int]],
     use_representatives: bool = False,
+    stats=None,
 ) -> tuple[dict[tuple[int, int], list[int]], int]:
     """Traceroute a set of endpoint pairs.
 
     With ``use_representatives`` the walk runs once per (site(src),
     site(dst)) pair — the paper's optimization — and the router-level core
     of that representative path is reused for every endpoint pair attached
-    to the same access routers.  Pairs whose access routers differ from the
-    representatives' (and pairs sharing a site) fall back to a direct walk,
-    so the returned routes are always valid forwarding paths.
+    to the same access routers (see :func:`plan_routes`).
 
     Returns ``(routes, n_traceroutes)`` — the second element is the number
     of actual traceroute executions, the cost the optimization reduces.
     """
+    plan = plan_routes(
+        tables, pairs, use_representatives=use_representatives, stats=stats
+    )
+    walked = batched_walks(
+        tables, [plan.pairs[i] for i in plan.walk_idx], stats=stats
+    )
+    path_of = dict(plan.known)
+    path_of.update(zip(plan.walk_idx, walked))
     routes: dict[tuple[int, int], list[int]] = {}
-    n_walks = 0
-    if not use_representatives:
-        for src, dst in pairs:
-            routes[(src, dst)] = traceroute(tables, src, dst)
-            n_walks += 1
-        return routes, n_walks
-
-    site_of = {
-        n.node_id: (n.site or f"node{n.node_id}") for n in tables.net.nodes
-    }
-    rep_paths: dict[tuple[str, str], list[int]] = {}
-    for src, dst in pairs:
-        s_site, d_site = site_of[src], site_of[dst]
-        key = (s_site, d_site)
-        if s_site != d_site and key not in rep_paths:
-            rep_paths[key] = traceroute(tables, src, dst)
-            n_walks += 1
-            routes[(src, dst)] = rep_paths[key]
-            continue
-        if s_site == d_site:
-            routes[(src, dst)] = traceroute(tables, src, dst)
-            n_walks += 1
-            continue
-        rep = rep_paths[key]
-        # Reuse the representative's path when this pair enters and leaves
-        # the core at the same points (same access hops).
-        src_hop = tables.hop(src, dst)
-        if (
-            len(rep) >= 3
-            and src_hop == rep[1]
-            and tables.hop(rep[-2], dst) == dst
-        ):
-            routes[(src, dst)] = [src] + rep[1:-1] + [dst]
-        else:
-            routes[(src, dst)] = traceroute(tables, src, dst)
-            n_walks += 1
-    return routes, n_walks
+    for i, pair in enumerate(plan.pairs):
+        routes[pair] = path_of[i]
+    return routes, plan.n_walks

@@ -1,0 +1,73 @@
+"""Operation counters for the routing / traffic-estimation hot paths.
+
+The PR-3 pattern (:mod:`repro.partition.perf`) applied to the §3.2 PLACE
+pipeline: the vectorized kernels promise *batched* work — a next-hop table
+built from O(log n) whole-matrix gather rounds instead of one Python
+iteration per (source, destination), traceroutes stepped for all pairs at
+once, and one route walk per *distinct* endpoint pair regardless of how
+many predicted flows share it.  :class:`RoutingStats` counts the operations
+that would betray a regression to per-pair Python work, and the perf-guard
+test (``tests/routing/test_perf_guard.py``) asserts the bounds so the build
+fails if someone reintroduces a scalar loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoutingStats"]
+
+
+@dataclass
+class RoutingStats:
+    """Counters filled in by :func:`~repro.routing.spf.build_routing`,
+    :func:`~repro.routing.icmp.discover_routes` and
+    :func:`~repro.core.place.estimate_traffic`.
+
+    Attributes
+    ----------
+    dijkstra_calls:
+        Per-source-block ``scipy`` Dijkstra invocations (one in full mode,
+        ``ceil(n / block_size)`` in blocked mode).
+    nexthop_rounds:
+        Pointer-doubling gather rounds of the vectorized next-hop fill —
+        O(log diameter) per block, never O(n).
+    python_dest_fills:
+        Per-(source, destination) Python next-hop assignments.  Only the
+        reference kernel performs these; the vectorized kernel must report
+        exactly zero.
+    walks:
+        Traceroute executions (each batched walk counts once per pair, the
+        paper's traceroute budget).
+    walk_rounds:
+        Batched stepping rounds — bounded by the longest route walked, not
+        by the sum of path lengths.
+    python_walk_steps:
+        Per-hop Python ``next_hop`` lookups.  Only the reference walker
+        performs these.
+    routed_pairs:
+        Distinct endpoint pairs routed by ``estimate_traffic`` — the guard
+        asserts ``walks`` scales with this, not with the flow count.
+    spliced_pairs:
+        Pairs resolved by splicing a representative path (no walk).
+    """
+
+    dijkstra_calls: int = 0
+    nexthop_rounds: int = 0
+    python_dest_fills: int = 0
+    walks: int = 0
+    walk_rounds: int = 0
+    python_walk_steps: int = 0
+    routed_pairs: int = 0
+    spliced_pairs: int = 0
+
+    def merge(self, other: "RoutingStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.dijkstra_calls += other.dijkstra_calls
+        self.nexthop_rounds += other.nexthop_rounds
+        self.python_dest_fills += other.python_dest_fills
+        self.walks += other.walks
+        self.walk_rounds += other.walk_rounds
+        self.python_walk_steps += other.python_walk_steps
+        self.routed_pairs += other.routed_pairs
+        self.spliced_pairs += other.spliced_pairs

@@ -15,9 +15,43 @@ import numpy as np
 from repro.topology.elements import Link
 from repro.topology.network import Network
 
-__all__ = ["RoutingTables", "memory_weights", "HOST_MEMORY_WEIGHT"]
+__all__ = [
+    "RoutingTables",
+    "memory_weights",
+    "HOST_MEMORY_WEIGHT",
+    "METRICS",
+    "link_cost",
+    "link_cost_array",
+]
 
 HOST_MEMORY_WEIGHT = 1.0  # hosts keep a default route only
+
+METRICS = ("latency", "hops", "inv-bandwidth")
+
+
+def link_cost(link: Link, metric: str) -> float:
+    """Cost of one link under a routing metric."""
+    if metric == "latency":
+        return link.latency_s
+    if metric == "hops":
+        return 1.0
+    if metric == "inv-bandwidth":
+        # OSPF-style reference-bandwidth cost (reference 100 Gbps).
+        return 1e11 / link.bandwidth_bps
+    raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def link_cost_array(
+    latency_s: np.ndarray, bandwidth_bps: np.ndarray, metric: str
+) -> np.ndarray:
+    """Vectorized :func:`link_cost` over parallel link-attribute arrays."""
+    if metric == "latency":
+        return np.asarray(latency_s, dtype=np.float64)
+    if metric == "hops":
+        return np.ones(len(latency_s), dtype=np.float64)
+    if metric == "inv-bandwidth":
+        return 1e11 / np.asarray(bandwidth_bps, dtype=np.float64)
+    raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
 
 
 @dataclass
@@ -44,21 +78,74 @@ class RoutingTables:
 
     def __post_init__(self) -> None:
         # (u, v) -> Link lookup used in the emulator's forwarding fast path.
-        self._link_of: dict[tuple[int, int], Link] = {}
+        # Parallel links between the same pair are routed over the min-cost
+        # one (ties: first inserted), matching the shortest-path graph.
+        use_cost = self.metric in METRICS
+        best: dict[tuple[int, int], tuple[float, Link]] = {}
         for link in self.net.links:
-            self._link_of[(link.u, link.v)] = link
-            self._link_of[(link.v, link.u)] = link
+            cost = link_cost(link, self.metric) if use_cost else 0.0
+            for pair in ((link.u, link.v), (link.v, link.u)):
+                cur = best.get(pair)
+                if cur is None or cost < cur[0]:
+                    best[pair] = (cost, link)
+        self._link_of: dict[tuple[int, int], Link] = {
+            pair: link for pair, (_, link) in best.items()
+        }
+        self._pair_lookup: tuple[np.ndarray, np.ndarray] | None = None
 
     def hop(self, src: int, dst: int) -> int:
         """Next hop from ``src`` toward ``dst`` (-1 when src == dst)."""
         return int(self.next_hop[src, dst])
 
     def link_between(self, u: int, v: int) -> Link:
-        """The link connecting two adjacent nodes."""
+        """The link connecting two adjacent nodes (min-cost on parallels)."""
         try:
             return self._link_of[(u, v)]
         except KeyError:
             raise ValueError(f"nodes {u} and {v} are not adjacent") from None
+
+    def _lookup_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``u * n + v`` keys and the link id behind each adjacent
+        pair (both directions), consistent with :meth:`link_between`."""
+        if self._pair_lookup is None:
+            n = self.net.n_nodes
+            u, v, lat, bw = self.net.link_endpoint_arrays()
+            m = len(u)
+            if self.metric in METRICS:
+                cost = link_cost_array(lat, bw, self.metric)
+            else:
+                cost = np.zeros(m, dtype=np.float64)
+            keys = np.concatenate([u * n + v, v * n + u])
+            costs = np.concatenate([cost, cost])
+            lids = np.concatenate([np.arange(m)] * 2) if m else np.zeros(
+                0, dtype=np.int64
+            )
+            order = np.lexsort((lids, costs, keys))
+            keys, lids = keys[order], lids[order]
+            first = np.ones(keys.size, dtype=bool)
+            first[1:] = keys[1:] != keys[:-1]
+            self._pair_lookup = (keys[first], lids[first])
+        return self._pair_lookup
+
+    def link_ids_of(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized ``link_between(u, v).link_id`` over adjacent pairs."""
+        keys_s, lids_s = self._lookup_arrays()
+        us = np.asarray(us, dtype=np.int64)
+        keys = us * self.net.n_nodes + np.asarray(vs, dtype=np.int64)
+        if keys_s.size == 0:
+            if keys.size:
+                raise ValueError(
+                    f"nodes {int(us[0])} and {int(vs[0])} are not adjacent"
+                )
+            return np.zeros(0, dtype=np.int64)
+        pos = np.minimum(np.searchsorted(keys_s, keys), keys_s.size - 1)
+        bad = keys_s[pos] != keys
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                f"nodes {int(us[i])} and {int(vs[i])} are not adjacent"
+            )
+        return lids_s[pos]
 
     def path(self, src: int, dst: int, max_hops: int = 10_000) -> list[int]:
         """Node id sequence from ``src`` to ``dst`` inclusive."""

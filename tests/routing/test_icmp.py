@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.routing.icmp import discover_routes, probe, traceroute
+from repro.routing.icmp import (
+    batched_walks,
+    discover_routes,
+    plan_routes,
+    probe,
+    traceroute,
+)
 
 
 def test_probe_ttl_semantics(tiny_routed):
@@ -75,3 +81,43 @@ def test_discover_routes_same_site_always_direct(campus_routed):
     assert walks == 2
     for (s, d), path in routes.items():
         assert path == tables.path(s, d)
+
+
+def test_batched_walks_match_traceroute(campus_routed):
+    net, tables = campus_routed
+    hosts = [h.node_id for h in net.hosts()][:8]
+    pairs = [(s, d) for s in hosts for d in hosts if s != d]
+    paths = batched_walks(tables, pairs)
+    assert paths == [traceroute(tables, s, d) for s, d in pairs]
+
+
+def test_batched_walks_empty():
+    assert batched_walks(None, []) == []
+
+
+def test_batched_walks_unreachable(tiny_routed):
+    net, tables = tiny_routed
+    # src == dst has no next hop: same "no route" error as traceroute.
+    with pytest.raises(ValueError, match="no route 0 -> 0"):
+        batched_walks(tables, [(0, 3), (0, 0)])
+
+
+def test_batched_walks_hop_limit(campus_routed):
+    net, tables = campus_routed
+    h0 = net.node("h0").node_id
+    h39 = net.node("h39").node_id
+    with pytest.raises(RuntimeError, match="exceeded 2 hops"):
+        batched_walks(tables, [(h0, h39)], max_ttl=2)
+
+
+def test_plan_routes_accounts_every_pair(campus_routed):
+    net, tables = campus_routed
+    bldg0 = [h.node_id for h in net.hosts() if h.site == "bldg0"]
+    bldg1 = [h.node_id for h in net.hosts() if h.site == "bldg1"]
+    pairs = [(s, d) for s in bldg0[:4] for d in bldg1[:4]]
+    pairs += [(bldg0[0], bldg0[1])]  # same-site: always walked
+    plan = plan_routes(tables, pairs, use_representatives=True)
+    covered = set(plan.walk_idx) | set(plan.known)
+    assert covered == set(range(len(pairs)))
+    assert not set(plan.walk_idx) & set(plan.known)
+    assert plan.n_walks < len(pairs)  # reps actually saved walks

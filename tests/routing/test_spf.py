@@ -71,6 +71,49 @@ def test_unknown_metric_rejected(tiny_network):
         build_routing(tiny_network, metric="zorp")
 
 
+def _parallel_link_net():
+    """a=b double link (1ms fast + 5ms slow) then b-c; no validate() —
+    it rejects parallel links, but add_link permits them and routing must
+    cope."""
+    net = Network()
+    a, b, c = (net.add_router(x) for x in "abc")
+    fast = net.add_link(a, b, Mbps(100), ms(1))
+    slow = net.add_link(a, b, Mbps(100), ms(5))
+    net.add_link(b, c, Mbps(100), ms(1))
+    return net, fast, slow
+
+
+def test_parallel_links_route_min_cost():
+    """Regression: scipy's COO→CSR conversion *sums* duplicate entries, so
+    two parallel links used to route at the sum of their costs (6 ms here)
+    instead of the cheaper link's 1 ms."""
+    net, fast, slow = _parallel_link_net()
+    tables = build_routing(net, metric="latency")
+    assert tables.dist[0, 1] == pytest.approx(1e-3)   # not 6e-3
+    assert tables.dist[0, 2] == pytest.approx(2e-3)
+    assert tables.hop(0, 2) == 1
+
+
+def test_parallel_links_forward_over_cheap_link():
+    net, fast, slow = _parallel_link_net()
+    tables = build_routing(net, metric="latency")
+    assert tables.link_between(0, 1).link_id == fast.link_id
+    assert tables.link_between(1, 0).link_id == fast.link_id
+    ids = tables.link_ids_of(np.array([0, 1]), np.array([1, 0]))
+    assert list(ids) == [fast.link_id, fast.link_id]
+
+
+def test_parallel_links_parity_with_reference():
+    from repro.routing._reference import compute_routing_reference
+
+    net, _, _ = _parallel_link_net()
+    for metric in ("latency", "hops", "inv-bandwidth"):
+        new = build_routing(net, metric)
+        ref = compute_routing_reference(net, metric)
+        assert np.array_equal(new.dist, ref.dist), metric
+        assert np.array_equal(new.next_hop, ref.next_hop), metric
+
+
 def test_path_latency_sums_links(tiny_routed):
     net, tables = tiny_routed
     # h0 -> r0 (0.1ms) -> r1 (1ms): 1.1 ms total.

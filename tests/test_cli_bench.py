@@ -96,3 +96,88 @@ def test_bench_rejects_impossible_config(capsys):
     with pytest.raises(SystemExit):
         massf(["bench", "partition", "--sizes", "0"])
     assert "cannot generate" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Routing + place suites
+# --------------------------------------------------------------------- #
+def test_bench_routing_rows_and_json(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = massf([
+        "bench", "routing", "--sizes", "150,250", "--budget", "120",
+        "--json", "-o", "rows.json",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "dijkstra" in captured.out
+    rows = json.loads((tmp_path / "BENCH_routing.json").read_text())
+    assert rows == json.loads((tmp_path / "rows.json").read_text())
+    assert [r["n_routers"] for r in rows] == [150, 250]
+    for row in rows:
+        assert row["metric"] == "latency"
+        assert row["wall_s"] > 0
+        assert row["dijkstra_calls"] >= 1
+        assert row["nexthop_rounds"] >= 1
+
+
+def test_bench_place_rows_and_json(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = massf([
+        "bench", "place", "--sizes", "150", "--hosts", "20",
+        "--budget", "120", "--json",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "routes" in captured.out
+    rows = json.loads((tmp_path / "BENCH_place.json").read_text())
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["n_hosts"] == 20
+    assert row["n_pairs"] == 20 * 19
+    assert row["use_representatives"] is True
+    # Representatives cut the traceroute count below all-to-all.
+    assert 0 < row["n_routes"] < row["n_pairs"]
+    assert row["wall_s"] > 0
+
+
+def test_bench_place_no_representatives_walks_all_pairs(tmp_path,
+                                                        monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    rc = massf([
+        "bench", "place", "--sizes", "150", "--hosts", "10",
+        "--no-representatives", "--json",
+    ])
+    assert rc == 0
+    row = json.loads((tmp_path / "BENCH_place.json").read_text())[0]
+    assert row["n_routes"] == row["n_pairs"] == 90
+
+
+def test_bench_routing_budget_violation_fails(capsys):
+    rc = massf(["bench", "routing", "--sizes", "150", "--budget", "0"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "BUDGET EXCEEDED" in captured.err
+
+
+def test_bench_routing_rejects_unknown_metric(capsys):
+    with pytest.raises(SystemExit):
+        massf(["bench", "routing", "--sizes", "150", "--metric", "zorp"])
+    assert "zorp" in capsys.readouterr().err
+
+
+def test_bench_place_rejects_too_few_hosts(capsys):
+    with pytest.raises(SystemExit):
+        massf(["bench", "place", "--sizes", "150", "--hosts", "1"])
+    assert "--hosts" in capsys.readouterr().err
+
+
+def test_bench_telemetry_has_routing_spans(tmp_path, capsys):
+    stats_path = tmp_path / "t.json"
+    rc = massf([
+        "bench", "routing", "--sizes", "150", "--stats", str(stats_path),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    text = stats_path.read_text(encoding="utf-8")
+    assert "routing/build" in text
+    assert "routing.dijkstra_calls" in text
