@@ -12,7 +12,6 @@ import numpy as np
 
 from benchmarks.conftest import CAMPAIGN_SEED, run_once
 from repro.core.mapper import Mapper, MapperConfig
-from repro.partition.metrics import part_weights
 from repro.routing.spf import build_routing
 from repro.routing.tables import memory_weights
 from repro.topology.brite import brite_network

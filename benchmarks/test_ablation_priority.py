@@ -7,7 +7,6 @@ extremes are no better than the default.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import CAMPAIGN_SEED, run_once
 from repro.core.mapper import Mapper, MapperConfig

@@ -13,7 +13,7 @@ Run with ``python examples/heterogeneous_cluster.py``.
 
 import numpy as np
 
-from repro.core import Mapper, MapperConfig
+from repro.core import Mapper
 from repro.engine import evaluate_mapping
 from repro.experiments.runner import RunnerConfig, run_emulation
 from repro.experiments.workloads import build_workload
@@ -59,7 +59,9 @@ def main() -> None:
             run.trace, net, mapping.parts, cost=config.cost,
             compute=compute, engine_speeds=SPEEDS,
         )
-        loads = " / ".join(f"{l / 1e3:7.0f}k" for l in scored.loads)
+        loads = " / ".join(
+            f"{load / 1e3:7.0f}k" for load in scored.loads
+        )
         print(f"{name:16s} {loads:>34s} {scored.wall_app:9.1f}s")
 
     print("\nThe capacity-aware mapping loads the fast engine node with "

@@ -1,0 +1,59 @@
+"""Text and JSON reporters for check results."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import CheckResult
+
+__all__ = ["render_text", "render_json", "to_payload", "REPORT_SCHEMA"]
+
+#: Version stamp embedded in every JSON findings report.
+REPORT_SCHEMA = 1
+
+
+def render_text(result: "CheckResult") -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [f.render() for f in result.findings]
+    n = len(result.findings)
+    n_sup = len(result.suppressed)
+    scanned = (
+        f"{result.n_files} files, {len(result.rules)} rules"
+        + (f", {n_sup} suppressed" if n_sup else "")
+    )
+    if not lines:
+        return f"massf check: no findings ({scanned})"
+    by_rule: dict[str, int] = {}
+    for f in result.findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    breakdown = ", ".join(
+        f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+    )
+    lines.append("")
+    lines.append(
+        f"massf check: {n} finding{'s' if n != 1 else ''} "
+        f"({breakdown}) ({scanned})"
+    )
+    return "\n".join(lines)
+
+
+def to_payload(result: "CheckResult") -> dict[str, object]:
+    """JSON-serializable structure (also the ``-o`` artifact format)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "root": str(result.root),
+        "rules": list(result.rules),
+        "files_scanned": result.n_files,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+        },
+    }
+
+
+def render_json(result: "CheckResult") -> str:
+    return json.dumps(to_payload(result), indent=2)

@@ -1,0 +1,215 @@
+"""Parallel-safety rule for functions crossing process boundaries.
+
+Work dispatched through :func:`repro.runtime.pmap.parallel_map` or a
+``ProcessPoolExecutor.submit`` call crosses the process boundary by
+*name*: the child re-imports the module and looks the function up.  Two
+things therefore must hold for every dispatched function:
+
+- it must be **module-level** — a lambda or closure either fails to
+  pickle or, worse, silently rebinds over fork;
+- it must **not mutate module globals** — under ``fork`` each worker
+  gets a copy-on-write snapshot, so writes diverge per worker and the
+  parent never sees them; results then depend on which worker ran the
+  item.  (Read-only module globals — the whole point of the fork-shared
+  design — are fine.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, ParsedModule, Project
+from repro.analysis.registry import Rule, register
+from repro.analysis.visitors import (
+    ImportMap,
+    imported_target,
+    iter_calls,
+    module_level_functions,
+    module_level_names,
+    nested_functions,
+)
+
+__all__ = ["ParallelSafetyRule"]
+
+#: Canonical dotted names whose first positional argument is a
+#: function shipped to worker processes.
+_DISPATCHERS = {
+    "repro.runtime.pmap.parallel_map",
+    "repro.runtime.parallel_map",
+}
+
+
+def _dispatched_callable(call: ast.Call) -> ast.expr | None:
+    """The callable argument of a dispatcher call, if present."""
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "fn":
+            return kw.value
+    return None
+
+
+def _is_pool_submit(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "submit"
+        and bool(call.args)
+    )
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters plus names assigned inside ``func``."""
+    args = func.args
+    names = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    }
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _store_root(target: ast.expr) -> str | None:
+    """Root name of an attribute/subscript store target."""
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ParallelSafetyRule(Rule):
+    id = "parallel-safety"
+    description = (
+        "functions dispatched through parallel_map / pool.submit must "
+        "be module-level and must not mutate module globals"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            imports = ImportMap.from_tree(module.tree)
+            top = module_level_functions(module.tree)
+            nested = nested_functions(module.tree)
+            for call in iter_calls(module.tree):
+                target = imported_target(call.func, imports)
+                fn_node: ast.expr | None = None
+                if target in _DISPATCHERS or (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "parallel_map"
+                    and "parallel_map" in top
+                ):
+                    fn_node = _dispatched_callable(call)
+                elif _is_pool_submit(call):
+                    fn_node = call.args[0]
+                if fn_node is None:
+                    continue
+                yield from self._check_dispatch(
+                    project, module, fn_node, top, nested
+                )
+
+    def _check_dispatch(
+        self,
+        project: Project,
+        module: ParsedModule,
+        fn_node: ast.expr,
+        top: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+        nested: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(fn_node, ast.Lambda):
+            yield self.finding(
+                module,
+                fn_node,
+                "lambda dispatched to a worker pool; workers resolve "
+                "the function by module-level name — define it at "
+                "module scope",
+            )
+            return
+        if isinstance(fn_node, ast.Name):
+            name = fn_node.id
+            if name in top:
+                yield from self._check_mutation(module, top[name])
+                return
+            if name in nested:
+                yield self.finding(
+                    module,
+                    fn_node,
+                    f"`{name}` is defined inside a function but is "
+                    "dispatched to a worker pool; move it to module "
+                    "scope so child processes can import it",
+                )
+                return
+            # Imported name: resolve into the project when possible.
+            imports = ImportMap.from_tree(module.tree)
+            dotted = imports.from_names.get(name)
+            if dotted is not None:
+                mod_name, _, fn_name = dotted.rpartition(".")
+                target_mod = project.module_by_name.get(mod_name)
+                if target_mod is not None:
+                    funcs = module_level_functions(target_mod.tree)
+                    if fn_name in funcs:
+                        yield from self._check_mutation(
+                            target_mod, funcs[fn_name]
+                        )
+            return
+        # Attribute access (mod.fn) is module-level by construction;
+        # anything else (a parameter, an item lookup) is opaque to
+        # static analysis and left to the runtime's own checks.
+
+    def _check_mutation(
+        self,
+        module: ParsedModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        declared_global: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        locals_ = _local_names(func) - declared_global
+        module_names = module_level_names(module.tree)
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"worker function `{func.name}` writes module "
+                        f"global `{target.id}`; the write is lost in "
+                        "forked children and makes results depend on "
+                        "worker scheduling",
+                    )
+                    continue
+                root = _store_root(target)
+                if (
+                    root is not None
+                    and not isinstance(target, ast.Name)
+                    and root not in locals_
+                    and root in module_names
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"worker function `{func.name}` mutates "
+                        f"module-level object `{root}`; fork-shared "
+                        "state must stay read-only in workers",
+                    )
+
+
+register(ParallelSafetyRule())

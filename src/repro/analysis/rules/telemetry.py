@@ -1,0 +1,52 @@
+"""Telemetry-hygiene rule: spans must close on every path.
+
+:meth:`repro.obs.telemetry.Telemetry.span` returns a context manager
+that aggregates into the collector *on exit*.  Calling it without a
+``with`` block leaves the span open: the phase breakdown loses the
+time, and — because spans are a stack — every later span in the same
+collector is attributed to the wrong parent path.  Using the context
+manager form also guarantees the span closes when the timed code
+raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project
+from repro.analysis.registry import Rule, register
+from repro.analysis.visitors import iter_calls, with_context_exprs
+
+__all__ = ["TelemetrySpanRule"]
+
+
+class TelemetrySpanRule(Rule):
+    id = "telemetry-span"
+    description = (
+        "Telemetry.span(...) must be used as a context manager "
+        "(`with tel.span(...):`) so it closes on all paths"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            as_context = with_context_exprs(module.tree)
+            for call in iter_calls(module.tree):
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "span"
+                ):
+                    continue
+                if id(call) in as_context:
+                    continue
+                yield self.finding(
+                    module,
+                    call,
+                    "span opened outside a `with` block; it will not "
+                    "close on exception paths and later spans "
+                    "mis-nest — write `with ...span(name):`",
+                )
+
+
+register(TelemetrySpanRule())

@@ -1,0 +1,196 @@
+"""Shared AST helpers used by the shipped rules.
+
+Nothing here is rule-specific: import resolution (so ``np.random.rand``
+and ``from numpy import random; random.rand`` canonicalize to the same
+dotted path), parent links, module-level scope summaries, and the set of
+expressions used as ``with`` context managers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "ImportMap",
+    "attach_parents",
+    "parent_of",
+    "imported_target",
+    "is_bare_builtin",
+    "module_level_functions",
+    "nested_functions",
+    "module_level_names",
+    "with_context_exprs",
+    "iter_calls",
+]
+
+_PARENT_ATTR = "_massf_parent"
+
+
+@dataclass
+class ImportMap:
+    """Local name -> canonical dotted path, from a module's imports."""
+
+    #: ``import numpy as np`` -> ``{"np": "numpy"}``
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: ``from numpy import random as npr`` -> ``{"npr": "numpy.random"}``
+    from_names: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    imports.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.from_names[local] = \
+                        f"{node.module}.{alias.name}"
+        return imports
+
+    def bound_names(self) -> set[str]:
+        return set(self.aliases) | set(self.from_names)
+
+
+def attach_parents(tree: ast.Module) -> None:
+    """Record each node's parent as ``node._massf_parent``."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT_ATTR, node)
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    return getattr(node, _PARENT_ATTR, None)
+
+
+def _attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def imported_target(node: ast.expr, imports: ImportMap) -> str | None:
+    """Canonical dotted path of ``node`` if its root is an import.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``"numpy.random.rand"``; a bare local name resolves to ``None`` so
+    callers never mistake a variable for a module.
+    """
+    chain = _attribute_chain(node)
+    if chain is None:
+        return None
+    root, rest = chain[0], chain[1:]
+    if root in imports.from_names:
+        base = imports.from_names[root]
+    elif root in imports.aliases:
+        base = imports.aliases[root]
+    else:
+        return None
+    return ".".join([base, *rest]) if rest else base
+
+
+def is_bare_builtin(
+    node: ast.expr, name: str, module: ast.Module, imports: ImportMap
+) -> bool:
+    """True when ``node`` is the un-shadowed builtin called ``name``."""
+    if not (isinstance(node, ast.Name) and node.id == name):
+        return False
+    if name in imports.bound_names():
+        return False
+    return name not in module_level_names(module)
+
+
+def module_level_functions(
+    tree: ast.Module,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Top-level function definitions by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def nested_functions(tree: ast.Module) -> set[str]:
+    """Names of functions defined anywhere *below* module level."""
+    top = set(module_level_functions(tree))
+    names = {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return names - top
+
+
+_MODULE_NAMES_ATTR = "_massf_module_names"
+
+
+def module_level_names(tree: ast.Module) -> set[str]:
+    """Names bound by module-level statements (defs, classes, assigns)."""
+    cached = getattr(tree, _MODULE_NAMES_ATTR, None)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    setattr(tree, _MODULE_NAMES_ATTR, names)
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _target_names(elt)
+        return out
+    return set()
+
+
+def with_context_exprs(tree: ast.Module) -> set[int]:
+    """``id()`` of every expression used as a ``with`` context manager."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                out.add(id(item.context_expr))
+    return out
+
+
+def iter_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -15,6 +15,10 @@ One console entry point, ``massf``, with four subcommands:
   per-engine-node load timelines).
 - ``massf stats`` — render such a telemetry snapshot as a human-readable
   report (optionally exporting CSV tables).
+- ``massf check`` — run the :mod:`repro.analysis` static analysis
+  (determinism / parity coverage / parallel-safety / telemetry hygiene)
+  over the source tree; exit 0 when clean, 2 on findings, 1 on internal
+  error.
 
 The historical per-tool entry points (``massf-map``, ``massf-emulate``,
 ``massf-netflow``) remain as thin deprecation shims.
@@ -28,8 +32,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-
-import numpy as np
 
 __all__ = ["massf", "massf_map", "massf_emulate", "massf_netflow"]
 
@@ -712,6 +714,66 @@ def _cmd_stats(parser: argparse.ArgumentParser, args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# massf check
+# --------------------------------------------------------------------- #
+def _configure_check(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("root", nargs="?", default=None,
+                        help="project root containing src/repro "
+                        "(default: auto-detect from the working "
+                        "directory or the installed package)")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="ID",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the findings report as JSON")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    parser.add_argument("--no-tests", action="store_true",
+                        help="skip parsing the tests tree (disables "
+                        "the parity test-evidence check)")
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="additionally write the JSON findings "
+                        "report here (written even when findings "
+                        "exist, for CI artifacts)")
+
+
+def _cmd_check(parser: argparse.ArgumentParser, args) -> int:
+    """Exit 0 on a clean tree, 2 on findings, 1 on internal error."""
+    from repro.analysis import (
+        AnalysisError,
+        all_rules,
+        render_json,
+        render_text,
+        run_check,
+        to_payload,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:18s} {rule.description}")
+        return 0
+    try:
+        result = run_check(
+            args.root, rules=args.rules,
+            include_tests=not args.no_tests,
+        )
+    except AnalysisError as exc:
+        print(f"massf check: error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # never a traceback to the user
+        print(
+            f"massf check: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(to_payload(result), indent=2) + "\n")
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.ok else 2
+
+
+# --------------------------------------------------------------------- #
 # Unified entry point + deprecation shims
 # --------------------------------------------------------------------- #
 _SUBCOMMANDS = {
@@ -727,6 +789,9 @@ _SUBCOMMANDS = {
               "render a telemetry snapshot (from `sweep --stats`)"),
     "bench": (_configure_bench, _cmd_bench,
               "benchmark partitioning on synthetic scale topologies"),
+    "check": (_configure_check, _cmd_check,
+              "run the repo's determinism / parity / parallel-safety "
+              "static analysis (exit 0 clean, 2 findings, 1 error)"),
 }
 
 

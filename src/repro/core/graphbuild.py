@@ -74,7 +74,9 @@ def latency_objective_weights(net: Network, exponent: float = 2.0) -> np.ndarray
     penalty for cutting a short link must dominate any number of long-link
     cuts; the super-linear exponent (default 2) encodes that.
     """
-    lats = np.array([l.latency_s for l in net.links], dtype=np.float64)
+    lats = np.array(
+        [link.latency_s for link in net.links], dtype=np.float64
+    )
     if len(lats) == 0:
         return lats
     return (lats.min() / lats) ** exponent

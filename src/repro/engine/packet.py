@@ -9,7 +9,7 @@ fidelity is a knob (``train_packets=1`` is per-packet simulation).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 __all__ = ["PacketTrain", "Transfer", "MTU_BYTES"]

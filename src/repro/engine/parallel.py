@@ -15,7 +15,7 @@ costs extra.  This module computes, fully vectorized over the trace arrays:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,7 +8,7 @@ reports how often the expected ordering (TOP worst, PROFILE best) held.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,7 +10,7 @@ asserts the bounds so the build fails if someone reintroduces a rescan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["RefineStats"]
 

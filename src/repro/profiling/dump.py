@@ -14,7 +14,6 @@ One file per router (``router_<id>.flow``) in a dump directory mirrors the
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 from repro.profiling.netflow import FlowRecord, NetFlowCollector

@@ -32,6 +32,14 @@ __all__ = [
     "estimate_traffic_reference",
 ]
 
+#: Machine-checked pairing (``massf check``, rule ``parity-coverage``):
+#: public oracles whose vectorized twin does not follow the plain
+#: "strip the ``_reference`` suffix" naming convention declare their
+#: counterpart here explicitly.
+_PARITY_COUNTERPARTS = {
+    "compute_routing_reference": "repro.routing.spf.build_routing",
+}
+
 
 # --------------------------------------------------------------------- #
 # All-pairs routing (original)

@@ -102,7 +102,7 @@ class ArtifactCache:
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def key_of(*parts) -> str:
+    def key_of(*parts: object) -> str:
         """Content key for ``parts`` (stable across processes)."""
         return stable_hash(*parts)
 
@@ -110,7 +110,7 @@ class ArtifactCache:
         assert self.root is not None
         return self.root / kind / f"{key}.pkl"
 
-    def lookup(self, kind: str, key: str):
+    def lookup(self, kind: str, key: str) -> tuple[bool, object]:
         """Return ``(found, value)`` without touching the counters."""
         if self._memory is not None and (kind, key) in self._memory:
             return True, self._memory[(kind, key)]
@@ -127,7 +127,7 @@ class ArtifactCache:
             return True, value
         return False, None
 
-    def store(self, kind: str, key: str, value) -> None:
+    def store(self, kind: str, key: str, value: object) -> None:
         """Insert an artifact (atomic on disk)."""
         self.stats._bump(kind, "stores")
         if self._memory is not None:

@@ -30,7 +30,7 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.runtime.cache import ArtifactCache, CacheStats
 
@@ -136,7 +136,9 @@ class GridResult:
     def failures(self) -> list[CellResult]:
         return [c for c in self.cells if not c.ok]
 
-    def outcome(self, setup_name: str, seed: int, approach: str):
+    def outcome(
+        self, setup_name: str, seed: int, approach: str
+    ) -> Any:
         for cell in self.cells:
             if (cell.setup_name, cell.seed, cell.approach) == (
                 setup_name, seed, approach,
@@ -173,7 +175,7 @@ class _TaskOutcome:
     telemetry: dict | None = None  # Telemetry.to_dict() snapshot
 
 
-def _arm_soft_timeout(timeout_s: float):
+def _arm_soft_timeout(timeout_s: float) -> tuple[Any, bool]:
     """Install the SIGALRM soft timeout; returns the previous handler or
     ``None`` when unavailable.
 
@@ -183,7 +185,7 @@ def _arm_soft_timeout(timeout_s: float):
     emitted and the cell runs without a soft timeout instead of dying on
     the setup call itself.
     """
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: Any) -> None:
         raise _TaskTimeout(f"cell exceeded {timeout_s:.3g}s timeout")
 
     try:
@@ -203,7 +205,8 @@ def _arm_soft_timeout(timeout_s: float):
 
 
 def _execute_task(
-    task: _Task, cache: ArtifactCache | None = None, telemetry=None
+    task: _Task, cache: ArtifactCache | None = None,
+    telemetry: Any = None,
 ) -> _TaskOutcome:
     """Run one task; never raises (failures become error records)."""
     from repro.experiments.runner import evaluate_setup
@@ -285,7 +288,7 @@ def _build_tasks(
     setups: Sequence,
     seeds: Sequence[int],
     approaches: tuple[str, ...],
-    config,
+    config: Any,
     cache_root: str | None,
     runtime: RuntimeConfig,
     collect_telemetry: bool = False,
@@ -336,15 +339,15 @@ def _error_outcome(task: _Task, message: str, attempts: int) -> _TaskOutcome:
 
 
 def run_grid(
-    setups,
+    setups: Any,
     seeds: Sequence[int],
     approaches: tuple[str, ...] = ("top", "place", "profile"),
     *,
-    config=None,
+    config: Any = None,
     runtime: RuntimeConfig | None = None,
     cache: ArtifactCache | str | bool | None = None,
     progress: Callable[[CellResult, int, int], None] | None = None,
-    telemetry=None,
+    telemetry: Any = None,
 ) -> GridResult:
     """Evaluate the (setup × seed × approach) grid, possibly in parallel.
 

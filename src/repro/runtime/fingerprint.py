@@ -28,7 +28,7 @@ __all__ = ["stable_hash", "CACHE_VERSION"]
 CACHE_VERSION = 1
 
 
-def _feed(h, obj, depth: int = 0) -> None:
+def _feed(h: "hashlib._Hash", obj: object, depth: int = 0) -> None:
     if depth > 50:
         raise ValueError("object graph too deep for stable hashing")
     token = getattr(obj, "cache_token", None)
@@ -117,7 +117,7 @@ def _feed(h, obj, depth: int = 0) -> None:
         )
 
 
-def stable_hash(*objs) -> str:
+def stable_hash(*objs: object) -> str:
     """Hex sha256 of the canonical encoding of ``objs``.
 
     Identical object structure → identical digest, across processes and

@@ -17,7 +17,7 @@ parent so worker processes stay write-free.
 from __future__ import annotations
 
 import os
-from typing import Callable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
 
 __all__ = ["parallel_map"]
 
@@ -29,7 +29,7 @@ R = TypeVar("R")
 _SHARED: object | None = None
 
 
-def _call(fn: Callable, item) -> object:
+def _call(fn: Callable[[Any, object], object], item: Any) -> object:
     return fn(item, _SHARED)
 
 
@@ -45,10 +45,10 @@ def parallel_map(
     *,
     workers: int | None = 0,
     shared: object = None,
-    cache=None,
+    cache: Any = None,
     kind: str = "pmap",
     key_of: Callable[[T], tuple] | None = None,
-    telemetry=None,
+    telemetry: Any = None,
 ) -> list[R]:
     """Map ``fn(item, shared)`` over ``items``, preserving item order.
 
@@ -116,7 +116,12 @@ def parallel_map(
     return results
 
 
-def _pool_map(fn, miss_items, shared, workers: int) -> list:
+def _pool_map(
+    fn: Callable[[Any, object], object],
+    miss_items: list,
+    shared: object,
+    workers: int,
+) -> list:
     """Run the miss set on a forked pool; results in submission order."""
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor

@@ -10,7 +10,7 @@ Units used throughout the package:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["NodeKind", "NetNode", "Link", "Mbps", "Gbps", "ms", "us"]
 

@@ -7,8 +7,6 @@ traffic generation, to the emulation engine, and — via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
 
 import networkx as nx
 import numpy as np

@@ -14,7 +14,7 @@ sizes; a static schedule is derived by topological timing.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,7 +8,7 @@ PROFILE almost perfectly — a property the tests assert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

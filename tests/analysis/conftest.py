@@ -1,0 +1,25 @@
+"""Shared helpers for the static-analysis rule tests.
+
+Each fixture directory under ``fixtures/`` is a complete mini project
+root (``src/repro/...`` plus, for the parity cases, a ``tests/`` tree)
+holding deliberately-broken and deliberately-clean modules.  They are
+parsed by :func:`repro.analysis.run_check` — never imported — and are
+excluded from pytest collection (``norecursedirs``) and from ruff
+(``extend-exclude``), because being flaggable is their job.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def check_fixture(case, rule, **kwargs):
+    """Run one rule over one fixture project root."""
+    return run_check(FIXTURES / case, rules=[rule], **kwargs)
+
+
+def locations(findings):
+    """Reduce findings to comparable (rule, path, line) triples."""
+    return [(f.rule, f.path, f.line) for f in findings]

@@ -1,0 +1,11 @@
+"""Known-bad fixture: order-sensitive float reductions in oracle scope."""
+
+import numpy as np
+
+
+def total_weight(weights):
+    return sum(w for w in weights)
+
+
+def np_total(arr):
+    return np.sum(arr)

@@ -1,0 +1,21 @@
+"""Known-good fixture: exact / integer / suppressed reductions."""
+
+import math
+
+import numpy as np
+
+
+def total_weight(weights):
+    return math.fsum(weights)
+
+
+def count_cut(flags):
+    return int(sum(flags))
+
+
+def method_total(arr):
+    return arr.sum()
+
+
+def acknowledged(weights):
+    return np.sum(weights)  # massf: ignore[float-sum]

@@ -1,0 +1,35 @@
+"""Known-bad fixture: unsafe callables crossing the fork boundary."""
+
+from repro.runtime.pmap import parallel_map
+
+_CACHE = {}
+_COUNT = 0
+
+
+def _worker(item, shared):
+    _CACHE[item] = shared
+    return item
+
+
+def _bump(item, shared):
+    global _COUNT
+    _COUNT = _COUNT + 1
+    return item
+
+
+def run_lambda(items):
+    return parallel_map(lambda item, shared: item, items)
+
+
+def run_nested(items):
+    def inner(item, shared):
+        return item
+    return parallel_map(inner, items)
+
+
+def run_cached(items):
+    return parallel_map(_worker, items)
+
+
+def run_counted(items):
+    return parallel_map(_bump, items)

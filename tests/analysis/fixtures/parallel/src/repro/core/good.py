@@ -1,0 +1,26 @@
+"""Known-good fixture: module-level, read-only workers."""
+
+from repro.runtime.pmap import parallel_map
+
+_TABLE = {"a": 1}
+_SEEN = None
+
+
+def _worker(item, shared):
+    local = dict(shared)
+    local[item] = _TABLE.get("a")
+    return local
+
+
+def _tally(item, shared):
+    global _SEEN
+    _SEEN = item  # massf: ignore[parallel-safety]
+    return item
+
+
+def run(items):
+    return parallel_map(_worker, items)
+
+
+def run_tally(items):
+    return parallel_map(_tally, items)

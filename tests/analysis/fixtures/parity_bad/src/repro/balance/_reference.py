@@ -1,0 +1,9 @@
+"""Oracle with a missing counterpart and an unexercised pair."""
+
+
+def fm_refine_reference(graph):
+    return graph
+
+
+def lost_kernel_reference(graph):
+    return graph

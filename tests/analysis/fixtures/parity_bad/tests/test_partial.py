@@ -1,0 +1,7 @@
+"""Imports only the vectorized side — never the oracle."""
+
+from repro.balance.fm import fm_refine
+
+
+def test_refine():
+    assert fm_refine is not None

@@ -1,0 +1,13 @@
+"""Oracle: one convention-paired and one explicitly-declared pair."""
+
+_PARITY_COUNTERPARTS = {
+    "legacy_pack_reference": "repro.balance.dense.pack_rows",
+}
+
+
+def fm_refine_reference(graph):
+    return graph
+
+
+def legacy_pack_reference(rows):
+    return rows

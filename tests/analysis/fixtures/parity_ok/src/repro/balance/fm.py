@@ -1,0 +1,5 @@
+"""Vectorized counterpart for the convention-paired oracle."""
+
+
+def fm_refine(graph):
+    return graph

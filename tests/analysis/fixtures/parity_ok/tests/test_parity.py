@@ -1,0 +1,13 @@
+"""Evidence: one test imports both sides of both pairs."""
+
+from repro.balance._reference import (
+    fm_refine_reference,
+    legacy_pack_reference,
+)
+from repro.balance.dense import pack_rows
+from repro.balance.fm import fm_refine
+
+
+def test_pairs():
+    assert fm_refine is not fm_refine_reference
+    assert pack_rows is not legacy_pack_reference

@@ -1,0 +1,20 @@
+"""Known-bad fixture: order-dependent set iteration in a hot path."""
+
+
+def visit_literal(graph):
+    out = []
+    for node in {1, 2, 3}:
+        out.append(graph[node])
+    return out
+
+
+def visit_call(pairs):
+    return [p for p in set(pairs)]
+
+
+def visit_name(edges):
+    frontier = set(edges)
+    total = 0
+    for edge in frontier:
+        total += edge
+    return total

@@ -1,0 +1,20 @@
+"""Known-good fixture: sets used for membership or sorted before iterating."""
+
+
+def visit_sorted(pairs):
+    return [p for p in sorted(set(pairs))]
+
+
+def membership(edges, probe):
+    seen = set(edges)
+    return probe in seen
+
+
+def rebound_name(edges):
+    frontier = set(edges)
+    frontier = sorted(frontier)
+    return [e for e in frontier]
+
+
+def acknowledged(pairs):
+    return {p for p in set(pairs)}  # massf: ignore[set-iteration]

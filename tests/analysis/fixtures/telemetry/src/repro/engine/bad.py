@@ -1,0 +1,15 @@
+"""Known-bad fixture: spans opened without a `with` block."""
+
+
+def run_phase(tel, work):
+    span = tel.span("phase")
+    try:
+        return work()
+    finally:
+        span.close()
+
+
+def nested(tel, work):
+    handle = tel.metrics.span("inner")
+    work()
+    return handle

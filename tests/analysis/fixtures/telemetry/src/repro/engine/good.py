@@ -1,0 +1,15 @@
+"""Known-good fixture: spans as context managers (and one waiver)."""
+
+
+def run_phase(tel, work):
+    with tel.span("phase"):
+        return work()
+
+
+def timed(tel, work):
+    with tel.span("outer"), tel.span("inner"):
+        return work()
+
+
+def acknowledged(tel):
+    return tel.span("manual")  # massf: ignore[telemetry-span]

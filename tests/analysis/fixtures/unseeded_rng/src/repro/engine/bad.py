@@ -1,0 +1,17 @@
+"""Known-bad fixture: every unseeded-RNG flavour the rule must catch."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def noise():
+    return np.random.rand(4)
+
+
+def make_rng():
+    return np.random.default_rng()

@@ -1,0 +1,19 @@
+"""Known-good fixture: seeded and injected RNG use the rule must allow."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def make_rng_literal():
+    return np.random.default_rng(1234)
+
+
+def noise(rng):
+    return rng.normal(size=4)
+
+
+def spawn(seed):
+    return np.random.Generator(np.random.PCG64(seed))

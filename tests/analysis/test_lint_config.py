@@ -1,0 +1,49 @@
+"""The lint configuration the CI static-analysis job relies on.
+
+CI runs ``ruff check`` and ``mypy`` straight off ``pyproject.toml``;
+neither tool is a runtime dependency, so these tests pin the config
+shape itself (fixture exclusion, the strict-typed mypy allowlist)
+rather than tool behavior.
+"""
+
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def pyproject():
+    with open(REPO_ROOT / "pyproject.toml", "rb") as fh:
+        return tomllib.load(fh)
+
+
+def test_ruff_excludes_analysis_fixtures(pyproject):
+    cfg = pyproject["tool"]["ruff"]
+    assert "tests/analysis/fixtures" in cfg["extend-exclude"]
+    assert cfg["lint"]["select"] == ["E4", "E7", "E9", "F"]
+
+
+def test_mypy_strict_allowlist(pyproject):
+    overrides = pyproject["tool"]["mypy"]["overrides"]
+    strict = next(
+        o
+        for o in overrides
+        if isinstance(o["module"], list)
+        and "repro.analysis.*" in o["module"]
+    )
+    assert set(strict["module"]) >= {
+        "repro.analysis.*",
+        "repro.runtime.*",
+        "repro.metrics.*",
+    }
+    assert strict["ignore_errors"] is False
+    assert strict["disallow_untyped_defs"] is True
+    assert strict["disallow_incomplete_defs"] is True
+
+
+def test_pytest_never_collects_fixtures(pyproject):
+    norecurse = pyproject["tool"]["pytest"]["ini_options"]["norecursedirs"]
+    assert "tests/analysis/fixtures" in norecurse

@@ -1,0 +1,60 @@
+"""Suppression parsing, parse-error findings, and error plumbing."""
+
+import pytest
+
+from repro.analysis import AnalysisError, run_check
+from repro.analysis.model import ALL_RULES, _parse_suppressions
+
+
+class TestSuppressionParsing:
+    def test_single_rule(self):
+        per_line, file_level = _parse_suppressions(
+            "x = f()  # massf: ignore[unseeded-rng]\n"
+        )
+        assert per_line == {1: frozenset({"unseeded-rng"})}
+        assert file_level == frozenset()
+
+    def test_comma_separated_rules(self):
+        per_line, _ = _parse_suppressions(
+            "x = f()  # massf: ignore[float-sum, set-iteration]\n"
+        )
+        assert per_line[1] == frozenset({"float-sum", "set-iteration"})
+
+    def test_bare_ignore_means_all_rules(self):
+        per_line, _ = _parse_suppressions("x = f()  # massf: ignore\n")
+        assert per_line[1] == frozenset({ALL_RULES})
+
+    def test_file_level(self):
+        _, file_level = _parse_suppressions(
+            "# massf: ignore-file[telemetry-span]\nx = 1\n"
+        )
+        assert file_level == frozenset({"telemetry-span"})
+
+    def test_unrelated_comments_ignored(self):
+        per_line, file_level = _parse_suppressions(
+            "x = 1  # plain comment\n# TODO: massive refactor\n"
+        )
+        assert per_line == {}
+        assert file_level == frozenset()
+
+
+class TestErrorPlumbing:
+    def test_unknown_rule_raises_analysis_error(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            run_check(tmp_path, rules=["no-such-rule"])
+
+    def test_bad_root_raises_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError, match="src/repro"):
+            run_check(tmp_path / "nowhere")
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def oops(:\n")
+        (pkg / "fine.py").write_text("X = 1\n")
+        result = run_check(tmp_path)
+        assert [
+            (f.rule, f.path) for f in result.findings
+        ] == [("parse-error", "src/repro/broken.py")]
+        assert not result.ok

@@ -1,0 +1,37 @@
+"""Parallel-safety rule: lambdas, closures, and global mutation."""
+
+from tests.analysis.conftest import check_fixture, locations
+
+BAD = "src/repro/core/bad.py"
+GOOD = "src/repro/core/good.py"
+
+
+def test_bad_module_exact_locations():
+    result = check_fixture("parallel", "parallel-safety")
+    assert locations(result.findings) == [
+        ("parallel-safety", BAD, 10),  # _worker mutates _CACHE
+        ("parallel-safety", BAD, 16),  # _bump writes global _COUNT
+        ("parallel-safety", BAD, 21),  # lambda dispatched
+        ("parallel-safety", BAD, 27),  # nested function dispatched
+    ]
+
+
+def test_messages_name_the_offence():
+    result = check_fixture("parallel", "parallel-safety")
+    by_line = {f.line: f.message for f in result.findings}
+    assert "mutates module-level object `_CACHE`" in by_line[10]
+    assert "writes module global `_COUNT`" in by_line[16]
+    assert "lambda" in by_line[21]
+    assert "`inner` is defined inside a function" in by_line[27]
+
+
+def test_readonly_workers_are_clean():
+    result = check_fixture("parallel", "parallel-safety")
+    assert not [f for f in result.findings if f.path == GOOD]
+
+
+def test_suppression():
+    result = check_fixture("parallel", "parallel-safety")
+    assert locations(result.suppressed) == [
+        ("parallel-safety", GOOD, 17),
+    ]

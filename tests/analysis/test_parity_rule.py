@@ -1,0 +1,31 @@
+"""Parity-coverage rule: pairing convention, explicit map, evidence."""
+
+from tests.analysis.conftest import check_fixture, locations
+
+REF = "src/repro/balance/_reference.py"
+
+
+def test_paired_and_exercised_oracle_is_clean():
+    result = check_fixture("parity_ok", "parity-coverage")
+    assert result.findings == []
+    assert result.ok
+
+
+def test_missing_counterpart_and_missing_evidence():
+    result = check_fixture("parity_bad", "parity-coverage")
+    assert locations(result.findings) == [
+        ("parity-coverage", REF, 4),  # fm pair: no test imports both
+        ("parity-coverage", REF, 8),  # lost_kernel: no counterpart
+    ]
+    by_line = {f.line: f.message for f in result.findings}
+    assert "no test imports both" in by_line[4]
+    assert "no top-level counterpart" in by_line[8]
+
+
+def test_no_tests_tree_skips_evidence_check():
+    # Without a tests tree only the structural half of the rule runs:
+    # the fm pair (counterpart exists) passes, lost_kernel still fails.
+    result = check_fixture(
+        "parity_bad", "parity-coverage", include_tests=False
+    )
+    assert locations(result.findings) == [("parity-coverage", REF, 8)]

@@ -1,0 +1,26 @@
+"""Telemetry-span rule: spans must be context-managed."""
+
+from tests.analysis.conftest import check_fixture, locations
+
+BAD = "src/repro/engine/bad.py"
+GOOD = "src/repro/engine/good.py"
+
+
+def test_bad_module_exact_locations():
+    result = check_fixture("telemetry", "telemetry-span")
+    assert locations(result.findings) == [
+        ("telemetry-span", BAD, 5),  # span = tel.span(...)
+        ("telemetry-span", BAD, 13),  # handle = tel.metrics.span(...)
+    ]
+
+
+def test_with_blocks_are_clean():
+    result = check_fixture("telemetry", "telemetry-span")
+    assert not [f for f in result.findings if f.path == GOOD]
+
+
+def test_suppression():
+    result = check_fixture("telemetry", "telemetry-span")
+    assert locations(result.suppressed) == [
+        ("telemetry-span", GOOD, 15),
+    ]
