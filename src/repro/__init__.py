@@ -30,7 +30,8 @@ The package implements, from scratch:
   load timelines) threaded through the whole pipeline, with JSON/CSV
   export and the ``massf stats`` report.
 - :mod:`repro.api` — the facade re-exported here: :func:`load_topology`,
-  :func:`build_mapping`, :func:`run_experiment`, :func:`sweep`.
+  :func:`build_mapping`, :func:`emulate`, :func:`run_experiment`,
+  :func:`sweep`.
 
 Quickstart::
 
@@ -49,12 +50,15 @@ __all__ = [
     "__version__",
     "load_topology",
     "build_mapping",
+    "emulate",
+    "EmulationResult",
     "run_experiment",
     "sweep",
     "Telemetry",
 ]
 
-_API_NAMES = ("load_topology", "build_mapping", "run_experiment", "sweep")
+_API_NAMES = ("load_topology", "build_mapping", "emulate",
+              "EmulationResult", "run_experiment", "sweep")
 
 
 def __getattr__(name):

@@ -1,4 +1,4 @@
-"""The ``repro.api`` facade: the whole pipeline in four calls.
+"""The ``repro.api`` facade: the whole pipeline in five calls.
 
 Quickstart::
 
@@ -7,13 +7,16 @@ Quickstart::
     net = repro.load_topology("campus")
     results = repro.run_experiment("campus", seed=1)
     stats = repro.sweep("campus", seeds=(1, 2, 3, 4), workers=4)
+    run = repro.emulate("campus", workload=wl, engine="parallel", k=3)
 
 The facade wraps the experiment harness (:mod:`repro.experiments`), the
-mapper (:mod:`repro.core`) and the parallel runtime
-(:mod:`repro.runtime`) behind four functions:
+mapper (:mod:`repro.core`), the emulation engines (:mod:`repro.engine`)
+and the parallel runtime (:mod:`repro.runtime`) behind five functions:
 
 - :func:`load_topology` — a built-in topology by name, or a DML file.
 - :func:`build_mapping` — one TOP / PLACE / PROFILE mapping.
+- :func:`emulate` — one emulation run (sequential or multi-process LP
+  engine), returning an :class:`EmulationResult`.
 - :func:`run_experiment` — the full profile → map → evaluate pipeline.
 - :func:`sweep` — repeat :func:`run_experiment` across seeds, optionally
   fanned out over worker processes with artifact caching.
@@ -24,6 +27,8 @@ All are re-exported from the top-level :mod:`repro` package.
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable
 
@@ -32,6 +37,8 @@ import numpy as np
 __all__ = [
     "load_topology",
     "build_mapping",
+    "emulate",
+    "EmulationResult",
     "run_experiment",
     "sweep",
     "TOPOLOGIES",
@@ -176,6 +183,159 @@ def build_mapping(
     )
 
 
+@dataclass
+class EmulationResult:
+    """Everything one :func:`emulate` call produced.
+
+    Attributes
+    ----------
+    trace:
+        The :class:`~repro.engine.trace.EventTrace` (bit-identical across
+        engines for the same seed and workload).
+    stats:
+        The kernel's :class:`~repro.engine.perf.KernelStats` operation
+        counters.
+    engine:
+        ``"sequential"`` or ``"parallel"``.
+    wall_s:
+        Wall-clock seconds spent inside the kernel run.
+    link_packets, link_bytes, link_busy_s, link_max_backlog_s:
+        Per-link accounting arrays (indexed by link id).
+    transfer_log:
+        ``(time, src, dst, nbytes, flow, tag)`` tuples, submission order.
+    lp_events:
+        Train events dispatched per logical process (parallel engine
+        only; ``None`` for sequential runs).
+    """
+
+    trace: "object"
+    stats: "object"
+    engine: str
+    wall_s: float
+    link_packets: np.ndarray
+    link_bytes: np.ndarray
+    link_busy_s: np.ndarray
+    link_max_backlog_s: np.ndarray
+    transfer_log: list = field(default_factory=list)
+    lp_events: np.ndarray | None = None
+
+    @property
+    def events_per_second(self) -> float:
+        """Trace events executed per wall-clock second."""
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.trace.n_events / self.wall_s
+
+    @property
+    def lp_imbalance(self) -> float:
+        """Max/mean ratio of per-LP event counts (1.0 when sequential)."""
+        if self.lp_events is None or not len(self.lp_events):
+            return 1.0
+        mean = float(self.lp_events.mean())
+        if mean == 0:
+            return 1.0
+        return float(self.lp_events.max()) / mean
+
+
+def emulate(
+    net,
+    tables=None,
+    workload=None,
+    *,
+    until: float | None = None,
+    engine: str = "sequential",
+    k: int | None = None,
+    parts=None,
+    train_packets: int = 32,
+    seed: int = 0,
+    telemetry=None,
+    cache=None,
+) -> EmulationResult:
+    """Run one emulation and return its artifacts — the engine-level
+    sibling of :func:`run_experiment` (which scores mappings; this just
+    emulates).
+
+    Parameters
+    ----------
+    net:
+        A built-in topology name (:data:`TOPOLOGIES`), a DML path, or a
+        prebuilt :class:`~repro.topology.network.Network`.
+    tables:
+        Routing tables; built on demand (cache-aware) when omitted.
+    workload:
+        Anything with ``install(kernel, rng)`` and a ``duration``
+        attribute — e.g. a :class:`repro.experiments.workloads.Workload`
+        (its ``prepare`` hook runs first when present).
+    until:
+        Virtual horizon (defaults to ``workload.duration``).
+    engine:
+        ``"sequential"`` (batched single-process kernel) or
+        ``"parallel"`` (one logical process per partition).  Traces are
+        bit-identical either way.
+    k, parts:
+        Sharding for the parallel engine: an explicit per-node partition
+        array, or an engine-node count ``k`` from which a TOP partition
+        is derived via :func:`build_mapping`.  Ignored when sequential.
+    train_packets, seed:
+        Fidelity knob and the workload RNG seed.
+    telemetry, cache:
+        Optional :class:`repro.obs.Telemetry` and artifact-cache spec
+        (used for routing tables and the derived partition).
+
+    Returns
+    -------
+    EmulationResult
+    """
+    from repro.engine.kernel import run_kernel
+    from repro.routing.spf import build_routing
+    from repro.runtime.cache import resolve_cache
+    from repro.topology.network import Network
+
+    if workload is None:
+        raise TypeError("emulate() needs a workload (install + duration)")
+    if engine not in ("sequential", "parallel"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'sequential' or 'parallel'"
+        )
+    cache = resolve_cache(cache)
+    if not isinstance(net, Network):
+        net = load_topology(net)
+    if tables is None:
+        tables = build_routing(net, cache=cache)
+    if engine == "parallel" and parts is None:
+        if k is None:
+            raise ValueError(
+                "engine='parallel' needs parts= (a per-node partition "
+                "array) or k= (an engine-node count to derive a TOP "
+                "partition from)"
+            )
+        parts = build_mapping(
+            net, k, "top", tables=tables, cache=cache
+        ).parts
+    prepare = getattr(workload, "prepare", None)
+    if prepare is not None:
+        prepare(net, np.random.default_rng(seed))
+    start = time.perf_counter()
+    trace, kernel = run_kernel(
+        net, tables, workload, seed=seed, until=until,
+        train_packets=train_packets, telemetry=telemetry, engine=engine,
+        parts=parts,
+    )
+    wall = time.perf_counter() - start
+    return EmulationResult(
+        trace=trace,
+        stats=kernel.stats,
+        engine=engine,
+        wall_s=wall,
+        link_packets=kernel.link_packets,
+        link_bytes=kernel.link_bytes,
+        link_busy_s=kernel.link_busy_s,
+        link_max_backlog_s=kernel.link_max_backlog_s,
+        transfer_log=list(kernel.transfer_log),
+        lp_events=getattr(kernel, "lp_events", None),
+    )
+
+
 def _identity(net):
     """Picklable network "factory" for prebuilt networks."""
     return net
@@ -240,6 +400,7 @@ def run_experiment(
     duration: float | None = None,
     workload_kwargs=None,
     config=None,
+    engine: str | None = None,
     cache=None,
     telemetry=None,
 ):
@@ -258,6 +419,10 @@ def run_experiment(
         Engine-node count override (defaults to the setup's Table 1 value).
     approaches, seed, config:
         Forwarded to :func:`repro.experiments.runner.evaluate_setup`.
+    engine:
+        Execution engine for the evaluation emulation — ``"sequential"``
+        or ``"parallel"`` (bit-identical traces; see :func:`emulate`).
+        Overrides ``config.engine`` when given.
     cache:
         Artifact cache spec — ``True``/``"default"`` for the default disk
         cache, a path, an :class:`~repro.runtime.cache.ArtifactCache`, or
@@ -277,10 +442,22 @@ def run_experiment(
         topology, app=app, intensity=intensity, duration=duration, k=k,
         workload_kwargs=workload_kwargs,
     )
+    config = _with_engine(config, engine)
     return evaluate_setup(
         setup, approaches=tuple(approaches), seed=seed, config=config,
         cache=resolve_cache(cache), telemetry=telemetry,
     )
+
+
+def _with_engine(config, engine):
+    """Overlay an ``engine=`` override onto a RunnerConfig (or build one)."""
+    if engine is None:
+        return config
+    from dataclasses import replace
+
+    from repro.experiments.runner import RunnerConfig
+
+    return replace(config or RunnerConfig(), engine=engine)
 
 
 def sweep(
@@ -294,6 +471,7 @@ def sweep(
     duration: float | None = None,
     workload_kwargs=None,
     config=None,
+    engine: str | None = None,
     workers: int | None = None,
     runtime=None,
     cache=None,
@@ -309,6 +487,9 @@ def sweep(
 
     Parameters
     ----------
+    engine:
+        Execution engine for the evaluation emulations (see
+        :func:`run_experiment`); overrides ``config.engine``.
     workers:
         Worker process count (``None`` = auto, ``0`` = serial in-process).
         Ignored when an explicit ``runtime``
@@ -340,6 +521,7 @@ def sweep(
     )
     if runtime is None:
         runtime = RuntimeConfig(workers=workers)
+    config = _with_engine(config, engine)
     return sweep_setup(
         setup, seeds=tuple(seeds), approaches=tuple(approaches),
         config=config, runtime=runtime, cache=resolve_cache(cache),

@@ -122,14 +122,26 @@ def _configure_emulate(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--duration", type=float, default=None,
                         help="override the workload duration (seconds)")
+    parser.add_argument("--engine", choices=("seq", "par"), default="seq",
+                        help="evaluation-emulation engine: seq = batched "
+                        "sequential kernel, par = one logical process per "
+                        "engine node (bit-identical traces)")
     parser.add_argument("--cache-dir", default=None,
                         help="artifact cache directory (reuses routing "
                         "tables and emulation runs across invocations)")
     parser.add_argument("-o", "--output", help="write JSON here")
 
 
+#: CLI engine spellings → RunnerConfig / run_kernel engine names.
+_ENGINES = {"seq": "sequential", "par": "parallel"}
+
+
 def _cmd_emulate(parser: argparse.ArgumentParser, args) -> int:
-    from repro.experiments.runner import evaluate_setup, evaluate_workload
+    from repro.experiments.runner import (
+        RunnerConfig,
+        evaluate_setup,
+        evaluate_workload,
+    )
     from repro.experiments.setups import (
         brite_setup,
         campus_setup,
@@ -138,6 +150,7 @@ def _cmd_emulate(parser: argparse.ArgumentParser, args) -> int:
     from repro.runtime.cache import resolve_cache
 
     cache = resolve_cache(args.cache_dir)
+    config = RunnerConfig(engine=_ENGINES[args.engine])
     approaches = tuple(
         a.strip() for a in args.approaches.split(",") if a.strip()
     )
@@ -170,7 +183,7 @@ def _cmd_emulate(parser: argparse.ArgumentParser, args) -> int:
                                       **wl_kwargs)
         results = evaluate_workload(net, workload, k,
                                     approaches=approaches, seed=args.seed,
-                                    cache=cache)
+                                    config=config, cache=cache)
         described = f"{net.summary()} on {k} engine nodes"
     else:
         factory = {"campus": campus_setup, "teragrid": teragrid_setup,
@@ -182,12 +195,13 @@ def _cmd_emulate(parser: argparse.ArgumentParser, args) -> int:
             kwargs["workload_kwargs"] = {"duration": args.duration}
         setup = factory(args.app, **kwargs)
         results = evaluate_setup(setup, approaches=approaches,
-                                 seed=args.seed, cache=cache)
+                                 seed=args.seed, config=config, cache=cache)
         described = setup.describe()
 
     payload = {
         "setup": described,
         "seed": args.seed,
+        "engine": _ENGINES[args.engine],
         "approaches": {
             name: {
                 "load_imbalance": ev.outcome.load_imbalance,
@@ -394,7 +408,8 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 # massf bench
 # --------------------------------------------------------------------- #
 def _configure_bench(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("what", choices=("partition", "routing", "place"),
+    parser.add_argument("what",
+                        choices=("partition", "routing", "place", "emulate"),
                         help="benchmark suite to run")
     parser.add_argument("--sizes", default="1000,2000,5000",
                         help="comma-separated router counts for the "
@@ -420,6 +435,15 @@ def _configure_bench(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-representatives", action="store_true",
                         help="disable the representative-endpoint "
                         "traceroute optimization (place suite)")
+    parser.add_argument("--flows", type=int, default=4000,
+                        help="synthetic transfers per run (emulate suite)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="virtual horizon in seconds (emulate suite)")
+    parser.add_argument("--train-packets", type=int, default=32,
+                        help="packets per train (emulate suite)")
+    parser.add_argument("--engines", default="reference,sequential,parallel",
+                        help="comma-separated subset of reference, "
+                        "sequential, parallel (emulate suite)")
     parser.add_argument("--budget", type=float, default=None,
                         help="per-run wall-time budget in seconds; exceeding "
                         "it fails the command (CI smoke guard)")
@@ -629,10 +653,117 @@ def _bench_place(parser, args, telemetry) -> tuple[list[dict], list[str]]:
     return rows, over_budget
 
 
+def _bench_emulate(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    """Engine throughput: reference vs batched vs multi-process LPs.
+
+    One synthetic transfer soup per topology size, replayed through each
+    requested engine.  All engines must produce byte-identical traces —
+    a mismatch fails the command (the parity contract, enforced here too
+    so CI smoke catches drift on big inputs the unit suite never sees).
+    """
+    import time
+
+    import numpy as np
+
+    from repro.api import emulate
+    from repro.engine._reference import run_kernel_reference
+    from repro.experiments.workloads import SyntheticTransfers
+    from repro.routing.spf import build_routing
+
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    known = ("reference", "sequential", "parallel")
+    bad = [e for e in engines if e not in known]
+    if bad or not engines:
+        parser.error(
+            f"--engines must be a non-empty subset of {', '.join(known)}"
+        )
+
+    rows: list[dict] = []
+    over_budget: list[str] = []
+    print(f"{'routers':>8s} {'engine':<12s} {'wall_s':>8s} {'events':>10s} "
+          f"{'events/s':>10s} {'speedup':>8s} {'lp_imbal':>8s}")
+    for n in _bench_sizes(parser, args):
+        with telemetry.span(f"bench/generate/n{n}"):
+            net = _bench_net(parser, args, n)
+            tables = build_routing(net)
+        workload = SyntheticTransfers(
+            n_flows=args.flows, duration=args.duration,
+        )
+        workload.prepare(net, np.random.default_rng(args.seed))
+        ref_wall = None
+        baseline: tuple | None = None
+        for engine in engines:
+            with telemetry.span(f"bench/emulate/n{n}/{engine}"):
+                if engine == "reference":
+                    start = time.perf_counter()
+                    trace, kernel = run_kernel_reference(
+                        net, tables, workload, seed=args.seed,
+                        train_packets=args.train_packets,
+                    )
+                    wall = time.perf_counter() - start
+                    ref_wall = wall
+                    lp_imbalance = None
+                else:
+                    result = emulate(
+                        net, tables, workload, seed=args.seed,
+                        train_packets=args.train_packets, engine=engine,
+                        k=args.parts if engine == "parallel" else None,
+                    )
+                    trace, wall = result.trace, result.wall_s
+                    lp_imbalance = (
+                        result.lp_imbalance
+                        if engine == "parallel" else None
+                    )
+            if baseline is None:
+                baseline = tuple(
+                    getattr(trace, f)
+                    for f in ("time", "node", "next_node", "packets",
+                              "flow", "span")
+                )
+            elif not all(
+                np.array_equal(a, getattr(trace, f))
+                for a, f in zip(baseline, ("time", "node", "next_node",
+                                           "packets", "flow", "span"))
+            ):
+                parser.error(
+                    f"engine {engine!r} produced a different trace than "
+                    f"{engines[0]!r} on n_routers={n} — the engines' "
+                    "bit-identity contract is broken"
+                )
+            speedup = ref_wall / wall if ref_wall and wall > 0 else None
+            telemetry.count("bench.runs")
+            telemetry.gauge(f"bench.wall_s.n{n}.{engine}", wall)
+            rows.append({
+                "n_routers": n,
+                "n_hosts": len(net.hosts()),
+                "engine": engine,
+                "k": args.parts if engine == "parallel" else 1,
+                "flows": args.flows,
+                "train_packets": args.train_packets,
+                "duration_s": args.duration,
+                "events": trace.n_events,
+                "wall_s": wall,
+                "events_per_s": trace.n_events / wall if wall > 0 else None,
+                "speedup_vs_reference": speedup,
+                "lp_imbalance": lp_imbalance,
+            })
+            print(f"{n:8d} {engine:<12s} {wall:8.2f} {trace.n_events:10d} "
+                  f"{trace.n_events / wall if wall > 0 else 0:10.0f} "
+                  f"{speedup if speedup else float('nan'):8.2f} "
+                  f"{lp_imbalance if lp_imbalance else float('nan'):8.2f}")
+            if args.budget is not None and wall > args.budget:
+                over_budget.append(
+                    f"n={n} {engine}: {wall:.2f}s > budget "
+                    f"{args.budget:.2f}s"
+                )
+    return rows, over_budget
+
+
 _BENCH_SUITES = {
     "partition": _bench_partition,
     "routing": _bench_routing,
     "place": _bench_place,
+    "emulate": _bench_emulate,
 }
 
 

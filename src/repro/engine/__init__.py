@@ -17,13 +17,15 @@ who processes it and how often they synchronize).
 """
 
 from repro.engine.costmodel import CostModel
-from repro.engine.kernel import EmulationKernel
+from repro.engine.kernel import EmulationKernel, KernelStats, run_kernel
 from repro.engine.packet import PacketTrain, Transfer
 from repro.engine.parallel import EmulationMetrics, evaluate_mapping, lookahead_of
 from repro.engine.trace import EventTrace
 
 __all__ = [
     "EmulationKernel",
+    "KernelStats",
+    "run_kernel",
     "PacketTrain",
     "Transfer",
     "EventTrace",

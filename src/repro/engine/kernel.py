@@ -1,4 +1,4 @@
-"""The sequential discrete-event emulation kernel.
+"""The batched discrete-event emulation kernel.
 
 Simulates the virtual network in virtual time: packet trains traverse
 store-and-forward FIFO links with per-direction transmission queueing and
@@ -7,39 +7,76 @@ fire closed-loop callbacks.  Every executed event is recorded into an
 :class:`~repro.engine.trace.EventTrace` (one row per train-at-node, packet
 counts preserved), which downstream code scores under any partition.
 
+Unlike the original per-event heap kernel (preserved verbatim as
+:class:`repro.engine._reference.ReferenceKernel`, the parity oracle), the
+hot path here is *batched*: train events live in a struct-of-arrays
+calendar (:class:`~repro.engine.eventq.BatchEventQueue`) bucketed by the
+conservative lookahead window (:func:`~repro.engine.sync.conservative_window`
+— the minimum link latency, so no event can schedule a successor inside its
+own window), and whole windows are popped and processed as sorted numpy
+arrays.  Only the order-coupled parts fall back to python loops: control
+callbacks, delivery hooks, multi-event FIFO groups on one (link, direction),
+RED admission, and NetFlow collection.
+
+The produced traces are **bit-identical** to the reference kernel's — same
+:class:`~repro.engine.trace.EventTrace` arrays byte for byte, same semantic
+:class:`~repro.engine.perf.KernelStats`, same per-link accounting arrays.
+Three facts make that work:
+
+- rows enter the recorder in execution order and ``finish()`` sorts stably
+  by time, so equal-time rows keep pop order;
+- successor events of one vectorized segment are pushed in segment order
+  with consecutive sequence numbers — exactly the values the reference's
+  pop/push interleave would have assigned (deliveries push nothing, each
+  admitted forward pushes exactly one successor);
+- the per-(link, direction) busy-time recurrence ``depart = max(t, busy) +
+  tx`` is float-order-sensitive, so only singleton FIFO groups take the
+  elementwise path (``np.maximum`` is bit-identical to scalar ``max``);
+  multi-event groups replay the scalar loop.
+
+One theoretical caveat: window bucketing relies on ``t + tx + latency``
+not rounding below ``t + latency``'s window; since ``tx`` is at least tens
+of picoseconds and the rounding margin is ~2 ulp, this holds for any
+realistic horizon, and even a straggler only lands in an already-drained
+bucket *after* every event that must precede it (the parity suite enforces
+the ordering empirically).
+
 The kernel deliberately knows nothing about partitions or wall-clock cost —
-see :mod:`repro.engine.parallel` for that layer.
+see :mod:`repro.engine.parallel` for the analytic model and
+:mod:`repro.engine.lp` for the multi-process LP engine built on top of this
+class.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
 
-from repro.engine.eventq import EventQueue
-from repro.engine.packet import PacketTrain, Transfer, packetize
+from repro.engine.eventq import EventBatch, merge_newer
+from repro.engine.packet import (
+    MTU_BYTES, Transfer, packetize, reset_flow_ids,
+)
+from repro.engine.perf import KernelStats
+from repro.engine.queues import DropTail
+from repro.engine.sync import conservative_window, cut_before, first_true
 from repro.engine.trace import DELIVERED, INJECTED, EventTrace, TraceRecorder
 from repro.routing.tables import RoutingTables
 from repro.topology.network import Network
 
-__all__ = ["EmulationKernel", "KernelStats"]
+__all__ = ["EmulationKernel", "KernelStats", "run_kernel"]
 
-
-@dataclass
-class KernelStats:
-    """Aggregate counters accumulated during a run."""
-
-    transfers_submitted: int = 0
-    transfers_delivered: int = 0
-    trains_forwarded: int = 0
-    trains_dropped: int = 0
-    packets_delivered: int = 0
+#: Constructor options, in their historical positional order (the
+#: deprecation shim maps stray positional arguments onto these).
+_OPTION_NAMES = ("train_packets", "collector", "queue_limit_s", "queue",
+                 "telemetry")
+_UNSET = object()
 
 
 class EmulationKernel:
-    """One emulation run over a routed network.
+    """One emulation run over a routed network (batched sequential engine).
 
     Parameters
     ----------
@@ -50,46 +87,100 @@ class EmulationKernel:
     collector:
         Optional NetFlow-like collector with a
         ``record(time, router, out_link, train)`` method, invoked at every
-        router hop (see :mod:`repro.profiling.netflow`).
+        router hop (see :mod:`repro.profiling.netflow`).  Forces the
+        ordered per-event path (collection order is part of its contract).
     queue_limit_s:
         Drop-tail horizon: a train is dropped when the link backlog it would
         join exceeds this many seconds of transmission (None = no drops).
         Shorthand for ``queue=DropTail(queue_limit_s)``.
     queue:
         Explicit queue discipline (e.g. :class:`repro.engine.queues.RED`);
-        takes precedence over ``queue_limit_s``.
+        takes precedence over ``queue_limit_s``.  Anything other than a
+        plain :class:`~repro.engine.queues.DropTail` forces the ordered
+        per-event path (RED admission consumes an RNG in arrival order).
     telemetry:
         Optional :class:`repro.obs.telemetry.Telemetry`; :meth:`run`
         records a ``kernel/run`` span plus aggregate event / packet / drop
         counters and queue-depth gauges.  Nothing is recorded per event —
         the hot loop stays untouched.
+
+    All options are keyword-only; passing them positionally still works for
+    one release but emits a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         net: Network,
         tables: RoutingTables,
-        train_packets: int = 32,
-        collector=None,
-        queue_limit_s: Optional[float] = None,
-        queue=None,
-        telemetry=None,
+        *args,
+        train_packets=_UNSET,
+        collector=_UNSET,
+        queue_limit_s=_UNSET,
+        queue=_UNSET,
+        telemetry=_UNSET,
     ) -> None:
         from repro.obs.telemetry import ensure_telemetry
+
+        opts = {"train_packets": 32, "collector": None, "queue_limit_s": None,
+                "queue": None, "telemetry": None}
+        if args:
+            if len(args) > len(_OPTION_NAMES):
+                raise TypeError(
+                    f"EmulationKernel() takes at most "
+                    f"{2 + len(_OPTION_NAMES)} positional arguments "
+                    f"({2 + len(args)} given)"
+                )
+            warnings.warn(
+                "passing EmulationKernel options positionally is deprecated "
+                "and will stop working in the next release; use keyword "
+                "arguments (train_packets=, collector=, queue_limit_s=, "
+                "queue=, telemetry=)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            opts.update(zip(_OPTION_NAMES, args))
+        for name, value in zip(
+            _OPTION_NAMES,
+            (train_packets, collector, queue_limit_s, queue, telemetry),
+        ):
+            if value is not _UNSET:
+                if len(args) > _OPTION_NAMES.index(name):
+                    raise TypeError(
+                        f"EmulationKernel() got multiple values for "
+                        f"argument {name!r}"
+                    )
+                opts[name] = value
 
         if tables.net is not net:
             raise ValueError("routing tables were built for another network")
         self.net = net
         self.tables = tables
-        self.train_packets = int(train_packets)
-        self.collector = collector
-        self.telemetry = ensure_telemetry(telemetry)
-        if queue is None and queue_limit_s is not None:
-            from repro.engine.queues import DropTail
-
-            queue = DropTail(queue_limit_s)
+        self.train_packets = int(opts["train_packets"])
+        self.collector = opts["collector"]
+        self.telemetry = ensure_telemetry(opts["telemetry"])
+        queue = opts["queue"]
+        if queue is None and opts["queue_limit_s"] is not None:
+            queue = DropTail(opts["queue_limit_s"])
         self.queue_disc = queue
-        self.queue = EventQueue()
+        # Order-coupled state forces the per-event path for whole segments.
+        self._ordered = self.collector is not None or (
+            self.queue_disc is not None
+            and type(self.queue_disc) is not DropTail
+        )
+
+        from repro.engine.eventq import BatchEventQueue
+        from repro.engine.lp import LPShard, shard_context
+
+        self.window_s = conservative_window(net)
+        self.calendar = BatchEventQueue(self.window_s)
+        self._ctrl: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._events = 0
+        self._trains: list = []
+        # Successor batches produced while draining the current window,
+        # pushed to the calendar in one batch per window (_flush_staged).
+        self._staged: list[EventBatch] = []
+
         self.recorder = TraceRecorder(net.n_nodes)
         self.stats = KernelStats()
         # (time, src, dst, nbytes, flow_id, tag) per submitted transfer —
@@ -97,14 +188,19 @@ class EmulationKernel:
         self.transfer_log: list[tuple[float, int, int, float, int, str]] = []
         self.now = 0.0
         self._end_time: float = float("inf")
+
+        # All numeric per-link state lives in a single LP shard covering
+        # the whole network; the public accounting arrays alias its.
+        self._ctx = shard_context(net, tables, self.queue_disc)
+        self._shard = LPShard(self._ctx)
         # Per-link, per-direction busy-until times (FIFO transmission).
-        self._busy = np.zeros((net.n_links, 2), dtype=np.float64)
+        self._busy = self._shard.busy
         # Per-link accounting: packets carried, bytes carried, busy seconds,
         # worst backlog seen (both directions summed / maxed).
-        self.link_packets = np.zeros(net.n_links, dtype=np.float64)
-        self.link_bytes = np.zeros(net.n_links, dtype=np.float64)
-        self.link_busy_s = np.zeros(net.n_links, dtype=np.float64)
-        self.link_max_backlog_s = np.zeros(net.n_links, dtype=np.float64)
+        self.link_packets = self._shard.link_packets
+        self.link_bytes = self._shard.link_bytes
+        self.link_busy_s = self._shard.link_busy_s
+        self.link_max_backlog_s = self._shard.link_max_backlog_s
         self._is_router = np.array(
             [node.is_router for node in net.nodes], dtype=bool
         )
@@ -112,9 +208,16 @@ class EmulationKernel:
     # ------------------------------------------------------------------ #
     # Scheduling API (used by traffic generators)
     # ------------------------------------------------------------------ #
+    def _next_seq(self) -> int:
+        s = self._seq
+        self._seq = s + 1
+        return s
+
     def schedule(self, time: float, callback: Callable, *args) -> None:
         """Run ``callback(kernel, time, *args)`` at virtual ``time``."""
-        self.queue.push(time, callback, *args)
+        if time < 0:
+            raise ValueError("cannot schedule before time 0")
+        heapq.heappush(self._ctrl, (time, self._next_seq(), callback, args))
 
     def submit_transfer(self, transfer: Transfer, time: float) -> None:
         """Inject a transfer at its source host at virtual ``time``.
@@ -124,6 +227,18 @@ class EmulationKernel:
         injection itself is recorded as one kernel event (the paper counts
         "requests coming from the application" as live-injection overhead).
         """
+        if transfer.nbytes <= 0:
+            raise ValueError(
+                f"transfer {transfer.src} -> {transfer.dst} carries "
+                f"nbytes={transfer.nbytes!r}; a transfer must carry at "
+                f"least one byte (was the Transfer mutated after "
+                f"construction?)"
+            )
+        if transfer.src == transfer.dst:
+            raise ValueError(
+                f"transfer src == dst == {transfer.src}; a transfer must "
+                f"cross the network — pick two distinct hosts"
+            )
         if time < self.now:
             raise ValueError("cannot submit a transfer in the past")
         self.stats.transfers_submitted += 1
@@ -138,64 +253,387 @@ class EmulationKernel:
              transfer.flow_id, transfer.tag)
         )
         self.recorder.record(time, transfer.src, INJECTED, 1, transfer.flow_id)
+        trains = packetize(transfer, self.train_packets)
+        k = len(trains)
+        base = len(self._trains)
+        self._trains.extend(trains)
+        times = np.empty(k, dtype=np.float64)
+        seqs = np.empty(k, dtype=np.int64)
         offset = 0.0
-        for train in packetize(transfer, self.train_packets):
-            self.queue.push(time + offset, self._arrive, transfer.src, train)
+        for i, train in enumerate(trains):
+            times[i] = time + offset
+            seqs[i] = self._next_seq()
             offset += access.tx_time(train.nbytes)
+        self.calendar.push_batch(EventBatch(
+            time=times,
+            seq=seqs,
+            node=np.full(k, transfer.src, dtype=np.int64),
+            dst=np.full(k, transfer.dst, dtype=np.int64),
+            count=np.array([t.count for t in trains], dtype=np.int64),
+            nbytes=np.array([t.nbytes for t in trains], dtype=np.float64),
+            flow=np.full(k, transfer.flow_id, dtype=np.int64),
+            last=np.array([t.last for t in trains], dtype=bool),
+            hook=np.full(k, transfer.on_delivery is not None, dtype=bool),
+            train=np.arange(base, base + k, dtype=np.int64),
+        ))
 
-    # ------------------------------------------------------------------ #
-    # Event handlers
-    # ------------------------------------------------------------------ #
-    def _arrive(self, kernel, time: float, node: int, train: PacketTrain) -> None:
-        if node == train.dst:
-            self.recorder.record(
-                time, node, DELIVERED, train.count, train.flow_id
-            )
-            self.stats.packets_delivered += train.count
-            if train.last:
-                self.stats.transfers_delivered += 1
-                hook = train.transfer.on_delivery
-                if hook is not None:
-                    hook(self, time, train.transfer)
+    def submit_transfers(self, transfers, times) -> None:
+        """Inject many transfers at once (bulk :meth:`submit_transfer`).
+
+        Exactly equivalent to ``for tr, t in zip(transfers, times):
+        kernel.submit_transfer(tr, t)`` — same trace rows, same sequence
+        numbers, same transfer log, same error behaviour — but all train
+        events are built in one vectorized pass and one calendar push.
+        ``times`` is a scalar or one timestamp per transfer.  Transfers
+        carrying delivery hooks, kernels on the ordered path (RED /
+        NetFlow), and invalid submissions take the per-transfer loop (the
+        loop reproduces partial effects before an error bit-for-bit).
+        """
+        transfers = list(transfers)
+        n = len(transfers)
+        if n == 0:
             return
-
-        nxt = self.tables.hop(node, train.dst)
-        if nxt < 0:
-            raise RuntimeError(f"no route from {node} to {train.dst}")
-        link = self.tables.link_between(node, nxt)
-        direction = 0 if node == link.u else 1
-        backlog = self._busy[link.link_id, direction] - time
-        if self.queue_disc is not None and not self.queue_disc.admit(
-            link.link_id, direction, max(backlog, 0.0)
-        ):
-            # Dropped: record the processing work, forward nothing.
-            self.recorder.record(
-                time, node, DELIVERED, train.count, train.flow_id
-            )
-            self.stats.trains_dropped += 1
-            return
-
-        self.recorder.record(
-            time, node, nxt, train.count, train.flow_id,
-            span=link.tx_time(train.nbytes),
+        t_arr = np.ascontiguousarray(np.broadcast_to(
+            np.asarray(times, dtype=np.float64), (n,)
+        ))
+        src = np.array([tr.src for tr in transfers], dtype=np.int64)
+        dst = np.array([tr.dst for tr in transfers], dtype=np.int64)
+        nb = np.array([tr.nbytes for tr in transfers], dtype=np.int64)
+        hooked = any(tr.on_delivery is not None for tr in transfers)
+        valid = (
+            bool((nb > 0).all()) and bool((src != dst).all())
+            and bool((t_arr >= self.now).all())
         )
-        self.stats.trains_forwarded += 1
-        if self._is_router[node] and self.collector is not None:
-            self.collector.record(time, node, link.link_id, train)
+        hop = (
+            self.tables.next_hop[src, dst].astype(np.int64) if valid else None
+        )
+        if self._ordered or hooked or not valid or (hop < 0).any():
+            for tr, t in zip(transfers, t_arr.tolist()):
+                self.submit_transfer(tr, t)
+            return
+        self.stats.transfers_submitted += n
+        lids = self._shard._link_ids(src, hop)
+        bw = self._ctx.link_bw[lids]
+        flow = np.array([tr.flow_id for tr in transfers], dtype=np.int64)
+        self.transfer_log.extend(
+            (t, int(s), int(d), int(b), int(fl), tr.tag)
+            for t, s, d, b, fl, tr in zip(
+                t_arr.tolist(), src.tolist(), dst.tolist(), nb.tolist(),
+                flow.tolist(), transfers,
+            )
+        )
+        self.recorder.record_batch(
+            t_arr, src, np.full(n, INJECTED, dtype=np.int64),
+            np.ones(n, dtype=np.int64), flow, np.zeros(n, dtype=np.float64),
+        )
+        # Mirror packetize() arithmetic: full trains carry
+        # ``train_packets * MTU`` bytes, the last train the exact integer
+        # remainder (< 2**53, so the reference's float subtractions are
+        # exact and this integer math reproduces them bit-for-bit).
+        tp = self.train_packets
+        total = np.maximum(1, -(-nb // MTU_BYTES))
+        k_arr = -(-total // tp)
+        K = int(k_arr.sum())
+        bounds = np.concatenate(([0], np.cumsum(k_arr)))
+        seg0 = bounds[:-1]
+        tidx = np.repeat(np.arange(n), k_arr)
+        j = np.arange(K) - seg0[tidx]
+        is_last = j == k_arr[tidx] - 1
+        counts = np.full(K, tp, dtype=np.int64)
+        counts[is_last] = total - (k_arr - 1) * tp
+        tnb = np.full(K, float(tp * MTU_BYTES), dtype=np.float64)
+        tnb[is_last] = (nb - (k_arr - 1) * (tp * MTU_BYTES)).astype(
+            np.float64
+        )
+        # Source pacing at the access link: offsets accumulate one
+        # full-train tx per round, elementwise across transfers — the same
+        # float addition chain as the per-transfer loop.
+        txf = float(tp * MTU_BYTES) * 8.0 / bw
+        ev_times = np.empty(K, dtype=np.float64)
+        ev_times[seg0] = t_arr
+        run = np.zeros(n, dtype=np.float64)
+        for r in range(1, int(k_arr.max())):
+            act = np.nonzero(k_arr > r)[0]
+            run[act] = run[act] + txf[act]
+            ev_times[seg0[act] + r] = t_arr[act] + run[act]
+        base = self._seq
+        self._seq = base + K
+        self.calendar.push_batch(EventBatch(
+            time=ev_times,
+            seq=np.arange(base, base + K, dtype=np.int64),
+            node=src[tidx],
+            dst=dst[tidx],
+            count=counts,
+            nbytes=tnb,
+            flow=flow[tidx],
+            last=is_last,
+            hook=np.zeros(K, dtype=bool),
+            train=np.full(K, -1, dtype=np.int64),
+        ))
 
-        tx = link.tx_time(train.nbytes)
-        depart = max(time, self._busy[link.link_id, direction]) + tx
-        self._busy[link.link_id, direction] = depart
-        self.link_packets[link.link_id] += train.count
-        self.link_bytes[link.link_id] += train.nbytes
-        self.link_busy_s[link.link_id] += tx
-        if backlog > self.link_max_backlog_s[link.link_id]:
-            self.link_max_backlog_s[link.link_id] = backlog
-        self.queue.push(depart + link.latency_s, self._arrive, nxt, train)
+    # ------------------------------------------------------------------ #
+    # Batched dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, batch: EventBatch, start: int, end: int) -> None:
+        """Execute events ``batch[start:end]`` (already in (time, seq)
+        order, no control event or delivery hook strictly inside)."""
+        self._events += end - start
+        if self._ordered:
+            self._dispatch_ordered(batch, start, end)
+            return
+        seg = batch.take(slice(start, end))
+        next_col, span_col, succ_pos, succ_time = self._process_segment(seg)
+        self.recorder.record_batch(
+            seg.time, seg.node, next_col, seg.count, seg.flow, span_col
+        )
+        s = len(succ_pos)
+        if s:
+            base = self._seq
+            self._seq = base + s
+            # Staged, not pushed: successors always land beyond the window
+            # being drained (succ_time > event time + lookahead), so they
+            # can be batched into one calendar push per window — see
+            # :meth:`_flush_staged`.
+            self._staged.append(EventBatch(
+                time=succ_time,
+                seq=np.arange(base, base + s, dtype=np.int64),
+                node=next_col[succ_pos],
+                dst=seg.dst[succ_pos],
+                count=seg.count[succ_pos],
+                nbytes=seg.nbytes[succ_pos],
+                flow=seg.flow[succ_pos],
+                last=seg.last[succ_pos],
+                hook=seg.hook[succ_pos],
+                train=seg.train[succ_pos],
+            ))
+
+    def _process_segment(self, seg: EventBatch):
+        """Run one segment through the (single, whole-network) LP shard."""
+        res = self._shard.process(
+            seg.time, seg.node, seg.dst, seg.count, seg.nbytes, seg.last
+        )
+        self._absorb(res)
+        return res.next, res.span, res.succ_pos, res.succ_time
+
+    def _absorb(self, res) -> None:
+        """Fold one shard result's counter deltas into the kernel stats."""
+        st = self.stats
+        st.packets_delivered += res.packets_delivered
+        st.transfers_delivered += res.transfers_delivered
+        st.trains_forwarded += res.trains_forwarded
+        st.trains_dropped += res.trains_dropped
+        st.vector_events += res.vector_events
+        st.python_loop_events += res.python_loop_events
+        if res.trains_dropped and self.queue_disc is not None:
+            self.queue_disc.drops += res.trains_dropped
+
+    def _dispatch_ordered(self, batch: EventBatch, start: int, end: int) -> None:
+        """Per-event fallback replicating the reference kernel's
+        ``_arrive`` exactly (RED admission / NetFlow collection are coupled
+        to arrival order across the whole network)."""
+        rec = self.recorder
+        st = self.stats
+        s_idx: list[int] = []
+        s_nxt: list[int] = []
+        s_time: list[float] = []
+        s_seq: list[int] = []
+        for i in range(start, end):
+            time = float(batch.time[i])
+            node = int(batch.node[i])
+            dst = int(batch.dst[i])
+            count = int(batch.count[i])
+            flow = int(batch.flow[i])
+            if node == dst:
+                rec.record(time, node, DELIVERED, count, flow)
+                st.packets_delivered += count
+                if batch.last[i]:
+                    st.transfers_delivered += 1
+                continue
+            nbytes = float(batch.nbytes[i])
+            nxt = self.tables.hop(node, dst)
+            if nxt < 0:
+                raise RuntimeError(f"no route from {node} to {dst}")
+            link = self.tables.link_between(node, nxt)
+            direction = 0 if node == link.u else 1
+            backlog = self._busy[link.link_id, direction] - time
+            if self.queue_disc is not None and not self.queue_disc.admit(
+                link.link_id, direction, max(backlog, 0.0)
+            ):
+                # Dropped: record the processing work, forward nothing.
+                rec.record(time, node, DELIVERED, count, flow)
+                st.trains_dropped += 1
+                continue
+            rec.record(
+                time, node, nxt, count, flow, span=link.tx_time(nbytes)
+            )
+            st.trains_forwarded += 1
+            if self._is_router[node] and self.collector is not None:
+                self.collector.record(
+                    time, node, link.link_id, self._trains[int(batch.train[i])]
+                )
+            tx = link.tx_time(nbytes)
+            depart = max(time, self._busy[link.link_id, direction]) + tx
+            self._busy[link.link_id, direction] = depart
+            self.link_packets[link.link_id] += count
+            self.link_bytes[link.link_id] += nbytes
+            self.link_busy_s[link.link_id] += tx
+            if backlog > self.link_max_backlog_s[link.link_id]:
+                self.link_max_backlog_s[link.link_id] = backlog
+            s_idx.append(i)
+            s_nxt.append(nxt)
+            s_time.append(depart + link.latency_s)
+            s_seq.append(self._next_seq())
+        st.python_loop_events += end - start
+        if s_idx:
+            sel = np.asarray(s_idx, dtype=np.int64)
+            self._staged.append(EventBatch(
+                time=np.asarray(s_time, dtype=np.float64),
+                seq=np.asarray(s_seq, dtype=np.int64),
+                node=np.asarray(s_nxt, dtype=np.int64),
+                dst=batch.dst[sel],
+                count=batch.count[sel],
+                nbytes=batch.nbytes[sel],
+                flow=batch.flow[sel],
+                last=batch.last[sel],
+                hook=batch.hook[sel],
+                train=batch.train[sel],
+            ))
 
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
+    def _run_control(self) -> None:
+        time, _, callback, args = heapq.heappop(self._ctrl)
+        self.now = time
+        self.stats.control_events += 1
+        self._events += 1
+        callback(self, time, *args)
+
+    def _run_hook(self, batch: EventBatch, i: int) -> None:
+        """Fire the delivery hook of the (already executed) event ``i``."""
+        train = self._trains[int(batch.train[i])]
+        hook = train.transfer.on_delivery
+        if hook is not None:
+            hook(self, float(batch.time[i]), train.transfer)
+        self.stats.hook_cuts += 1
+
+    def _merge_into_window(self, bucket: int, batch: EventBatch,
+                           pos: int) -> tuple[EventBatch, int, np.ndarray]:
+        """Splice freshly injected same-bucket events into the remainder.
+
+        Everything pushed since the bucket was popped carries a larger seq
+        than anything in ``batch`` (the sequence counter is monotonic), so
+        :func:`~repro.engine.eventq.merge_newer` reproduces the exact
+        (time, seq) order a full re-sort would — without re-pushing and
+        re-sorting the remainder.  Returns the merged batch, its horizon
+        cut, and its hook-cut mask; the caller restarts its scan at 0.
+        """
+        injected = self.calendar.pop_bucket(bucket)
+        merged = merge_newer(batch.take(slice(pos, len(batch))), injected)
+        self.stats.window_merges += 1
+        h_end = int(np.searchsorted(merged.time, self._end_time,
+                                    side="right"))
+        cut_mask = merged.hook & merged.last & (merged.node == merged.dst)
+        return merged, h_end, cut_mask
+
+    def _process_window(self, bucket: int, batch: EventBatch,
+                        end: float) -> bool:
+        """Drain one popped window; returns False when the horizon ends
+        the whole run."""
+        n = len(batch)
+        h_end = int(np.searchsorted(batch.time, end, side="right"))
+        # Deliveries of a hooked transfer's last train cut the segment.
+        cut_mask = batch.hook & batch.last & (batch.node == batch.dst)
+        pos = 0
+        while pos < n:
+            ctrl_key = (
+                (self._ctrl[0][0], self._ctrl[0][1]) if self._ctrl else None
+            )
+            if ctrl_key is not None and ctrl_key < (
+                float(batch.time[pos]), int(batch.seq[pos])
+            ):
+                if ctrl_key[0] > end:
+                    return False
+                self._run_control()
+                mb = self.calendar.min_bucket()
+                if mb is not None and mb < bucket:
+                    # The callback injected events into an EARLIER window
+                    # (possible when this bucket's predecessors were
+                    # empty): hand the remainder back so the outer loop
+                    # pops buckets in order.
+                    self.calendar.push_batch(batch.take(slice(pos, n)))
+                    self.stats.window_merges += 1
+                    return True
+                if mb == bucket:
+                    # The callback injected events into this very window.
+                    batch, h_end, cut_mask = self._merge_into_window(
+                        bucket, batch, pos
+                    )
+                    n = len(batch)
+                    pos = 0
+                continue
+            if pos >= h_end:
+                return False
+            seg_end = h_end if ctrl_key is None else min(
+                h_end, cut_before(batch.time, batch.seq, pos, ctrl_key)
+            )
+            hook_at = first_true(cut_mask, pos, seg_end)
+            if hook_at >= 0:
+                seg_end = hook_at + 1
+            self._dispatch(batch, pos, seg_end)
+            self.now = float(batch.time[seg_end - 1])
+            self.stats.segments += 1
+            pos = seg_end
+            if hook_at >= 0:
+                self._run_hook(batch, hook_at)
+                if pos < n and self.calendar.has_bucket(bucket):
+                    batch, h_end, cut_mask = self._merge_into_window(
+                        bucket, batch, pos
+                    )
+                    n = len(batch)
+                    pos = 0
+        return True
+
+    def _flush_staged(self) -> None:
+        """Push the window's staged successor batches in one calendar op.
+
+        Successors land strictly beyond the window that produced them
+        (``depart + latency > t + lookahead``), so deferring their push to
+        the window boundary changes nothing the drain loop can observe —
+        it only collapses per-segment pushes into one, keeping calendar
+        buckets coarse-grained.
+        """
+        if not self._staged:
+            return
+        staged = self._staged
+        self._staged = []
+        self.calendar.push_batch(
+            staged[0] if len(staged) == 1 else EventBatch.concatenate(staged)
+        )
+
+    def _drain(self, end: float) -> None:
+        while True:
+            bucket = self.calendar.min_bucket()
+            if bucket is None:
+                # Calendar empty: control events alone drive time forward
+                # (each may inject new train events, re-entering the loop).
+                if not self._ctrl or self._ctrl[0][0] > end:
+                    return
+                self._run_control()
+                continue
+            # Pop first, order later: control events preceding this
+            # window's trains are run (and merged) by _process_window,
+            # which compares keys event by event.
+            batch = self.calendar.pop_bucket(bucket)
+            self.stats.windows += 1
+            done = not self._process_window(bucket, batch, end)
+            self._flush_staged()
+            if done:
+                return
+
+    def _finalize_run(self) -> None:
+        """Post-drain hook (the LP engine gathers shard partials here)."""
+
     def run(self, until: float) -> EventTrace:
         """Process events up to virtual time ``until`` and freeze the trace.
 
@@ -206,20 +644,21 @@ class EmulationKernel:
             raise ValueError("horizon must be positive")
         self._end_time = float(until)
         with self.telemetry.span("kernel/run"):
-            while self.queue:
-                if self.queue.peek_time() > self._end_time:
-                    break
-                time, callback, args = self.queue.pop()
-                self.now = time
-                callback(self, time, *args)
+            self._drain(self._end_time)
+        self._finalize_run()
         tel = self.telemetry
         if tel.enabled:
-            tel.count("kernel.events", self.queue.processed)
+            tel.count("kernel.events", self._events)
             tel.count("kernel.trains_forwarded", self.stats.trains_forwarded)
             tel.count("kernel.trains_dropped", self.stats.trains_dropped)
             tel.count("kernel.packets_delivered",
                       self.stats.packets_delivered)
             tel.count("kernel.transfers", self.stats.transfers_submitted)
+            tel.count("kernel.windows", self.stats.windows)
+            tel.count("kernel.segments", self.stats.segments)
+            tel.count("kernel.vector_events", self.stats.vector_events)
+            tel.count("kernel.python_loop_events",
+                      self.stats.python_loop_events)
             tel.gauge("kernel.horizon_s", self._end_time)
             if self.net.n_links:
                 tel.gauge("kernel.max_backlog_s",
@@ -228,7 +667,7 @@ class EmulationKernel:
 
     @property
     def events_processed(self) -> int:
-        return self.queue.processed
+        return self._events
 
     def link_utilization(self, duration: float | None = None) -> np.ndarray:
         """Per-link busy fraction over the run (both directions pooled).
@@ -238,5 +677,74 @@ class EmulationKernel:
         """
         horizon = duration if duration is not None else self._end_time
         if not np.isfinite(horizon) or horizon <= 0:
-            raise ValueError("run() first, or pass an explicit duration")
+            raise ValueError(
+                f"cannot compute link utilization over horizon {horizon!r}: "
+                f"this EmulationKernel has not completed a run() (its end "
+                f"time is still unset) — call run(until=...) first or pass "
+                f"an explicit positive duration"
+            )
         return self.link_busy_s / horizon
+
+
+def run_kernel(
+    net: Network,
+    tables: RoutingTables,
+    workload,
+    *,
+    seed: int = 0,
+    until: float | None = None,
+    train_packets: int = 32,
+    queue=None,
+    queue_limit_s: float | None = None,
+    collector=None,
+    telemetry=None,
+    engine: str = "sequential",
+    parts=None,
+    processes: bool = True,
+) -> tuple[EventTrace, EmulationKernel]:
+    """Run one workload through a batched kernel — the production side of
+    the engine parity pair (:func:`repro.engine._reference.run_kernel_reference`
+    is the oracle).
+
+    ``workload`` is anything with ``install(kernel, rng)`` (and a
+    ``duration`` attribute used when ``until`` is omitted).  Flow ids are
+    reset first so two runs of the same (seed, workload) are comparable
+    train by train.  ``engine="parallel"`` shards the run across one
+    logical process per partition in ``parts`` (see
+    :class:`repro.engine.lp.ParallelEmulationKernel`; ``processes=False``
+    keeps the shards in-process for testing).
+    """
+    reset_flow_ids()
+    if engine == "sequential":
+        kernel = EmulationKernel(
+            net, tables, train_packets=train_packets, collector=collector,
+            queue_limit_s=queue_limit_s, queue=queue, telemetry=telemetry,
+        )
+    elif engine == "parallel":
+        from repro.engine.lp import ParallelEmulationKernel
+
+        if parts is None:
+            raise ValueError(
+                "engine='parallel' needs a parts array (one partition id "
+                "per node); build one with repro.partition.Mapper or call "
+                "repro.api.emulate(engine='parallel', k=...) which derives "
+                "it for you"
+            )
+        kernel = ParallelEmulationKernel(
+            net, tables, parts=parts, processes=processes,
+            train_packets=train_packets, collector=collector,
+            queue_limit_s=queue_limit_s, queue=queue, telemetry=telemetry,
+        )
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'sequential' or 'parallel'"
+        )
+    try:
+        workload.install(kernel, np.random.default_rng(seed))
+        horizon = float(until if until is not None else workload.duration)
+        trace = kernel.run(until=horizon)
+    finally:
+        close = getattr(kernel, "close", None)
+        if close is not None:
+            close()
+    return trace, kernel

@@ -1,0 +1,99 @@
+"""Operation counters for the emulation kernels.
+
+:class:`KernelStats` carries two families of counters.  The *semantic*
+counters (transfers, trains, packets) describe the virtual traffic and must
+be identical across every engine — the reference heap kernel
+(:mod:`repro.engine._reference`), the batched sequential kernel
+(:mod:`repro.engine.kernel`) and the multi-process LP engine
+(:mod:`repro.engine.lp`); the differential parity suite compares them
+bit-for-bit via :meth:`KernelStats.semantic`.
+
+The *operation* counters describe how the batched engines did the work:
+how many conservative windows were advanced, how many events went through
+the vectorized fast path versus the ordered python fallback (multi-event
+FIFO groups, RED admission, NetFlow collection), and how often a segment
+had to be cut for a control event or a delivery hook.  The perf-guard test
+(``tests/engine/test_perf_guard.py``) asserts bounds on these so the build
+fails if someone quietly reintroduces per-event python dispatch on the
+fast path.  The reference kernel leaves them at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Aggregate counters accumulated during a run.
+
+    Attributes
+    ----------
+    transfers_submitted, transfers_delivered, trains_forwarded,
+    trains_dropped, packets_delivered:
+        Semantic traffic counters — engine-independent (see
+        :meth:`semantic`).
+    windows:
+        Conservative lookahead windows advanced by the batched main loop.
+    segments:
+        Vectorized dispatches — at least one per non-empty window, plus
+        one per control-event or delivery-hook cut inside a window.
+    vector_events:
+        Train events processed entirely through the numpy fast path
+        (deliveries, and forwards whose (link, direction) FIFO group was a
+        singleton within the segment).
+    python_loop_events:
+        Train events that took the ordered python fallback: multi-event
+        FIFO groups (the busy-time recurrence is order-sensitive), RED
+        admission, or NetFlow collection.
+    control_events:
+        Scheduled callbacks (traffic generators, delivery hooks) popped
+        from the control heap.
+    hook_cuts:
+        Segments cut short because a delivery hook had to run before the
+        remaining events could be batched.
+    window_merges:
+        Same-window event batches re-merged after a control event or hook
+        injected new events into the window being processed.
+    """
+
+    transfers_submitted: int = 0
+    transfers_delivered: int = 0
+    trains_forwarded: int = 0
+    trains_dropped: int = 0
+    packets_delivered: int = 0
+    windows: int = 0
+    segments: int = 0
+    vector_events: int = 0
+    python_loop_events: int = 0
+    control_events: int = 0
+    hook_cuts: int = 0
+    window_merges: int = 0
+
+    def semantic(self) -> tuple[int, int, int, int, int]:
+        """The engine-independent counters, for differential comparison."""
+        return (
+            self.transfers_submitted,
+            self.transfers_delivered,
+            self.trains_forwarded,
+            self.trains_dropped,
+            self.packets_delivered,
+        )
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another stats object into this one (the LP engine
+        aggregates per-shard deltas)."""
+        self.transfers_submitted += other.transfers_submitted
+        self.transfers_delivered += other.transfers_delivered
+        self.trains_forwarded += other.trains_forwarded
+        self.trains_dropped += other.trains_dropped
+        self.packets_delivered += other.packets_delivered
+        self.windows += other.windows
+        self.segments += other.segments
+        self.vector_events += other.vector_events
+        self.python_loop_events += other.python_loop_events
+        self.control_events += other.control_events
+        self.hook_cuts += other.hook_cuts
+        self.window_merges += other.window_merges

@@ -1,0 +1,103 @@
+"""Conservative-window synchronization math for the batched engines.
+
+The batched kernels advance virtual time in windows of length equal to the
+*lookahead* — here the minimum one-way latency over **all** links, since
+within one engine process every link is a channel.  A train event executed
+at time ``t`` schedules its successor at ``depart + latency > t +
+lookahead``, so all events of one window can be processed as a batch: no
+event generated inside the window can precede any event already in it.
+(:func:`repro.engine.parallel.lookahead_of` computes the *cut-link*
+lookahead the analytic wall-clock model uses; the execution engines need
+the all-links bound.)
+
+Two things *can* inject events into the window being processed, and both
+are visible to the kernel before they run: control events (traffic
+generator callbacks) and delivery hooks (closed-loop responses).  The
+helpers here locate those cut points inside a sorted event batch; the
+kernel processes the segment before the cut vectorized, runs the callback,
+then re-merges whatever it injected.
+
+All functions are pure and operate on the sorted ``(time, seq)`` arrays of
+an :class:`~repro.engine.eventq.EventBatch`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.network import Network
+
+__all__ = [
+    "conservative_window",
+    "cut_before",
+    "first_true",
+    "group_by_owner",
+]
+
+#: Window length used when the network has no links (degenerate, but a
+#: kernel can still run pure control events over it).
+_DEFAULT_WINDOW_S = 1.0
+
+
+def conservative_window(net: Network) -> float:
+    """Batch window length: the minimum one-way latency over all links."""
+    _, _, lat, _ = net.link_endpoint_arrays()
+    if len(lat) == 0:
+        return _DEFAULT_WINDOW_S
+    return float(lat.min())
+
+
+def cut_before(
+    time: np.ndarray,
+    seq: np.ndarray,
+    start: int,
+    limit: tuple[float, int],
+) -> int:
+    """First index ``>= start`` whose ``(time, seq)`` key is ``>= limit``.
+
+    ``time`` must be non-decreasing with ``seq`` ascending within equal
+    times (the :meth:`EventBatch.sorted_by_key` order).  Returns
+    ``len(time)`` when every remaining key precedes ``limit``.
+    """
+    limit_t, limit_s = limit
+    end = int(np.searchsorted(time, limit_t, side="left"))
+    hi = int(np.searchsorted(time, limit_t, side="right"))
+    if end < hi:
+        end += int(np.searchsorted(seq[end:hi], limit_s, side="left"))
+    return max(end, start)
+
+
+def first_true(mask: np.ndarray, start: int, end: int) -> int:
+    """Index of the first True in ``mask[start:end]``, or -1."""
+    seg = mask[start:end]
+    if not seg.any():
+        return -1
+    return start + int(np.argmax(seg))
+
+
+def group_by_owner(
+    owners: np.ndarray, n_owners: int
+) -> list[tuple[int, np.ndarray]]:
+    """Split positions ``0..len(owners)`` by owner id, order preserved.
+
+    Returns ``(owner, positions)`` pairs for each owner that appears, in
+    ascending owner id; ``positions`` keeps the original (execution)
+    order.  This is how the LP engine shards one window's events across
+    logical processes.
+    """
+    owners = np.asarray(owners)
+    if len(owners) == 0:
+        return []
+    order = np.argsort(owners, kind="stable")
+    sorted_owners = owners[order]
+    starts = np.concatenate(
+        ([0], np.nonzero(np.diff(sorted_owners))[0] + 1)
+    )
+    ends = np.concatenate((starts[1:], [len(owners)]))
+    out: list[tuple[int, np.ndarray]] = []
+    for a, b in zip(starts, ends):
+        owner = int(sorted_owners[a])
+        if not 0 <= owner < n_owners:
+            raise ValueError(f"event owner {owner} out of range")
+        out.append((owner, order[a:b]))
+    return out

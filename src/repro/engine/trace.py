@@ -159,10 +159,19 @@ class EventTrace:
 
 
 class TraceRecorder:
-    """Append-only builder the kernel writes into."""
+    """Append-only builder the kernel writes into.
+
+    Rows arrive either one at a time (:meth:`record`) or as whole array
+    chunks (:meth:`record_batch`, the batched kernel's path).  Append
+    order is preserved across both — :meth:`finish` stable-sorts by time,
+    so rows recorded at equal virtual times keep their execution order.
+    That ordering is part of the engines' bit-identity contract.
+    """
 
     def __init__(self, n_nodes: int) -> None:
         self.n_nodes = n_nodes
+        self._chunks: list[tuple[np.ndarray, ...]] = []
+        self._chunk_rows = 0
         self._time: list[float] = []
         self._node: list[int] = []
         self._next: list[int] = []
@@ -186,20 +195,57 @@ class TraceRecorder:
         self._flow.append(flow)
         self._span.append(span)
 
+    def record_batch(
+        self,
+        time: np.ndarray,
+        node: np.ndarray,
+        next_node: np.ndarray,
+        packets: np.ndarray,
+        flow: np.ndarray,
+        span: np.ndarray,
+    ) -> None:
+        """Append a chunk of rows in execution order (arrays not copied)."""
+        if len(time) == 0:
+            return
+        self._flush_pending()
+        self._chunks.append((time, node, next_node, packets, flow, span))
+        self._chunk_rows += len(time)
+
+    def _flush_pending(self) -> None:
+        if self._time:
+            self._chunks.append((
+                np.asarray(self._time, dtype=np.float64),
+                np.asarray(self._node, dtype=np.int64),
+                np.asarray(self._next, dtype=np.int64),
+                np.asarray(self._packets, dtype=np.int64),
+                np.asarray(self._flow, dtype=np.int64),
+                np.asarray(self._span, dtype=np.float64),
+            ))
+            self._chunk_rows += len(self._time)
+            self._time, self._node, self._next = [], [], []
+            self._packets, self._flow, self._span = [], [], []
+
     def __len__(self) -> int:
-        return len(self._time)
+        return self._chunk_rows + len(self._time)
 
     def finish(self, duration: float) -> EventTrace:
         """Freeze into an :class:`EventTrace` sorted by time."""
-        time = np.asarray(self._time, dtype=np.float64)
+        self._flush_pending()
+        cols: list[np.ndarray] = []
+        for i in range(6):
+            cols.append(
+                np.concatenate([c[i] for c in self._chunks])
+                if self._chunks else np.zeros(0)
+            )
+        time = np.asarray(cols[0], dtype=np.float64)
         order = np.argsort(time, kind="stable")
         trace = EventTrace(
             time=time[order],
-            node=np.asarray(self._node, dtype=np.int32)[order],
-            next_node=np.asarray(self._next, dtype=np.int32)[order],
-            packets=np.asarray(self._packets, dtype=np.int32)[order],
-            flow=np.asarray(self._flow, dtype=np.int32)[order],
-            span=np.asarray(self._span, dtype=np.float64)[order],
+            node=np.asarray(cols[1], dtype=np.int32)[order],
+            next_node=np.asarray(cols[2], dtype=np.int32)[order],
+            packets=np.asarray(cols[3], dtype=np.int32)[order],
+            flow=np.asarray(cols[4], dtype=np.int32)[order],
+            span=np.asarray(cols[5], dtype=np.float64)[order],
             duration=float(duration),
             n_nodes=self.n_nodes,
         )

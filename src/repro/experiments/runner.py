@@ -49,13 +49,31 @@ PROFILE_SEED_OFFSET = 10_000
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Harness-wide knobs."""
+    """Harness-wide knobs.
+
+    ``engine`` selects the execution engine for *evaluation* emulations:
+    ``"sequential"`` (the batched single-process kernel) or ``"parallel"``
+    (one logical process per partition, see
+    :class:`repro.engine.lp.ParallelEmulationKernel`).  Profiling runs
+    always stay sequential — NetFlow collection is coupled to global
+    arrival order.  Both engines produce bit-identical traces, so the
+    choice affects wall time only; it still participates in cache keys
+    (the config is part of every run's key).
+    """
 
     train_packets: int = 16
     profile_interval: float = 5.0
     cost: CostModel = field(default_factory=CostModel)
     mapper: MapperConfig = field(default_factory=MapperConfig)
     netflow_granularity: str = "flow"
+    engine: str = "sequential"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("sequential", "parallel"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'sequential' or "
+                "'parallel'"
+            )
 
 
 @dataclass
@@ -76,6 +94,7 @@ def run_emulation(
     collect_netflow: bool = False,
     cache=None,
     telemetry=None,
+    parts=None,
 ) -> EmulationRun:
     """Execute one emulation of ``workload`` (prepared already).
 
@@ -85,6 +104,12 @@ def run_emulation(
     stored artifacts instead of re-simulating, bit-for-bit.  ``telemetry``
     records an ``emulate/{profile-run,eval-run}`` span around the actual
     simulation (cache hits record nothing) plus the kernel's counters.
+
+    ``parts`` shards the run across logical processes when
+    ``config.engine == "parallel"`` (profiling runs ignore it — NetFlow
+    collection forces the sequential engine).  Both engines produce
+    bit-identical traces, so ``parts`` is deliberately *not* part of the
+    cache key.
     """
     from repro.obs.telemetry import ensure_telemetry
 
@@ -101,6 +126,7 @@ def run_emulation(
             lambda: run_emulation(
                 net, tables, workload, seed, config=config,
                 collect_netflow=collect_netflow, telemetry=telemetry,
+                parts=parts,
             ),
         )
     tel = ensure_telemetry(telemetry)
@@ -111,23 +137,45 @@ def run_emulation(
             NetFlowCollector(config.netflow_granularity)
             if collect_netflow else None
         )
-        kernel = EmulationKernel(
-            net, tables, train_packets=config.train_packets,
-            collector=collector, telemetry=tel,
-        )
-        rng = np.random.default_rng(seed)
-        workload.install(kernel, rng)
-        trace = kernel.run(until=workload.duration)
-        profile = None
-        if collector is not None:
-            profile = ProfileData.from_run(
-                collector, trace, net, interval=config.profile_interval
+        if config.engine == "parallel" and not collect_netflow:
+            from repro.engine.lp import ParallelEmulationKernel
+
+            if parts is None:
+                raise ValueError(
+                    "engine='parallel' needs a parts array (one partition "
+                    "id per node); pass parts=mapping.parts, or use "
+                    "repro.api.emulate(engine='parallel', k=...) which "
+                    "derives one"
+                )
+            kernel = ParallelEmulationKernel(
+                net, tables, parts=parts,
+                train_packets=config.train_packets, telemetry=tel,
             )
-        return EmulationRun(
-            trace=trace,
-            transfers=TransferTrace.from_kernel(kernel, workload.duration),
-            profile=profile,
-        )
+        else:
+            kernel = EmulationKernel(
+                net, tables, train_packets=config.train_packets,
+                collector=collector, telemetry=tel,
+            )
+        try:
+            rng = np.random.default_rng(seed)
+            workload.install(kernel, rng)
+            trace = kernel.run(until=workload.duration)
+            profile = None
+            if collector is not None:
+                profile = ProfileData.from_run(
+                    collector, trace, net, interval=config.profile_interval
+                )
+            return EmulationRun(
+                trace=trace,
+                transfers=TransferTrace.from_kernel(
+                    kernel, workload.duration
+                ),
+                profile=profile,
+            )
+        finally:
+            close = getattr(kernel, "close", None)
+            if close is not None:
+                close()
 
 
 @dataclass
@@ -237,6 +285,9 @@ def evaluate_workload(
     eval_run = run_emulation(
         net, tables, workload, seed, config=config, cache=cache,
         telemetry=tel,
+        parts=(
+            top_mapping.parts if config.engine == "parallel" else None
+        ),
     )
 
     results: dict[str, ApproachEvaluation] = {}

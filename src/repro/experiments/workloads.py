@@ -24,7 +24,8 @@ from repro.traffic.apps.scalapack import ScaLapackApp
 from repro.traffic.flows import TrafficGenerator
 from repro.traffic.http import HttpTraffic
 
-__all__ = ["Workload", "spread_endpoints", "build_workload", "INTENSITIES"]
+__all__ = ["Workload", "SyntheticTransfers", "spread_endpoints",
+           "build_workload", "INTENSITIES"]
 
 # HTTP think-time means per intensity level (seconds).
 INTENSITIES = {"light": 20.0, "moderate": 6.0, "heavy": 2.5}
@@ -217,3 +218,60 @@ def build_workload(
         background=[http], app=app, duration=float(duration),
         name=f"{net.name}/{app_name}/{intensity}",
     )
+
+
+@dataclass
+class SyntheticTransfers:
+    """Open-loop transfer soup: ``n_flows`` random host-to-host transfers.
+
+    Every transfer is known at install time (no control callbacks, no
+    delivery hooks), which is the trace-replay shape the engine
+    benchmarks measure: the kernel's whole run is pure train forwarding,
+    so throughput numbers reflect the event hot path rather than python
+    callback dispatch.  Endpoints, sizes and start times are fixed by
+    :meth:`prepare` (or on first :meth:`install`) from the seed.
+
+    Duck-types the :class:`Workload` surface the emulation entry points
+    need (``prepare`` / ``install`` / ``duration``).
+    """
+
+    n_flows: int = 1000
+    duration: float = 2.0
+    min_bytes: int = 20_000
+    max_bytes: int = 400_000
+    name: str = "synthetic-transfers"
+    _drawn: tuple | None = None
+
+    def prepare(self, net: Network, rng: np.random.Generator) -> None:
+        """Fix endpoint / size / start-time choices."""
+        hosts = np.asarray([h.node_id for h in net.hosts()], dtype=np.int64)
+        if len(hosts) < 2:
+            raise ValueError("need at least two hosts for transfers")
+        n = int(self.n_flows)
+        src = rng.choice(hosts, size=n)
+        dst = rng.choice(hosts, size=n)
+        clash = src == dst
+        while clash.any():
+            dst[clash] = rng.choice(hosts, size=int(clash.sum()))
+            clash = src == dst
+        nbytes = rng.integers(self.min_bytes, self.max_bytes, size=n)
+        # Injections spread over the first half so queues drain in-run.
+        start = rng.uniform(0.0, self.duration / 2.0, size=n)
+        self._drawn = (src, dst, nbytes, np.sort(start))
+
+    def install(self, kernel: EmulationKernel, rng: np.random.Generator):
+        from repro.engine.packet import Transfer
+
+        if self._drawn is None:
+            self.prepare(kernel.net, rng)
+        src, dst, nbytes, start = self._drawn
+        transfers = [
+            Transfer(src=int(s), dst=int(d), nbytes=float(b), tag="soup")
+            for s, d, b in zip(src, dst, nbytes)
+        ]
+        submit_bulk = getattr(kernel, "submit_transfers", None)
+        if submit_bulk is not None:
+            submit_bulk(transfers, start)
+        else:  # reference kernel: one submission per transfer
+            for tr, t in zip(transfers, start):
+                kernel.submit_transfer(tr, float(t))

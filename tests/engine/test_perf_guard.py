@@ -1,0 +1,69 @@
+"""Perf guards: operation counters that fail if batching regresses.
+
+These do not time anything (wall clocks are too noisy for CI); they assert
+on :class:`~repro.engine.perf.KernelStats` operation counters, which are
+deterministic.  If someone quietly reroutes the fast path through
+per-event python dispatch, ``vector_events`` collapses and these fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.kernel import run_kernel
+from repro.experiments.workloads import SyntheticTransfers
+from repro.routing.spf import build_routing
+from repro.topology.synth import synth_network
+
+
+@pytest.fixture(scope="module")
+def soup_run():
+    net = synth_network(n_routers=120, seed=4)
+    tables = build_routing(net)
+    wl = SyntheticTransfers(
+        n_flows=400, duration=2.0, min_bytes=5_000, max_bytes=120_000,
+    )
+    wl.prepare(net, np.random.default_rng(17))
+    trace, kernel = run_kernel(net, tables, wl, seed=17, train_packets=32)
+    return trace, kernel
+
+
+def test_vector_path_dominates(soup_run):
+    """On an open-loop drop-free soup, the overwhelming majority of train
+    events must ride the numpy fast path."""
+    _, kernel = soup_run
+    st = kernel.stats
+    total = st.vector_events + st.python_loop_events
+    assert total > 0
+    # ~77% on this soup today; the floor leaves headroom for workload
+    # drift but fails hard if the fast path is rerouted (→ near 0).
+    assert st.vector_events / total > 0.7
+
+
+def test_events_accounted_exactly(soup_run):
+    """vector + python-loop events = every executed train event (each
+    non-injection trace row is exactly one train event)."""
+    from repro.engine.trace import INJECTED
+
+    trace, kernel = soup_run
+    st = kernel.stats
+    n_train_events = int((trace.next_node != INJECTED).sum())
+    assert st.vector_events + st.python_loop_events == n_train_events
+
+
+def test_windows_bounded_by_horizon(soup_run):
+    """The batched loop advances whole conservative windows: the window
+    count stays within the horizon / lookahead budget (plus merges), i.e.
+    no degeneration into per-event windows."""
+    trace, kernel = soup_run
+    assert kernel.stats.windows <= trace.n_events
+    assert kernel.stats.segments >= kernel.stats.windows - 1
+
+
+def test_open_loop_soup_needs_no_merges(soup_run):
+    """Every transfer is known at install time, so nothing should inject
+    into a window mid-flight: merges stay zero on this shape."""
+    _, kernel = soup_run
+    assert kernel.stats.window_merges == 0
+    assert kernel.stats.hook_cuts == 0

@@ -84,6 +84,26 @@ def test_massf_emulate_json(tmp_path):
     metrics = payload["approaches"]["top"]
     assert metrics["load_imbalance"] >= 0.0
     assert metrics["network_emulation_time_s"] > 0.0
+    assert payload["engine"] == "sequential"
+
+
+def test_massf_emulate_engine_par_matches_seq(tmp_path):
+    """--engine par routes the evaluation emulation through the LP engine;
+    traces are bit-identical, so every reported metric must match seq."""
+    payloads = {}
+    for engine in ("seq", "par"):
+        out = tmp_path / f"{engine}.json"
+        rc = massf_emulate([
+            "--topology", "campus", "--app", "none", "--intensity",
+            "light", "--approaches", "top", "--seed", "3",
+            "--duration", "20", "--engine", engine, "-o", str(out),
+        ])
+        assert rc == 0
+        payloads[engine] = json.loads(out.read_text())
+    assert payloads["seq"]["engine"] == "sequential"
+    assert payloads["par"]["engine"] == "parallel"
+    assert (payloads["seq"]["approaches"]["top"]
+            == payloads["par"]["approaches"]["top"])
 
 
 def test_massf_netflow_summary(tmp_path, capsys):
