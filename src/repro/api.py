@@ -206,6 +206,10 @@ class EmulationResult:
     lp_events:
         Train events dispatched per logical process (parallel engine
         only; ``None`` for sequential runs).
+    migration_log:
+        The online rebalancer's
+        :class:`~repro.rebalance.log.MigrationLog` (``None`` unless the
+        run was started with ``rebalance=``).
     """
 
     trace: "object"
@@ -218,6 +222,7 @@ class EmulationResult:
     link_max_backlog_s: np.ndarray
     transfer_log: list = field(default_factory=list)
     lp_events: np.ndarray | None = None
+    migration_log: "object | None" = None
 
     @property
     def events_per_second(self) -> float:
@@ -250,6 +255,7 @@ def emulate(
     seed: int = 0,
     telemetry=None,
     cache=None,
+    rebalance=None,
 ) -> EmulationResult:
     """Run one emulation and return its artifacts — the engine-level
     sibling of :func:`run_experiment` (which scores mappings; this just
@@ -281,6 +287,13 @@ def emulate(
     telemetry, cache:
         Optional :class:`repro.obs.Telemetry` and artifact-cache spec
         (used for routing tables and the derived partition).
+    rebalance:
+        Attach an online rebalancer (parallel engine only): ``True``, a
+        policy name (``static`` / ``hysteresis`` / ``kurve`` / ``rsz``),
+        a :class:`repro.rebalance.RebalanceConfig`, or a prebuilt
+        :class:`repro.rebalance.OnlineRebalancer`.  The run's
+        :class:`~repro.rebalance.log.MigrationLog` lands on
+        ``result.migration_log``.
 
     Returns
     -------
@@ -319,9 +332,10 @@ def emulate(
     trace, kernel = run_kernel(
         net, tables, workload, seed=seed, until=until,
         train_packets=train_packets, telemetry=telemetry, engine=engine,
-        parts=parts,
+        parts=parts, rebalance=rebalance,
     )
     wall = time.perf_counter() - start
+    rebalancer = getattr(kernel, "rebalancer", None)
     return EmulationResult(
         trace=trace,
         stats=kernel.stats,
@@ -333,6 +347,7 @@ def emulate(
         link_max_backlog_s=kernel.link_max_backlog_s,
         transfer_log=list(kernel.transfer_log),
         lp_events=getattr(kernel, "lp_events", None),
+        migration_log=rebalancer.log if rebalancer is not None else None,
     )
 
 

@@ -409,7 +409,8 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 # --------------------------------------------------------------------- #
 def _configure_bench(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("what",
-                        choices=("partition", "routing", "place", "emulate"),
+                        choices=("partition", "routing", "place", "emulate",
+                                 "rebalance"),
                         help="benchmark suite to run")
     parser.add_argument("--sizes", default="1000,2000,5000",
                         help="comma-separated router counts for the "
@@ -435,15 +436,24 @@ def _configure_bench(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-representatives", action="store_true",
                         help="disable the representative-endpoint "
                         "traceroute optimization (place suite)")
-    parser.add_argument("--flows", type=int, default=4000,
-                        help="synthetic transfers per run (emulate suite)")
-    parser.add_argument("--duration", type=float, default=2.0,
-                        help="virtual horizon in seconds (emulate suite)")
+    parser.add_argument("--flows", type=int, default=None,
+                        help="synthetic transfers per run (default: 4000 "
+                        "for the emulate suite, 600 for rebalance)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="virtual horizon in seconds (default: 2.0 "
+                        "for the emulate suite, 6.0 for rebalance)")
     parser.add_argument("--train-packets", type=int, default=32,
                         help="packets per train (emulate suite)")
     parser.add_argument("--engines", default="reference,sequential,parallel",
                         help="comma-separated subset of reference, "
                         "sequential, parallel (emulate suite)")
+    parser.add_argument("--policies",
+                        default="static,hysteresis,kurve,rsz",
+                        help="comma-separated rebalancing policies "
+                        "(rebalance suite)")
+    parser.add_argument("--regions", type=int, default=3,
+                        help="regions (= LPs) in the diurnal scenario "
+                        "(rebalance suite)")
     parser.add_argument("--budget", type=float, default=None,
                         help="per-run wall-time budget in seconds; exceeding "
                         "it fails the command (CI smoke guard)")
@@ -677,6 +687,8 @@ def _bench_emulate(parser, args, telemetry) -> tuple[list[dict], list[str]]:
         parser.error(
             f"--engines must be a non-empty subset of {', '.join(known)}"
         )
+    n_flows = args.flows if args.flows is not None else 4000
+    duration = args.duration if args.duration is not None else 2.0
 
     rows: list[dict] = []
     over_budget: list[str] = []
@@ -687,7 +699,7 @@ def _bench_emulate(parser, args, telemetry) -> tuple[list[dict], list[str]]:
             net = _bench_net(parser, args, n)
             tables = build_routing(net)
         workload = SyntheticTransfers(
-            n_flows=args.flows, duration=args.duration,
+            n_flows=n_flows, duration=duration,
         )
         workload.prepare(net, np.random.default_rng(args.seed))
         ref_wall = None
@@ -738,9 +750,9 @@ def _bench_emulate(parser, args, telemetry) -> tuple[list[dict], list[str]]:
                 "n_hosts": len(net.hosts()),
                 "engine": engine,
                 "k": args.parts if engine == "parallel" else 1,
-                "flows": args.flows,
+                "flows": n_flows,
                 "train_packets": args.train_packets,
-                "duration_s": args.duration,
+                "duration_s": duration,
                 "events": trace.n_events,
                 "wall_s": wall,
                 "events_per_s": trace.n_events / wall if wall > 0 else None,
@@ -759,11 +771,117 @@ def _bench_emulate(parser, args, telemetry) -> tuple[list[dict], list[str]]:
     return rows, over_budget
 
 
+def _bench_rebalance(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    """Online rebalancing on the diurnal-shift scenario, per policy.
+
+    A rotating hot region defeats the static region-per-LP partition; the
+    online policies migrate routers at window barriers to chase it.  The
+    score is the imbalance-over-time AUC (lower = better), plus migration
+    counts, payload bytes and the post-shift recovery time.  All policies
+    must produce byte-identical traces — migration is state relocation,
+    not behaviour — and every online policy must beat the static AUC; a
+    violation fails the command.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.engine.kernel import run_kernel
+    from repro.experiments.setups import diurnal_scenario
+    from repro.rebalance import POLICIES, RebalanceConfig
+    from repro.routing.spf import build_routing
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    bad = [p for p in policies if p not in POLICIES]
+    if bad or not policies:
+        parser.error(
+            f"--policies must be a non-empty subset of "
+            f"{', '.join(sorted(POLICIES))}"
+        )
+    n_flows = args.flows if args.flows is not None else 600
+    duration = args.duration if args.duration is not None else 6.0
+
+    scenario = diurnal_scenario(
+        n_regions=args.regions, n_flows=n_flows,
+        duration=duration, seed=args.seed,
+    )
+    with telemetry.span("bench/rebalance/routing"):
+        tables = build_routing(scenario.net)
+    shift = scenario.shift_times[0] if scenario.shift_times else 0.0
+
+    rows: list[dict] = []
+    over_budget: list[str] = []
+    baseline: tuple | None = None
+    static_auc: float | None = None
+    print(f"{'policy':<12s} {'auc':>8s} {'migr':>5s} {'routers':>8s} "
+          f"{'bytes':>8s} {'ttr_s':>7s} {'wall_s':>7s}")
+    for policy in policies:
+        start = time.perf_counter()
+        with telemetry.span(f"bench/rebalance/{policy}"):
+            trace, kernel = run_kernel(
+                scenario.net, tables, scenario.workload, seed=args.seed,
+                train_packets=args.train_packets, engine="parallel",
+                parts=scenario.parts, processes=False,
+                rebalance=RebalanceConfig(policy=policy),
+                telemetry=telemetry,
+            )
+        wall = time.perf_counter() - start
+        fields = ("time", "node", "next_node", "packets", "flow", "span")
+        if baseline is None:
+            baseline = tuple(getattr(trace, f) for f in fields)
+        elif not all(
+            np.array_equal(a, getattr(trace, f))
+            for a, f in zip(baseline, fields)
+        ):
+            parser.error(
+                f"policy {policy!r} changed the event trace — migration "
+                "must be pure state relocation"
+            )
+        log = kernel.rebalancer.log
+        ttr = log.time_to_rebalance(shift, 0.5)
+        if policy == "static":
+            static_auc = log.auc()
+        telemetry.count("bench.runs")
+        telemetry.gauge(f"bench.rebalance_auc.{policy}", log.auc())
+        rows.append({
+            "policy": policy,
+            "k": scenario.k,
+            "flows": n_flows,
+            "duration_s": duration,
+            "auc": log.auc(),
+            "migration_count": log.migration_count,
+            "routers_moved": log.routers_moved,
+            "bytes_moved": log.bytes_moved,
+            "time_to_rebalance_s": None if np.isinf(ttr) else ttr,
+            "events": trace.n_events,
+            "wall_s": wall,
+        })
+        print(f"{policy:<12s} {log.auc():8.3f} {log.migration_count:5d} "
+              f"{log.routers_moved:8d} {log.bytes_moved:8d} "
+              f"{ttr:7.2f} {wall:7.2f}")
+        if args.budget is not None and wall > args.budget:
+            over_budget.append(
+                f"{policy}: {wall:.2f}s > budget {args.budget:.2f}s"
+            )
+    if static_auc is not None:
+        losers = [
+            r["policy"] for r in rows
+            if r["policy"] != "static" and r["auc"] >= static_auc
+        ]
+        if losers:
+            parser.error(
+                f"online policies {', '.join(losers)} did not beat the "
+                f"static AUC ({static_auc:.3f}) on the diurnal scenario"
+            )
+    return rows, over_budget
+
+
 _BENCH_SUITES = {
     "partition": _bench_partition,
     "routing": _bench_routing,
     "place": _bench_place,
     "emulate": _bench_emulate,
+    "rebalance": _bench_rebalance,
 }
 
 

@@ -181,6 +181,19 @@ class EmulationKernel:
         # pushed to the calendar in one batch per window (_flush_staged).
         self._staged: list[EventBatch] = []
 
+        #: Callbacks ``hook(now)`` run at every conservative-window barrier
+        #: (after the window's successors are flushed, before the next
+        #: bucket pops) — the only points where cross-window state such as
+        #: the LP engine's channel ownership may change mid-run.  The
+        #: online rebalancer (:mod:`repro.rebalance`) and forced migration
+        #: schedules install themselves here.
+        self.barrier_hooks: list[Callable[[float], None]] = []
+        #: Observers ``observe(seg, next_col)`` of every vectorized
+        #: dispatched segment (load monitoring; never called on the
+        #: ordered per-event path).
+        self.segment_observers: list[Callable[[EventBatch, np.ndarray],
+                                              None]] = []
+
         self.recorder = TraceRecorder(net.n_nodes)
         self.stats = KernelStats()
         # (time, src, dst, nbytes, flow_id, tag) per submitted transfer —
@@ -386,6 +399,8 @@ class EmulationKernel:
         self.recorder.record_batch(
             seg.time, seg.node, next_col, seg.count, seg.flow, span_col
         )
+        for observe in self.segment_observers:
+            observe(seg, next_col)
         s = len(succ_pos)
         if s:
             base = self._seq
@@ -630,6 +645,8 @@ class EmulationKernel:
             self._flush_staged()
             if done:
                 return
+            for hook in self.barrier_hooks:
+                hook(self.now)
 
     def _finalize_run(self) -> None:
         """Post-drain hook (the LP engine gathers shard partials here)."""
@@ -701,6 +718,7 @@ def run_kernel(
     engine: str = "sequential",
     parts=None,
     processes: bool = True,
+    rebalance=None,
 ) -> tuple[EventTrace, EmulationKernel]:
     """Run one workload through a batched kernel — the production side of
     the engine parity pair (:func:`repro.engine._reference.run_kernel_reference`
@@ -712,8 +730,19 @@ def run_kernel(
     train by train.  ``engine="parallel"`` shards the run across one
     logical process per partition in ``parts`` (see
     :class:`repro.engine.lp.ParallelEmulationKernel`; ``processes=False``
-    keeps the shards in-process for testing).
+    keeps the shards in-process for testing).  ``rebalance`` attaches an
+    online rebalancer to the parallel engine — a policy name, a
+    :class:`repro.rebalance.RebalanceConfig`, or a prebuilt
+    :class:`repro.rebalance.OnlineRebalancer`; the resulting
+    :class:`~repro.rebalance.log.MigrationLog` is available as
+    ``kernel.rebalancer.log``.
     """
+    if rebalance is not None and engine != "parallel":
+        raise ValueError(
+            "rebalance= requires engine='parallel': the online rebalancer "
+            "migrates routers between logical processes, which the "
+            "sequential engine does not have"
+        )
     reset_flow_ids()
     if engine == "sequential":
         kernel = EmulationKernel(
@@ -735,6 +764,10 @@ def run_kernel(
             train_packets=train_packets, collector=collector,
             queue_limit_s=queue_limit_s, queue=queue, telemetry=telemetry,
         )
+        if rebalance is not None:
+            from repro.rebalance import attach_rebalancer
+
+            attach_rebalancer(kernel, rebalance)
     else:
         raise ValueError(
             f"unknown engine {engine!r}; choose 'sequential' or 'parallel'"

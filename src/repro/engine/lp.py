@@ -30,7 +30,22 @@ remain exact.
 The parallel engine supports drop-tail or unlimited queues only: RED
 admission and NetFlow collection consume state in global arrival order,
 which no partitioned execution can reproduce — construct it with those and
-it refuses, pointing back at ``engine="sequential"``.
+it refuses (naming the offending option), pointing back at
+``engine="sequential"``.
+
+**Live migration.**  Because each (link, direction) channel's FIFO
+recurrence is self-contained — the only cross-window state is the
+channel's busy-until float — a node can change owners *between* windows
+without perturbing the run: :meth:`ParallelEmulationKernel.migrate_routers`
+serializes the node's outgoing-channel busy times out of the owning LP
+(zeroing them there, so end-of-run summation stays exact), installs the
+exact float bits into the destination LP, and repoints ``parts``.  Events
+already staged in the calendar are routed at dispatch time, so both LPs'
+event queues splice automatically and the post-migration
+:class:`~repro.engine.trace.EventTrace` is byte-identical to a
+single-process run with the same schedule.  Migrations must happen at
+window barriers — install them via ``kernel.barrier_hooks`` (see
+:mod:`repro.rebalance`).
 """
 
 from __future__ import annotations
@@ -59,6 +74,10 @@ __all__ = [
 
 #: Fork-inherited state for worker processes (set around Process.start()).
 _SHARED: dict | None = None
+
+#: Serialized migration payload per (link, direction) channel: the flat
+#: busy key (int64) plus the busy-until time (float64).
+CHANNEL_STATE_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -382,6 +401,19 @@ def _worker_main(conn) -> None:
                 conn.send(("ok", shard.process(*payload)))
             elif cmd == "stats":
                 conn.send(("ok", shard.partials()))
+            elif cmd == "xfer_out":
+                # Migration: hand the flat busy keys' exact float state to
+                # the parent and zero them here (the channel has exactly
+                # one owner at any barrier; stale values would corrupt the
+                # end-of-run busy summation).
+                flat = shard.busy.reshape(-1)
+                values = flat[payload].copy()
+                flat[payload] = 0.0
+                conn.send(("ok", values))
+            elif cmd == "xfer_in":
+                keys, values = payload
+                shard.busy.reshape(-1)[keys] = values
+                conn.send(("ok", None))
             else:
                 conn.send(("err", ValueError(f"unknown command {cmd!r}")))
         except Exception as exc:  # propagate to the parent verbatim
@@ -417,13 +449,27 @@ class ParallelEmulationKernel(EmulationKernel):
     ) -> None:
         super().__init__(net, tables, **options)
         if self._ordered:
+            offending = []
+            if self.collector is not None:
+                offending.append(
+                    f"collector={type(self.collector).__name__}"
+                )
+            if self.queue_disc is not None and (
+                type(self.queue_disc) is not DropTail
+            ):
+                offending.append(
+                    f"queue={type(self.queue_disc).__name__}"
+                )
             raise ValueError(
-                "the parallel engine supports only drop-tail or unlimited "
-                "queues and no NetFlow collector (RED admission and flow "
-                "collection are coupled to global arrival order); use "
-                "engine='sequential' for those"
+                f"ParallelEmulationKernel cannot honour "
+                f"{' and '.join(offending)}: RED admission and NetFlow "
+                f"collection consume state in global arrival order, which "
+                f"partitioned execution cannot reproduce; drop the option "
+                f"or use engine='sequential'"
             )
-        parts = np.asarray(parts, dtype=np.int64)
+        # Private copy: live migration rewrites partition ids in place and
+        # must never mutate the caller's array.
+        parts = np.asarray(parts, dtype=np.int64).copy()
         if parts.shape != (net.n_nodes,):
             raise ValueError(
                 f"parts must assign every node a partition: expected shape "
@@ -435,6 +481,17 @@ class ParallelEmulationKernel(EmulationKernel):
         self.n_lps = int(parts.max()) + 1 if len(parts) else 1
         #: Train events dispatched to each LP (imbalance reporting).
         self.lp_events = np.zeros(self.n_lps, dtype=np.int64)
+        #: Attached :class:`repro.rebalance.OnlineRebalancer` (or None).
+        self.rebalancer = None
+        # Migration accounting (perf-guard observability: serialization
+        # happens only for migrated routers, no-ops move nothing).
+        self.migrations_applied = 0
+        self.routers_migrated = 0
+        self.channels_migrated = 0
+        self.migration_bytes = 0
+        self.migration_noops = 0
+        self._chan_xadj: np.ndarray | None = None
+        self._chan_keys: np.ndarray | None = None
         self._procs: list | None = None
         self._conns: list | None = None
         self._shards: list[LPShard] | None = None
@@ -516,6 +573,125 @@ class ParallelEmulationKernel(EmulationKernel):
         order = np.argsort(gp, kind="stable")
         return next_col, span_col, gp[order], gt[order]
 
+    # ------------------------------------------------------------------ #
+    # Live migration
+    # ------------------------------------------------------------------ #
+    def _channel_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR of flat busy keys (``2 * link + direction``) per owning node.
+
+        Node ``v`` owns, for every incident link ``l``, the direction it
+        *sends* on: ``0`` when ``v == link_u[l]``, else ``1`` — exactly the
+        keys :meth:`LPShard.process` writes for events executing at ``v``.
+        """
+        if self._chan_xadj is None:
+            u, v, _, _ = self.net.link_endpoint_arrays()
+            m = self._ctx.n_links
+            owner = np.concatenate((u, v)).astype(np.int64)
+            lid = np.arange(m, dtype=np.int64)
+            keys = np.concatenate((lid * 2, lid * 2 + 1))
+            order = np.argsort(owner, kind="stable")
+            counts = np.bincount(owner, minlength=self.net.n_nodes)
+            xadj = np.zeros(self.net.n_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=xadj[1:])
+            self._chan_xadj = xadj
+            self._chan_keys = keys[order]
+        return self._chan_xadj, self._chan_keys
+
+    def node_state_bytes(self, nodes) -> int:
+        """Serialized migration payload size for ``nodes`` —
+        :data:`CHANNEL_STATE_BYTES` per owned (link, direction) channel."""
+        xadj, _ = self._channel_index()
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        degrees = xadj[nodes + 1] - xadj[nodes]
+        return int(degrees.sum()) * CHANNEL_STATE_BYTES
+
+    def _extract_channels(self, lp: int, keys: np.ndarray) -> np.ndarray:
+        """Pull the exact busy floats for ``keys`` out of ``lp``, zeroing
+        them there (a channel is non-zero in exactly one shard, which is
+        what keeps :meth:`_finalize_run`'s summation exact)."""
+        if self._conns is not None:
+            self._conns[lp].send(("xfer_out", keys))
+            return self._recv(lp)
+        flat = self._shards[lp].busy.reshape(-1)
+        values = flat[keys].copy()
+        flat[keys] = 0.0
+        return values
+
+    def _install_channels(
+        self, lp: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        if self._conns is not None:
+            self._conns[lp].send(("xfer_in", (keys, values)))
+            self._recv(lp)
+        else:
+            self._shards[lp].busy.reshape(-1)[keys] = values
+
+    def migrate_routers(self, routers, dests) -> int:
+        """Reassign ``routers`` to the LPs named in ``dests``, live.
+
+        Must be called at a conservative-window barrier (between windows —
+        e.g. from ``kernel.barrier_hooks``): no segment is in flight there
+        and all staged successors are already in the calendar, so moving a
+        node's outgoing-channel FIFO state and repointing ``parts`` is the
+        *complete* ownership transfer.  The busy-until floats carry over
+        bit-exactly, so the remainder of the run — and hence the
+        :class:`~repro.engine.trace.EventTrace` — is byte-identical to a
+        run that never migrated.
+
+        Entries whose destination equals the current owner are no-ops:
+        counted (``migration_noops``) but nothing is serialized.  Returns
+        the serialized payload size in bytes.
+        """
+        routers = np.atleast_1d(np.asarray(routers, dtype=np.int64))
+        dests = np.atleast_1d(np.asarray(dests, dtype=np.int64))
+        if routers.shape != dests.shape:
+            raise ValueError(
+                f"routers and dests must pair up: got {routers.shape} "
+                f"routers and {dests.shape} destinations"
+            )
+        if len(routers) == 0:
+            return 0
+        if len(np.unique(routers)) != len(routers):
+            raise ValueError("duplicate router in one migration set")
+        if routers.min() < 0 or routers.max() >= self.net.n_nodes:
+            raise ValueError(
+                f"router id out of range 0..{self.net.n_nodes - 1}"
+            )
+        if dests.min() < 0 or dests.max() >= self.n_lps:
+            raise ValueError(
+                f"destination LP out of range 0..{self.n_lps - 1}"
+            )
+        sources = self._parts[routers]
+        moving = sources != dests
+        self.migration_noops += int((~moving).sum())
+        if not moving.any():
+            return 0
+        xadj, ckeys = self._channel_index()
+        # Group movers by (source LP, destination LP) so each pair costs
+        # one extract + one install round-trip.
+        lanes: dict[tuple[int, int], list[int]] = {}
+        for r, s, d in zip(
+            routers[moving].tolist(), sources[moving].tolist(),
+            dests[moving].tolist(),
+        ):
+            lanes.setdefault((s, d), []).append(r)
+        payload = 0
+        for (src_lp, dst_lp) in sorted(lanes):
+            nodes = lanes[(src_lp, dst_lp)]
+            keys = np.concatenate(
+                [ckeys[xadj[r]:xadj[r + 1]] for r in nodes]
+            )
+            if len(keys):
+                values = self._extract_channels(src_lp, keys)
+                self._install_channels(dst_lp, keys, values)
+            self.channels_migrated += len(keys)
+            payload += len(keys) * CHANNEL_STATE_BYTES
+        self._parts[routers] = dests
+        self.migrations_applied += 1
+        self.routers_migrated += int(moving.sum())
+        self.migration_bytes += payload
+        return payload
+
     def _finalize_run(self) -> None:
         """Sum per-shard accounting into the kernel's public arrays.
 
@@ -524,6 +700,8 @@ class ParallelEmulationKernel(EmulationKernel):
         sequential for everything except cross-direction float addition
         order on links whose two directions live in different LPs.
         """
+        if self.rebalancer is not None:
+            self.rebalancer.finalize()
         if self._conns is not None:
             for conn in self._conns:
                 conn.send(("stats", None))

@@ -28,6 +28,7 @@ import numpy as np
 from repro.topology.network import Network
 
 __all__ = [
+    "BarrierClock",
     "conservative_window",
     "cut_before",
     "first_true",
@@ -45,6 +46,47 @@ def conservative_window(net: Network) -> float:
     if len(lat) == 0:
         return _DEFAULT_WINDOW_S
     return float(lat.min())
+
+
+class BarrierClock:
+    """Virtual-time observation bins, advanced at window barriers.
+
+    The conservative-window march guarantees that when the kernel reaches a
+    barrier at ``now``, every event with ``time < now`` has executed — so
+    any fixed-width bin whose right edge is ``<= now`` is *complete* and
+    can be folded into a load signal.  The online rebalancer's monitor
+    calls :meth:`completed` from a kernel barrier hook; the returned bins
+    are each yielded exactly once, in order, regardless of how many
+    windows elapse between calls.
+    """
+
+    def __init__(self, bin_s: float) -> None:
+        if bin_s <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_s = float(bin_s)
+        self._done = 0
+
+    def bin_of(self, time: np.ndarray) -> np.ndarray:
+        """Bin index of each timestamp (bin ``i`` covers
+        ``[i * bin_s, (i + 1) * bin_s)``)."""
+        return (np.asarray(time, dtype=np.float64) / self.bin_s).astype(
+            np.int64
+        )
+
+    def edge_of(self, index: int) -> float:
+        """Right (closing) edge of bin ``index`` in virtual seconds."""
+        return (index + 1) * self.bin_s
+
+    def completed(self, now: float) -> range:
+        """Bins that became complete since the previous call.
+
+        A bin is complete once ``now`` reaches its right edge (events at
+        exactly the edge belong to the next bin).
+        """
+        first = self._done
+        if np.isfinite(now):
+            self._done = max(self._done, int(np.floor(now / self.bin_s)))
+        return range(first, self._done)
 
 
 def cut_before(

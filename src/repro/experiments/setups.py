@@ -16,9 +16,16 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable
 
-from repro.experiments.workloads import Workload, build_workload
+import numpy as np
+
+from repro.experiments.workloads import (
+    DiurnalTransfers,
+    Workload,
+    build_workload,
+)
 from repro.topology.brite import brite_network
 from repro.topology.campus import campus_network
+from repro.topology.elements import Gbps, Mbps, ms
 from repro.topology.network import Network
 from repro.topology.teragrid import teragrid_network
 
@@ -29,6 +36,9 @@ __all__ = [
     "brite_setup",
     "large_brite_setup",
     "table1_setups",
+    "DiurnalScenario",
+    "diurnal_network",
+    "diurnal_scenario",
 ]
 
 
@@ -123,3 +133,82 @@ def table1_setups(app: str = "scalapack", **kwargs) -> list[ExperimentSetup]:
         teragrid_setup(app, **kwargs),
         brite_setup(app, **kwargs),
     ]
+
+
+# --------------------------------------------------------------------- #
+# Diurnal-shift rebalancing scenario
+# --------------------------------------------------------------------- #
+def diurnal_network(
+    n_regions: int = 3,
+    edges_per_region: int = 3,
+    hosts_per_edge: int = 3,
+) -> Network:
+    """Clustered network for the rebalancing demo: ``n_regions`` sites,
+    each a core router with ``edges_per_region`` edge routers and their
+    hosts, cores joined in a high-latency backbone ring.
+
+    Intra-region links are fast and short (cheap to keep together);
+    backbone links are long (cheap to cut) — so a region-per-LP partition
+    is the natural static choice, which is precisely the mapping a
+    rotating hot region defeats.
+    """
+    net = Network("diurnal")
+    cores = []
+    for r in range(n_regions):
+        site = f"region{r}"
+        core = net.add_router(f"core{r}", site=site)
+        cores.append(core)
+        for e in range(edges_per_region):
+            edge = net.add_router(f"edge{r}-{e}", site=site)
+            net.add_link(core, edge, Gbps(1), ms(5))
+            for h in range(hosts_per_edge):
+                host = net.add_host(f"host{r}-{e}-{h}", site=site)
+                net.add_link(edge, host, Mbps(100), ms(2))
+    for r in range(n_regions):
+        net.add_link(cores[r], cores[(r + 1) % n_regions], Gbps(10), ms(20))
+    return net
+
+
+@dataclass
+class DiurnalScenario:
+    """The rebalancing study's fixture: network + region-aligned static
+    partition + rotating-hot-spot workload.
+
+    ``parts`` maps each region to its own LP — the partition every static
+    approach would pick (minimal cut, balanced aggregate load) and the one
+    the rotating demand defeats phase by phase.  ``shift_times`` are the
+    instants the hot region moves (the ``time_to_rebalance`` anchors).
+    """
+
+    net: Network
+    parts: np.ndarray
+    workload: DiurnalTransfers
+    k: int
+
+    @property
+    def shift_times(self) -> list[float]:
+        return self.workload.shift_times()
+
+
+def diurnal_scenario(
+    n_regions: int = 3,
+    n_flows: int = 600,
+    duration: float = 6.0,
+    hot_frac: float = 0.8,
+    seed: int = 0,
+) -> DiurnalScenario:
+    """Build the diurnal-shift scenario (workload prepared, seeded)."""
+    net = diurnal_network(n_regions=n_regions)
+    sites = sorted({node.site for node in net.nodes})
+    site_part = {s: i for i, s in enumerate(sites)}
+    parts = np.asarray(
+        [site_part[node.site] for node in net.nodes], dtype=np.int64
+    )
+    workload = DiurnalTransfers(
+        n_flows=n_flows, duration=duration,
+        n_phases=n_regions, hot_frac=hot_frac,
+    )
+    workload.prepare(net, np.random.default_rng(seed))
+    return DiurnalScenario(
+        net=net, parts=parts, workload=workload, k=n_regions
+    )

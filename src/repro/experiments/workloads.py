@@ -24,8 +24,8 @@ from repro.traffic.apps.scalapack import ScaLapackApp
 from repro.traffic.flows import TrafficGenerator
 from repro.traffic.http import HttpTraffic
 
-__all__ = ["Workload", "SyntheticTransfers", "spread_endpoints",
-           "build_workload", "INTENSITIES"]
+__all__ = ["Workload", "SyntheticTransfers", "DiurnalTransfers",
+           "spread_endpoints", "build_workload", "INTENSITIES"]
 
 # HTTP think-time means per intensity level (seconds).
 INTENSITIES = {"light": 20.0, "moderate": 6.0, "heavy": 2.5}
@@ -273,5 +273,92 @@ class SyntheticTransfers:
         if submit_bulk is not None:
             submit_bulk(transfers, start)
         else:  # reference kernel: one submission per transfer
+            for tr, t in zip(transfers, start):
+                kernel.submit_transfer(tr, float(t))
+
+
+@dataclass
+class DiurnalTransfers:
+    """Transfer soup whose hot spot rotates between host regions.
+
+    The run splits into ``n_phases`` equal virtual-time phases; in phase
+    ``p`` a ``hot_frac`` share of the flows is drawn *within* region
+    ``p % n_regions`` (both endpoints), the rest uniformly across all
+    hosts — a compressed diurnal demand cycle.  A partition aligned with
+    the regions is perfectly reasonable for phase 0 and badly skewed the
+    moment the hot spot moves, which is exactly the scenario an online
+    rebalancer exists for (and a pre-run PLACE mapping, seeing only the
+    aggregate matrix, cannot fix).
+
+    Regions default to site groups (sorted site name order).  Duck-types
+    the :class:`Workload` surface (``prepare`` / ``install`` /
+    ``duration``) like :class:`SyntheticTransfers`.
+    """
+
+    n_flows: int = 600
+    duration: float = 6.0
+    n_phases: int = 3
+    hot_frac: float = 0.8
+    min_bytes: int = 20_000
+    max_bytes: int = 200_000
+    name: str = "diurnal-transfers"
+    _drawn: tuple | None = None
+
+    @property
+    def phase_s(self) -> float:
+        return self.duration / self.n_phases
+
+    def shift_times(self) -> list[float]:
+        """Virtual times at which the hot region moves."""
+        return [p * self.phase_s for p in range(1, self.n_phases)]
+
+    def prepare(self, net: Network, rng: np.random.Generator) -> None:
+        regions = self._regions(net)
+        all_hosts = np.concatenate(regions)
+        n = int(self.n_flows)
+        start = np.sort(rng.uniform(0.0, self.duration, size=n))
+        phase = np.minimum(
+            (start / self.phase_s).astype(np.int64), self.n_phases - 1
+        )
+        hot = rng.random(n) < self.hot_frac
+        src = np.empty(n, dtype=np.int64)
+        dst = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            pool = (
+                regions[phase[i] % len(regions)] if hot[i] else all_hosts
+            )
+            s, d = rng.choice(pool, size=2, replace=False)
+            src[i], dst[i] = s, d
+        nbytes = rng.integers(self.min_bytes, self.max_bytes, size=n)
+        self._drawn = (src, dst, nbytes, start)
+
+    def _regions(self, net: Network) -> list[np.ndarray]:
+        by_site: dict[str, list[int]] = {}
+        for host in net.hosts():
+            by_site.setdefault(host.site or "_", []).append(host.node_id)
+        regions = [
+            np.asarray(by_site[s], dtype=np.int64) for s in sorted(by_site)
+        ]
+        regions = [r for r in regions if len(r) >= 2]
+        if not regions:
+            raise ValueError(
+                "diurnal transfers need at least one site with two hosts"
+            )
+        return regions
+
+    def install(self, kernel: EmulationKernel, rng: np.random.Generator):
+        from repro.engine.packet import Transfer
+
+        if self._drawn is None:
+            self.prepare(kernel.net, rng)
+        src, dst, nbytes, start = self._drawn
+        transfers = [
+            Transfer(src=int(s), dst=int(d), nbytes=float(b), tag="diurnal")
+            for s, d, b in zip(src, dst, nbytes)
+        ]
+        submit_bulk = getattr(kernel, "submit_transfers", None)
+        if submit_bulk is not None:
+            submit_bulk(transfers, start)
+        else:
             for tr, t in zip(transfers, start):
                 kernel.submit_transfer(tr, float(t))

@@ -17,6 +17,8 @@ __all__ = [
     "lp_interval_loads",
     "fine_grained_imbalance",
     "fine_grained_imbalance_series",
+    "imbalance_auc",
+    "time_to_rebalance",
 ]
 
 
@@ -90,3 +92,43 @@ def fine_grained_imbalance_series(
     floor = min_activity_frac * (totals.max() if totals.size else 0.0)
     out[totals <= max(floor, 0.0)] = np.nan
     return out
+
+
+def imbalance_auc(series: np.ndarray, interval: float) -> float:
+    """Area under an imbalance-over-time curve (the rebalancing score).
+
+    ``series`` is a per-interval imbalance vector (e.g. from
+    :func:`fine_grained_imbalance_series` or a
+    :class:`repro.rebalance.log.MigrationLog` timeline); NaN entries mark
+    near-idle intervals and contribute zero area.  Lower is better — a
+    run that recovers from a demand shift quickly accumulates less area
+    than one that stays skewed.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    series = np.asarray(series, dtype=np.float64)
+    return float(np.nansum(series) * interval)
+
+
+def time_to_rebalance(
+    times: np.ndarray,
+    series: np.ndarray,
+    shift_time: float,
+    threshold: float,
+) -> float:
+    """Virtual seconds from a demand shift until balance recovers.
+
+    The first entry at or after ``shift_time`` whose imbalance is at most
+    ``threshold`` (NaN / idle intervals do not count as recovered) marks
+    recovery; returns ``inf`` when the run never recovers.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    if times.shape != series.shape:
+        raise ValueError("times and series must align")
+    recovered = (
+        (times >= shift_time) & ~np.isnan(series) & (series <= threshold)
+    )
+    if not recovered.any():
+        return float("inf")
+    return float(times[int(np.argmax(recovered))] - shift_time)

@@ -163,6 +163,29 @@ def _cells_section(data: dict) -> str:
     return "\n".join(lines)
 
 
+def _rebalance_section(data: dict) -> str:
+    """Migration decisions of an online-rebalanced run (one line each)."""
+    events = data.get("series", {}).get("rebalance/migrations", [])
+    if not events:
+        return ""
+    adopted = [e for e in events if e.get("adopted")]
+    lines = [
+        f"migrations: {len(adopted)} adopted / {len(events)} triggers, "
+        f"{sum(e.get('n_moved', len(e.get('routers', []))) for e in adopted)}"
+        f" routers, {sum(e.get('cost_bytes', 0) for e in adopted)} bytes"
+    ]
+    for e in events:
+        verdict = "adopted " if e.get("adopted") else "rejected"
+        lines.append(
+            f"  t={e.get('time', 0.0):7.3f}s {e.get('policy', '?'):<11s} "
+            f"{verdict} imb {e.get('imbalance_before', 0.0):.3f} -> "
+            f"{e.get('imbalance_after', 0.0):.3f}  "
+            f"moved={len(e.get('routers', []))} "
+            f"cost={e.get('cost_bytes', 0)}B"
+        )
+    return "\n".join(lines)
+
+
 def render_report(telemetry: "Telemetry | dict") -> str:
     """The full ``massf stats`` report for one snapshot."""
     data = _as_dict(telemetry)
@@ -176,6 +199,15 @@ def render_report(telemetry: "Telemetry | dict") -> str:
     cells = _cells_section(data)
     if cells:
         sections += ["", "== grid cells ==", cells]
+    rebalance = _rebalance_section(data)
+    if rebalance:
+        sections += ["", "== online rebalancing ==", rebalance]
+        if data.get("timelines", {}).get("rebalance/lp_loads"):
+            sections += [
+                "",
+                "== per-LP load timeline (rebalanced) ==",
+                timeline_report(data, "rebalance/lp_loads"),
+            ]
     sections += [
         "",
         "== per-engine-node load timeline ==",

@@ -72,6 +72,7 @@ def kway_refine(
     max_passes: int = 8,
     rng: np.random.Generator | None = None,
     stats: RefineStats | None = None,
+    max_moves: int | None = None,
 ) -> np.ndarray:
     """Refine a k-way partition; returns a new assignment array.
 
@@ -84,6 +85,11 @@ def kway_refine(
     stats:
         Optional :class:`~repro.partition.perf.RefineStats`; the perf-guard
         tests assert exactly one connectivity-table build per call.
+    max_moves:
+        Optional cap on the total moves this call may make (balance repair
+        plus gain passes) — the online rebalancer's incremental-migration
+        knob.  ``None`` (the default) leaves behaviour bit-identical to
+        the reference kernel.
     """
     parts = np.asarray(parts, dtype=np.int64).copy()
     n = graph.n
@@ -91,6 +97,9 @@ def kway_refine(
         return parts
     rng = rng or np.random.default_rng(0)
     stats = stats if stats is not None else RefineStats()
+    budget = float("inf") if max_moves is None else int(max_moves)
+    if budget <= 0:
+        return parts
     if target_fracs is None:
         target_fracs = np.full(k, 1.0 / k)
     target_fracs = np.asarray(target_fracs, dtype=np.float64)
@@ -172,6 +181,8 @@ def kway_refine(
 
     # --- balance repair ------------------------------------------------ #
     for _ in range(n):
+        if budget <= 0:
+            break
         over = np.nonzero(np.any(pw > cap + 1e-9, axis=1))[0]
         if len(over) == 0:
             break
@@ -193,13 +204,18 @@ def kway_refine(
         if best_move is None:
             break
         move(*best_move)
+        budget -= 1
 
     # --- gain passes ----------------------------------------------------#
     for _ in range(max_passes):
+        if budget <= 0:
+            break
         stats.passes += 1
         moved = 0
         order = rng.permutation(n)
         for v in order:
+            if budget <= 0:
+                break
             v = int(v)
             if ext[v] <= 0.0:
                 continue  # interior vertex: no external connectivity
@@ -233,6 +249,7 @@ def kway_refine(
                 ) < norm_load_part(src):
                     move(v, best_dest)
                     moved += 1
+                    budget -= 1
         if moved == 0:
             break
     return parts

@@ -1,0 +1,147 @@
+"""The migration log: what the online rebalancer did, and when.
+
+One :class:`MigrationLog` per run, carrying two parallel records:
+
+- the **imbalance timeline** — one entry per closed observation bin
+  (right-edge virtual time, the normalized-std imbalance signal, and the
+  per-LP loads it was computed from); near-idle bins score NaN, matching
+  :func:`repro.metrics.imbalance.fine_grained_imbalance_series`.
+- the **events** — one :class:`MigrationEvent` per trigger, whether the
+  proposal was adopted (and executed on the live kernel) or rejected.
+
+The log is the golden-snapshot artifact (``to_dict`` is JSON-safe and
+excludes the audit-only ``parts_before`` arrays) and the input to the
+paper-style recovery metrics (:meth:`MigrationLog.auc`,
+:meth:`MigrationLog.time_to_rebalance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.imbalance import imbalance_auc, time_to_rebalance
+
+__all__ = ["MigrationEvent", "MigrationLog"]
+
+
+@dataclass
+class MigrationEvent:
+    """One rebalancing trigger (adopted or rejected).
+
+    ``imbalance_after`` is the *predicted* post-migration imbalance (last
+    bin's node loads re-binned under the candidate partition); the realized
+    value shows up in the timeline entries that follow.  ``parts_before``
+    is an audit copy of the partition at trigger time — kept on the object
+    for the test battery, excluded from :meth:`to_dict`.
+    """
+
+    time: float
+    policy: str
+    adopted: bool
+    imbalance_before: float
+    imbalance_after: float
+    routers: tuple[int, ...]
+    sources: tuple[int, ...]
+    dests: tuple[int, ...]
+    cost_bytes: int
+    n_boundary: int
+    parts_before: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_moved(self) -> int:
+        return len(self.routers)
+
+    def to_dict(self) -> dict:
+        return {
+            "time": float(self.time),
+            "policy": self.policy,
+            "adopted": bool(self.adopted),
+            "imbalance_before": float(self.imbalance_before),
+            "imbalance_after": float(self.imbalance_after),
+            "routers": [int(r) for r in self.routers],
+            "sources": [int(s) for s in self.sources],
+            "dests": [int(d) for d in self.dests],
+            "cost_bytes": int(self.cost_bytes),
+            "n_boundary": int(self.n_boundary),
+        }
+
+
+@dataclass
+class MigrationLog:
+    """Everything one rebalanced run decided, in virtual-time order."""
+
+    policy: str
+    bin_s: float
+    events: list[MigrationEvent] = field(default_factory=list)
+    bin_times: list[float] = field(default_factory=list)
+    imbalance: list[float] = field(default_factory=list)
+    lp_loads: list[tuple[float, ...]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def migrations(self) -> list[MigrationEvent]:
+        """The adopted events only (the ones that moved routers)."""
+        return [e for e in self.events if e.adopted]
+
+    @property
+    def migration_count(self) -> int:
+        return sum(1 for e in self.events if e.adopted)
+
+    @property
+    def routers_moved(self) -> int:
+        return sum(e.n_moved for e in self.events if e.adopted)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(e.cost_bytes for e in self.events if e.adopted)
+
+    # ------------------------------------------------------------------ #
+    def times(self) -> np.ndarray:
+        return np.asarray(self.bin_times, dtype=np.float64)
+
+    def imbalance_series(self) -> np.ndarray:
+        """Imbalance per closed bin (NaN = near-idle bin)."""
+        return np.asarray(self.imbalance, dtype=np.float64)
+
+    def auc(self) -> float:
+        """Imbalance-over-time area (lower = better balanced run)."""
+        if not self.imbalance:
+            return 0.0
+        return imbalance_auc(self.imbalance_series(), self.bin_s)
+
+    def time_to_rebalance(
+        self, shift_time: float, threshold: float
+    ) -> float:
+        """Recovery latency after a demand shift at ``shift_time``."""
+        return time_to_rebalance(
+            self.times(), self.imbalance_series(), shift_time, threshold
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (the golden-test artifact)."""
+        return {
+            "policy": self.policy,
+            "bin_s": float(self.bin_s),
+            "migration_count": self.migration_count,
+            "routers_moved": self.routers_moved,
+            "bytes_moved": self.bytes_moved,
+            "auc": self.auc(),
+            "bin_times": [float(t) for t in self.bin_times],
+            "imbalance": [
+                None if np.isnan(v) else float(v) for v in self.imbalance
+            ],
+            "lp_loads": [list(map(float, row)) for row in self.lp_loads],
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def summary(self) -> str:
+        moved = self.routers_moved
+        return (
+            f"{self.policy}: {self.migration_count} migrations, "
+            f"{moved} routers, {self.bytes_moved} bytes, "
+            f"auc={self.auc():.3f}"
+        )

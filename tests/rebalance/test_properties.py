@@ -1,0 +1,185 @@
+"""Property tests of the rebalancer's decision contract (hypothesis).
+
+The :class:`~repro.rebalance.OnlineRebalancer` runs *detached* here — no
+kernel, synthetic load segments — so the properties hold over arbitrary
+load histories, not just the ones our workloads happen to produce:
+
+* triggers never fire inside the cooldown window;
+* every adopted migration set strictly reduces predicted imbalance;
+* migration cost accounting equals the per-router channel-state size;
+* the decision pipeline counters stay consistent; and
+* the same seed and loads yield an identical :class:`MigrationLog`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.setups import diurnal_network
+from repro.rebalance import (
+    OnlineRebalancer,
+    RebalanceConfig,
+    migration_state_bytes,
+)
+
+# One small shared topology: 3 regions × (core + edge + host) = 9 nodes.
+NET = diurnal_network(n_regions=3, edges_per_region=1, hosts_per_edge=1)
+N = NET.n_nodes
+K = 3
+PARTS = np.arange(N, dtype=np.int64) % K
+BIN_S = 0.25
+
+ONLINE = ["hysteresis", "kurve", "rsz"]
+
+
+class FakeSeg:
+    """The slice of an EventBatch the monitor reads."""
+
+    def __init__(self, time, node, count):
+        self.time = np.asarray(time, dtype=np.float64)
+        self.node = np.asarray(node, dtype=np.int64)
+        self.count = np.asarray(count, dtype=np.float64)
+
+
+def _drive(policy, bins, seed=0, config=None):
+    """Feed per-bin node loads into a detached rebalancer, closing each
+    bin with a live barrier, and return it finalized."""
+    cfg = config if config is not None else RebalanceConfig(
+        policy=policy, bin_s=BIN_S, seed=seed,
+    )
+    reb = OnlineRebalancer(NET, PARTS, config=cfg)
+    for i, loads in enumerate(bins):
+        loads = np.asarray(loads, dtype=np.float64)
+        nz = np.nonzero(loads)[0]
+        if len(nz):
+            t = (i + 0.5) * cfg.bin_s
+            reb.observe(FakeSeg(np.full(len(nz), t), nz, loads[nz]))
+        reb.on_barrier((i + 1) * cfg.bin_s + 1e-6)
+    reb.finalize()
+    return reb
+
+
+# Load histories: up to 10 bins of small per-node counts, biased so that
+# skewed (trigger-worthy) and flat (quiescent) bins both appear.
+bin_loads = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=N, max_size=N,
+)
+histories = st.lists(bin_loads, min_size=1, max_size=10)
+
+
+@given(policy=st.sampled_from(ONLINE), bins=histories,
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_decision_contract(policy, bins, seed):
+    reb = _drive(policy, bins, seed=seed)
+    cfg = reb.config
+
+    # Stats pipeline: every trigger is one proposal, adopted or rejected.
+    assert reb.stats.triggers == reb.stats.proposals
+    assert reb.stats.triggers == reb.stats.adopted + reb.stats.rejected
+    assert reb.stats.triggers == len(reb.log.events)
+
+    adopted = [e for e in reb.log.events if e.adopted]
+    assert reb.stats.adopted == len(adopted)
+    assert reb.stats.routers_migrated == sum(e.n_moved for e in adopted)
+    assert reb.stats.bytes_moved == sum(e.cost_bytes for e in adopted)
+
+    # Cooldown: consecutive triggers (adopted or not) are spaced.
+    times = [e.time for e in reb.log.events]
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier >= cfg.cooldown_s - 1e-9
+
+    parts = PARTS.copy()
+    for e in reb.log.events:
+        if e.adopted:
+            # Strict predicted improvement — the universal adoption gate.
+            assert e.imbalance_after < e.imbalance_before
+            # Cost accounting: exactly the movers' channel-state sizes.
+            assert e.cost_bytes == migration_state_bytes(NET, list(e.routers))
+            assert len(e.routers) == len(e.sources) == len(e.dests)
+            # max_moves bounds every proposal's size.
+            if cfg.max_moves is not None:
+                assert e.n_moved <= cfg.max_moves
+            # Sources match the partition at decision time; replaying the
+            # log reproduces the rebalancer's final partition.
+            for r, s, d in zip(e.routers, e.sources, e.dests):
+                assert parts[r] == s
+                assert s != d
+                parts[r] = d
+        else:
+            assert e.cost_bytes == 0
+            assert e.routers == ()
+            assert e.imbalance_after == e.imbalance_before
+    assert np.array_equal(parts, reb.parts)
+    assert parts.min() >= 0 and parts.max() < K
+
+    # Signal bookkeeping: one entry per closed bin, NaN only for bins
+    # under the min-load floor.
+    assert len(reb.log.bin_times) == len(reb.log.imbalance)
+    assert len(reb.log.bin_times) == len(reb.log.lp_loads)
+    for signal, lp in zip(reb.log.imbalance, reb.log.lp_loads):
+        if np.isnan(signal):
+            assert sum(lp) < cfg.min_bin_load
+
+
+@given(policy=st.sampled_from(ONLINE), bins=histories,
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_same_seed_same_log(policy, bins, seed):
+    a = _drive(policy, bins, seed=seed)
+    b = _drive(policy, bins, seed=seed)
+    assert a.log.to_dict() == b.log.to_dict()
+    assert a.stats == b.stats
+    assert np.array_equal(a.parts, b.parts)
+
+
+@given(bins=histories)
+@settings(max_examples=20, deadline=None)
+def test_static_policy_never_migrates(bins):
+    reb = _drive("static", bins)
+    assert reb.stats.triggers == 0
+    assert reb.log.migration_count == 0
+    assert np.array_equal(reb.parts, PARTS)
+
+
+def _hot_bins(n_bins, hot_lp=0, load=40.0):
+    """Every node of one LP loaded, the rest idle — far over threshold."""
+    bins = []
+    for _ in range(n_bins):
+        loads = np.zeros(N)
+        loads[PARTS == hot_lp] = load
+        bins.append(loads)
+    return bins
+
+
+@pytest.mark.parametrize("policy", ONLINE)
+def test_skewed_load_actually_triggers(policy):
+    """Non-vacuity: a persistently hot LP trips every online policy."""
+    reb = _drive(policy, _hot_bins(8))
+    assert reb.stats.triggers >= 1
+    assert reb.stats.adopted >= 1
+    assert reb.log.migration_count >= 1
+
+
+def test_cooldown_zero_retriggers_every_hot_bin():
+    cfg = RebalanceConfig(
+        policy="rsz", bin_s=BIN_S, cooldown_s=0.0, seed=0,
+    )
+    reb = _drive("rsz", _hot_bins(4), config=cfg)
+    # With no damper, every over-threshold bin is its own trigger.
+    hot = sum(
+        1 for s in reb.log.imbalance
+        if np.isfinite(s) and s > cfg.threshold
+    )
+    assert reb.stats.triggers == hot
+
+
+def test_quiescent_history_never_triggers():
+    flat = [np.full(N, 10.0) for _ in range(6)]
+    for policy in ONLINE:
+        reb = _drive(policy, flat)
+        assert reb.stats.triggers == 0
+        assert reb.log.migration_count == 0

@@ -235,3 +235,79 @@ def test_bench_emulate_budget_violation_fails(capsys):
     ])
     assert rc == 1
     assert "BUDGET EXCEEDED" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Rebalance suite
+# --------------------------------------------------------------------- #
+def test_bench_rebalance_rows_and_json(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = massf([
+        "bench", "rebalance", "--flows", "300", "--duration", "3",
+        "--seed", "0", "--json",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "policy" in captured.out and "auc" in captured.out
+    rows = json.loads(
+        (tmp_path / "BENCH_rebalance.json").read_text(encoding="utf-8")
+    )
+    assert [r["policy"] for r in rows] == [
+        "static", "hysteresis", "kurve", "rsz"
+    ]
+    by_policy = {r["policy"]: r for r in rows}
+    assert by_policy["static"]["migration_count"] == 0
+    # Trace bit-identity is asserted inside the suite; every row must
+    # therefore report the same event count.
+    assert len({r["events"] for r in rows}) == 1
+    for name, row in by_policy.items():
+        assert row["k"] == 3
+        assert row["flows"] == 300
+        assert row["wall_s"] > 0
+        if name != "static":
+            # The headline claim, enforced by the suite itself too.
+            assert row["auc"] < by_policy["static"]["auc"]
+            assert row["migration_count"] >= 1
+            assert row["bytes_moved"] > 0
+
+
+def test_bench_rebalance_policy_subset(tmp_path, capsys):
+    rows_path = tmp_path / "rows.json"
+    rc = massf([
+        "bench", "rebalance", "--flows", "300", "--duration", "3",
+        "--policies", "static,rsz", "-o", str(rows_path),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    rows = json.loads(rows_path.read_text(encoding="utf-8"))
+    assert [r["policy"] for r in rows] == ["static", "rsz"]
+
+
+def test_bench_rebalance_telemetry_spans(tmp_path, capsys):
+    stats_path = tmp_path / "t.json"
+    rc = massf([
+        "bench", "rebalance", "--flows", "300", "--duration", "3",
+        "--policies", "static,hysteresis", "--stats", str(stats_path),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    text = stats_path.read_text(encoding="utf-8")
+    assert "bench/rebalance/routing" in text
+    assert "bench/rebalance/hysteresis" in text
+    assert "bench.rebalance_auc.hysteresis" in text
+    assert "rebalance/migrations" in text
+
+
+def test_bench_rebalance_rejects_unknown_policy(capsys):
+    with pytest.raises(SystemExit):
+        massf(["bench", "rebalance", "--policies", "chaos"])
+    assert "--policies" in capsys.readouterr().err
+
+
+def test_bench_rebalance_budget_violation_fails(capsys):
+    rc = massf([
+        "bench", "rebalance", "--flows", "300", "--duration", "3",
+        "--policies", "static,hysteresis", "--budget", "0.000001",
+    ])
+    assert rc == 1
+    assert "BUDGET EXCEEDED" in capsys.readouterr().err
