@@ -1,0 +1,149 @@
+"""Incremental routing maintenance at scale (the PR's acceptance case).
+
+A single link-cost change on a 5k-router synthetic network must be
+repaired **at least 10x faster** than a from-scratch
+:func:`~repro.routing.spf.build_routing`, with the recompute set exactly
+the affected-source set and the spliced tables bit-identical to the full
+rebuild.  A batch sweep shows the incremental advantage eroding
+gracefully as the change set (and hence the touched fraction) grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+
+#: Acceptance case: routers, hosts-per-router, required speedup.
+N_ROUTERS = 5000
+HOSTS_PER_ROUTER = 0.04
+MIN_SPEEDUP = 10.0
+
+
+def _low_blast_links(net, state, count):
+    """Pick ``count`` links with the smallest affected-source sets (the
+    blast-radius probe the bench suite uses)."""
+    u_arr, v_arr, _, _ = net.link_endpoint_arrays()
+    n_probe = min(net.n_links, 128)
+    probe = np.unique(
+        (np.arange(n_probe, dtype=np.int64) * net.n_links) // n_probe
+    )
+    pa, pb = u_arr[probe], v_arr[probe]
+    costs = np.asarray(state.graph[pa, pb]).ravel()
+    da, db = state.tables.dist[:, pa], state.tables.dist[:, pb]
+    blast = (
+        (((da + costs) <= db) & np.isfinite(da))
+        | (((db + costs) <= da) & np.isfinite(db))
+    )
+    ranked = probe[np.argsort(blast.sum(axis=0), kind="stable")]
+    return [int(lid) for lid in ranked[:count]]
+
+
+def _setup():
+    from repro.routing.delta import routing_state
+    from repro.routing.spf import build_routing
+    from repro.topology.synth import synth_network
+
+    net = synth_network(
+        n_routers=N_ROUTERS, hosts_per_router=HOSTS_PER_ROUTER, seed=0
+    )
+    start = time.perf_counter()
+    tables = build_routing(net, "latency")
+    full_wall = time.perf_counter() - start
+    return net, routing_state(tables), full_wall
+
+
+def _measure():
+    from repro.routing.delta import SetLinkCost, update_routing
+    from repro.routing.perf import RoutingStats
+    from repro.routing.spf import build_routing
+
+    net, state, full_wall = _setup()
+    lid = _low_blast_links(net, state, 1)[0]
+    link = net.links[lid]
+    stats = RoutingStats()
+    start = time.perf_counter()
+    touched = update_routing(
+        state, [SetLinkCost(lid, latency_s=link.latency_s * 3.0)],
+        stats=stats,
+    )
+    inc_wall = time.perf_counter() - start
+    oracle = build_routing(net, "latency")
+    identical = bool(
+        np.array_equal(state.tables.dist, oracle.dist)
+        and np.array_equal(state.tables.next_hop, oracle.next_hop)
+    )
+    return {
+        "n_nodes": net.n_nodes,
+        "full_wall": full_wall,
+        "inc_wall": inc_wall,
+        "touched": int(len(touched)),
+        "stats": stats,
+        "identical": identical,
+    }
+
+
+def test_single_link_change_10x_faster(benchmark):
+    out = run_once(benchmark, _measure)
+    speedup = out["full_wall"] / out["inc_wall"]
+    print(f"\ndelta n_routers={N_ROUTERS} nodes={out['n_nodes']}: "
+          f"full {out['full_wall']:.2f}s vs incremental "
+          f"{out['inc_wall']:.3f}s = {speedup:.1f}x, "
+          f"touched {out['touched']} sources")
+    assert out["identical"], "incremental tables diverged from full build"
+    stats = out["stats"]
+    assert stats.touched_sources == stats.affected_sources == out["touched"]
+    assert out["touched"] < out["n_nodes"], "change should not touch all"
+    assert speedup >= MIN_SPEEDUP, (
+        f"single-link incremental update only {speedup:.1f}x faster than "
+        f"the full rebuild (required {MIN_SPEEDUP:.0f}x)"
+    )
+
+
+def _batch_sweep():
+    from repro.routing.delta import SetLinkCost, update_routing
+    from repro.routing.spf import build_routing
+
+    net, state, full_wall = _setup()
+    fp0 = net.fingerprint()
+    rows = []
+    for batch in (1, 8, 32):
+        lids = _low_blast_links(net, state, batch)
+        before = {lid: net.links[lid].latency_s for lid in lids}
+        start = time.perf_counter()
+        touched = update_routing(state, [
+            SetLinkCost(lid, latency_s=lat * 3.0)
+            for lid, lat in before.items()
+        ])
+        inc_wall = time.perf_counter() - start
+        oracle = build_routing(net, "latency")
+        identical = bool(
+            np.array_equal(state.tables.dist, oracle.dist)
+            and np.array_equal(state.tables.next_hop, oracle.next_hop)
+        )
+        rows.append({
+            "batch": len(before),
+            "inc_wall": inc_wall,
+            "touched": int(len(touched)),
+            "identical": identical,
+        })
+        update_routing(state, [
+            SetLinkCost(lid, latency_s=lat)
+            for lid, lat in before.items()
+        ])
+        assert net.fingerprint() == fp0
+    return full_wall, rows
+
+
+def test_batch_sweep_stays_identical_and_sublinear(benchmark):
+    full_wall, rows = run_once(benchmark, _batch_sweep)
+    print(f"\nfull rebuild: {full_wall:.2f}s")
+    for row in rows:
+        print(f"batch={row['batch']:3d}: {row['inc_wall']:.3f}s, "
+              f"touched {row['touched']}")
+        assert row["identical"], f"batch {row['batch']} diverged"
+        # Even the widest batch must beat a full rebuild on this regime.
+        assert row["inc_wall"] < full_wall

@@ -52,13 +52,14 @@ __all__ = [
     "build_mapping",
     "emulate",
     "EmulationResult",
+    "apply_changes",
     "run_experiment",
     "sweep",
     "Telemetry",
 ]
 
 _API_NAMES = ("load_topology", "build_mapping", "emulate",
-              "EmulationResult", "run_experiment", "sweep")
+              "EmulationResult", "apply_changes", "run_experiment", "sweep")
 
 
 def __getattr__(name):

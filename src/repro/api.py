@@ -39,6 +39,7 @@ __all__ = [
     "build_mapping",
     "emulate",
     "EmulationResult",
+    "apply_changes",
     "run_experiment",
     "sweep",
     "TOPOLOGIES",
@@ -210,6 +211,13 @@ class EmulationResult:
         The online rebalancer's
         :class:`~repro.rebalance.log.MigrationLog` (``None`` unless the
         run was started with ``rebalance=``).
+    link_change_log:
+        ``(time, n_changes, n_touched)`` per mid-run change batch applied
+        (empty unless the run was started with ``link_changes=``).
+    final_tables:
+        The routing tables as repaired by the last mid-run change
+        (``None`` unless ``link_changes=`` was given; the tables passed
+        in are never mutated — the kernel runs on a private copy).
     """
 
     trace: "object"
@@ -223,6 +231,8 @@ class EmulationResult:
     transfer_log: list = field(default_factory=list)
     lp_events: np.ndarray | None = None
     migration_log: "object | None" = None
+    link_change_log: list = field(default_factory=list)
+    final_tables: "object | None" = None
 
     @property
     def events_per_second(self) -> float:
@@ -256,6 +266,8 @@ def emulate(
     telemetry=None,
     cache=None,
     rebalance=None,
+    link_changes=None,
+    processes: bool = True,
 ) -> EmulationResult:
     """Run one emulation and return its artifacts — the engine-level
     sibling of :func:`run_experiment` (which scores mappings; this just
@@ -294,6 +306,15 @@ def emulate(
         :class:`repro.rebalance.OnlineRebalancer`.  The run's
         :class:`~repro.rebalance.log.MigrationLog` lands on
         ``result.migration_log``.
+    link_changes:
+        Mid-run link-cost schedule: ``(time, SetLinkCost-or-list)``
+        pairs, applied at window barriers through the incremental
+        routing engine (see :func:`repro.engine.changes.install_link_changes`).
+        The batches applied land on ``result.link_change_log`` and the
+        repaired tables on ``result.final_tables``.
+    processes:
+        Parallel engine only: ``False`` keeps every logical process
+        in-process (same results, no forked workers).
 
     Returns
     -------
@@ -332,7 +353,8 @@ def emulate(
     trace, kernel = run_kernel(
         net, tables, workload, seed=seed, until=until,
         train_packets=train_packets, telemetry=telemetry, engine=engine,
-        parts=parts, rebalance=rebalance,
+        parts=parts, processes=processes, rebalance=rebalance,
+        link_changes=link_changes, cache=cache,
     )
     wall = time.perf_counter() - start
     rebalancer = getattr(kernel, "rebalancer", None)
@@ -348,7 +370,62 @@ def emulate(
         transfer_log=list(kernel.transfer_log),
         lp_events=getattr(kernel, "lp_events", None),
         migration_log=rebalancer.log if rebalancer is not None else None,
+        link_change_log=list(getattr(kernel, "link_change_log", ())),
+        final_tables=kernel.tables if link_changes is not None else None,
     )
+
+
+def apply_changes(
+    net,
+    tables,
+    changes,
+    *,
+    workers: int = 0,
+    cache=None,
+    telemetry=None,
+):
+    """Apply topology changes and incrementally repair routing tables.
+
+    The facade over :func:`repro.routing.delta.update_routing` for
+    one-shot use: ``net`` is mutated in place (link costs, up/down state,
+    added links), ``tables`` is **not** — the repaired tables are a
+    private copy, bit-identical to a from-scratch
+    :func:`~repro.routing.spf.build_routing` on the mutated network.
+
+    Parameters
+    ----------
+    net, tables:
+        The network to mutate and the routing tables built on it.
+    changes:
+        An iterable of :class:`repro.routing.delta.SetLinkCost` /
+        :class:`~repro.routing.delta.LinkUp` /
+        :class:`~repro.routing.delta.LinkDown` /
+        :class:`~repro.routing.delta.AddLink`.
+    workers:
+        Process the recomputed source blocks in parallel (``0`` = serial).
+    cache, telemetry:
+        Optional artifact-cache spec and telemetry sink.
+
+    Returns
+    -------
+    (RoutingTables, ndarray)
+        The repaired tables and the (sorted) recomputed source ids.
+        For repeated change streams keep a
+        :class:`repro.routing.delta.RoutingState` and call
+        :func:`~repro.routing.delta.update_routing` directly instead of
+        paying the wrap cost per call.
+    """
+    from repro.routing.delta import routing_state, update_routing
+    from repro.runtime.cache import resolve_cache
+
+    if tables.net is not net:
+        raise ValueError("routing tables were built for another network")
+    state = routing_state(tables)
+    touched = update_routing(
+        state, changes, workers=workers, cache=resolve_cache(cache),
+        telemetry=telemetry,
+    )
+    return state.tables, touched
 
 
 def _identity(net):

@@ -410,7 +410,7 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 def _configure_bench(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("what",
                         choices=("partition", "routing", "place", "emulate",
-                                 "rebalance"),
+                                 "rebalance", "delta"),
                         help="benchmark suite to run")
     parser.add_argument("--sizes", default="1000,2000,5000",
                         help="comma-separated router counts for the "
@@ -454,6 +454,13 @@ def _configure_bench(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--regions", type=int, default=3,
                         help="regions (= LPs) in the diurnal scenario "
                         "(rebalance suite)")
+    parser.add_argument("--batch-sizes", default="1,4,16",
+                        help="comma-separated change-batch sizes "
+                        "(delta suite)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the single-link incremental "
+                        "update beats the full rebuild by this factor "
+                        "(delta suite)")
     parser.add_argument("--budget", type=float, default=None,
                         help="per-run wall-time budget in seconds; exceeding "
                         "it fails the command (CI smoke guard)")
@@ -876,12 +883,158 @@ def _bench_rebalance(parser, args, telemetry) -> tuple[list[dict], list[str]]:
     return rows, over_budget
 
 
+def _bench_delta(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    """Full SPF rebuild vs incremental update, per change-batch size.
+
+    For each topology size the suite builds routing once, then — per
+    batch size — applies a latency-shift batch both ways: a from-scratch
+    ``build_routing`` on the mutated network (the paper's only option)
+    and :func:`repro.routing.delta.update_routing` on a live
+    :class:`~repro.routing.delta.RoutingState`.  Bit-identity between
+    the two and ``touched == affected`` are *enforced*, not sampled;
+    ``--min-speedup`` turns the single-link speedup into a hard gate and
+    ``--budget`` bounds the incremental wall time (CI smoke guard).
+    Every batch is reverted afterwards, so each size's state sees the
+    same starting tables.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.routing.delta import (
+        SetLinkCost,
+        routing_state,
+        update_routing,
+    )
+    from repro.routing.perf import RoutingStats
+    from repro.routing.spf import build_routing
+    from repro.routing.tables import METRICS
+
+    if args.metric not in METRICS:
+        parser.error(f"unknown metric {args.metric!r}; "
+                     f"choose from {METRICS}")
+    try:
+        batch_sizes = [
+            int(s) for s in args.batch_sizes.split(",") if s.strip()
+        ]
+    except ValueError:
+        parser.error(f"bad --batch-sizes value {args.batch_sizes!r}")
+    if not batch_sizes or min(batch_sizes) < 1:
+        parser.error("--batch-sizes must name positive batch sizes")
+
+    rows: list[dict] = []
+    over_budget: list[str] = []
+    print(f"{'routers':>8s} {'batch':>6s} {'full_s':>8s} {'incr_s':>8s} "
+          f"{'speedup':>8s} {'touched':>8s} {'frac':>6s}")
+    for n in _bench_sizes(parser, args):
+        with telemetry.span(f"bench/generate/n{n}"):
+            net = _bench_net(parser, args, n)
+        with telemetry.span(f"bench/delta/build/n{n}"):
+            tables = build_routing(net, args.metric, telemetry=telemetry)
+        state = routing_state(tables)
+        fp0 = net.fingerprint()
+        # Rank candidate links by blast radius (the affected-source
+        # predicate over the current dist matrix): backbone trunks and
+        # host access links sit on most sources' shortest paths and
+        # degenerate to a near-full recompute, links with path diversity
+        # touch a handful of rows.  The suite changes low-radius links —
+        # the regime incremental maintenance exists for — and reports
+        # the touched fraction per row so the dependence stays visible.
+        u_arr, v_arr, _, _ = net.link_endpoint_arrays()
+        n_probe = min(net.n_links, 128)
+        probe = np.unique(
+            (np.arange(n_probe, dtype=np.int64) * net.n_links) // n_probe
+        )
+        pa, pb = u_arr[probe], v_arr[probe]
+        costs = np.asarray(state.graph[pa, pb]).ravel()
+        da, db = state.tables.dist[:, pa], state.tables.dist[:, pb]
+        blast = (
+            (((da + costs) <= db) & np.isfinite(da))
+            | (((db + costs) <= da) & np.isfinite(db))
+        )
+        ranked = probe[np.argsort(blast.sum(axis=0), kind="stable")]
+        for batch in batch_sizes:
+            lids = sorted(int(lid) for lid in ranked[:batch])
+            before = {
+                lid: net.links[lid].latency_s for lid in lids
+            }
+            changes = [
+                SetLinkCost(lid, latency_s=lat * 3.0)
+                for lid, lat in before.items()
+            ]
+            stats = RoutingStats()
+            start = time.perf_counter()
+            with telemetry.span(f"bench/delta/incr/n{n}/b{batch}"):
+                touched = update_routing(
+                    state, changes, stats=stats, telemetry=telemetry,
+                )
+            inc_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            with telemetry.span(f"bench/delta/full/n{n}/b{batch}"):
+                fresh = build_routing(net, args.metric)
+            full_wall = time.perf_counter() - start
+            if not (np.array_equal(state.tables.dist, fresh.dist)
+                    and np.array_equal(state.tables.next_hop,
+                                       fresh.next_hop)):
+                parser.error(
+                    f"incremental tables diverged from the full rebuild "
+                    f"(n={n}, batch={batch})"
+                )
+            if stats.touched_sources != stats.affected_sources:
+                parser.error(
+                    f"touched_sources {stats.touched_sources} != "
+                    f"affected_sources {stats.affected_sources} "
+                    f"(n={n}, batch={batch})"
+                )
+            speedup = full_wall / inc_wall if inc_wall > 0 else float("inf")
+            telemetry.count("bench.runs")
+            telemetry.gauge(f"bench.delta_speedup.n{n}.b{batch}", speedup)
+            row = {
+                "n_routers": n,
+                "n_nodes": net.n_nodes,
+                "metric": args.metric,
+                "batch_size": len(changes),
+                "full_wall_s": full_wall,
+                "incremental_wall_s": inc_wall,
+                "speedup": speedup,
+                "touched_sources": int(len(touched)),
+                "touched_frac": float(len(touched)) / net.n_nodes,
+            }
+            rows.append(row)
+            print(f"{n:8d} {len(changes):6d} {full_wall:8.3f} "
+                  f"{inc_wall:8.3f} {speedup:8.1f} {len(touched):8d} "
+                  f"{row['touched_frac']:6.3f}")
+            if args.budget is not None and inc_wall > args.budget:
+                over_budget.append(
+                    f"n={n} batch={batch}: incremental {inc_wall:.2f}s > "
+                    f"budget {args.budget:.2f}s"
+                )
+            if (args.min_speedup is not None and len(changes) == 1
+                    and speedup < args.min_speedup):
+                over_budget.append(
+                    f"n={n} single-link speedup {speedup:.1f}x < required "
+                    f"{args.min_speedup:.1f}x"
+                )
+            # Revert so the next batch size starts from the same tables.
+            update_routing(state, [
+                SetLinkCost(lid, latency_s=lat)
+                for lid, lat in before.items()
+            ])
+            if net.fingerprint() != fp0:
+                parser.error(
+                    f"revert failed to restore the topology fingerprint "
+                    f"(n={n}, batch={batch})"
+                )
+    return rows, over_budget
+
+
 _BENCH_SUITES = {
     "partition": _bench_partition,
     "routing": _bench_routing,
     "place": _bench_place,
     "emulate": _bench_emulate,
     "rebalance": _bench_rebalance,
+    "delta": _bench_delta,
 }
 
 

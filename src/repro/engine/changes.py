@@ -1,0 +1,169 @@
+"""Mid-run link-cost changes, serviced at conservative-window barriers.
+
+Long emulations meet topology change streams (diurnal traffic
+engineering, scheduled capacity shifts); re-running the whole emulation
+per change defeats the point of emulating.  This module installs a
+barrier hook that drains a ``(time, changes)`` schedule: whenever virtual
+time passes an entry, the incremental engine
+(:func:`repro.routing.delta.update_routing`) repairs the routing tables
+in place and the kernel's :class:`~repro.engine.lp.ShardContext` arrays
+are refreshed — all between windows, where no segment is in flight, so
+both engines apply each change at the identical point in the event
+stream and stay trace-identical to each other.
+
+Two hard restrictions keep mid-run changes sound:
+
+- **Only** :class:`~repro.routing.delta.SetLinkCost` — link up/down and
+  link addition change the link-id universe (per-link accounting arrays,
+  pair-lookup sizes) that every LP snapshotted at fork time.
+- A new latency must stay **at or above the conservative window**
+  (:func:`repro.engine.sync.conservative_window` is the minimum link
+  latency at kernel construction): the calendar's window bucketing is
+  derived from it, and a link faster than the lookahead would let an
+  event schedule a successor inside its own window.
+
+With forked LP workers the spliced arrays must live in shared memory
+(:class:`repro.runtime.shm.ShmArena` — ``MAP_SHARED`` mappings survive
+the fork) or the workers would keep their copy-on-write snapshots;
+:func:`repro.engine.kernel.run_kernel` arranges that before the pool
+starts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.delta import RoutingState, SetLinkCost, update_routing
+from repro.routing.perf import RoutingStats
+
+__all__ = [
+    "normalize_link_changes",
+    "install_link_changes",
+    "privatize_shared",
+]
+
+
+def normalize_link_changes(link_changes) -> list[tuple[float, list]]:
+    """Validate a ``(time, change-or-list)`` schedule into sorted batches.
+
+    Each entry pairs a virtual time with one :class:`SetLinkCost` or a
+    list of them; entries sort by time (stable, so same-time batches
+    keep their given order).
+    """
+    schedule: list[tuple[float, list]] = []
+    for entry in link_changes:
+        try:
+            when, changes = entry
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"link_changes entries must be (time, changes) pairs; "
+                f"got {entry!r}"
+            ) from None
+        when = float(when)
+        if when < 0:
+            raise ValueError(f"change time {when!r} is before time 0")
+        if isinstance(changes, (list, tuple)):
+            changes = list(changes)
+        else:
+            changes = [changes]
+        for change in changes:
+            if not isinstance(change, SetLinkCost):
+                raise TypeError(
+                    f"mid-run changes support SetLinkCost only (link "
+                    f"up/down and AddLink change the per-link arrays "
+                    f"every LP snapshotted at fork time); got "
+                    f"{change!r} — apply structural changes between "
+                    f"runs via repro.routing.delta.update_routing"
+                )
+        schedule.append((when, changes))
+    schedule.sort(key=lambda item: item[0])
+    return schedule
+
+
+def _refresh_context(kernel) -> None:
+    """Re-fill the shard context's link arrays after a routing repair.
+
+    ``ctx.next_hop`` aliases ``tables.next_hop`` and was already spliced
+    in place; the latency/bandwidth/pair-lookup arrays snapshot state
+    that ``Network.set_link`` rebuilt, so their values are copied back
+    into the existing (possibly shared-memory) buffers — shapes never
+    change under :class:`SetLinkCost`.
+    """
+    ctx = kernel._ctx
+    _, _, lat, bw = kernel.net.link_endpoint_arrays()
+    ctx.link_lat[...] = lat
+    ctx.link_bw[...] = bw
+    keys, lids = kernel.tables._lookup_arrays()
+    ctx.pair_keys[...] = keys
+    ctx.pair_lids[...] = lids
+
+
+def install_link_changes(
+    kernel, state: RoutingState, link_changes, *, cache=None
+) -> None:
+    """Attach a link-change schedule to a constructed kernel.
+
+    ``state`` must wrap the very tables the kernel was built on (its
+    context aliases their ``next_hop``).  Raises at install time — not
+    mid-run — when a scheduled latency undercuts the conservative
+    window.  Progress lands on ``kernel.link_change_log`` (``(time,
+    n_changes, n_touched)`` per applied batch) and
+    ``kernel.routing_stats`` (a :class:`~repro.routing.perf.RoutingStats`
+    filling ``delta_updates`` / ``affected_sources`` /
+    ``touched_sources``).
+    """
+    if state.tables is not kernel.tables:
+        raise ValueError(
+            "the RoutingState must wrap the kernel's own tables (build "
+            "the kernel on state.tables, or use run_kernel(link_changes=)"
+        )
+    schedule = normalize_link_changes(link_changes)
+    for when, changes in schedule:
+        for change in changes:
+            if (change.latency_s is not None
+                    and change.latency_s < kernel.window_s):
+                raise ValueError(
+                    f"link {change.link_id} latency "
+                    f"{change.latency_s!r}s at t={when} undercuts the "
+                    f"conservative window ({kernel.window_s!r}s): the "
+                    f"calendar's lookahead was fixed at kernel "
+                    f"construction and a faster link would break window "
+                    f"bucketing; keep mid-run latencies >= the minimum "
+                    f"construction-time link latency"
+                )
+    kernel.link_change_log = []
+    kernel.routing_stats = RoutingStats()
+    pending = list(schedule)
+
+    def _service(now: float) -> None:
+        while pending and pending[0][0] <= now:
+            when, changes = pending.pop(0)
+            touched = update_routing(
+                state, changes, cache=cache, stats=kernel.routing_stats,
+            )
+            _refresh_context(kernel)
+            kernel.link_change_log.append(
+                (when, len(changes), int(len(touched)))
+            )
+            kernel.telemetry.count("kernel.link_changes", len(changes))
+
+    kernel.barrier_hooks.append(_service)
+
+
+def privatize_shared(kernel) -> None:
+    """Copy arena-backed arrays into private memory before unmapping.
+
+    Closing a shared segment unmaps it even while ndarray views exist —
+    a later read through such a view is a hard crash, not an exception.
+    The kernel's tables and :class:`~repro.engine.lp.ShardContext` are
+    the only long-lived holders (shards read through the one shared
+    context object), so rebinding them to private copies makes
+    ``ShmArena.close`` safe while keeping the returned tables usable.
+    """
+    tables = kernel.tables
+    tables.dist = np.array(tables.dist)
+    tables.next_hop = np.array(tables.next_hop)
+    ctx = kernel._ctx
+    object.__setattr__(ctx, "next_hop", tables.next_hop)
+    for field in ("pair_keys", "pair_lids", "link_bw", "link_lat"):
+        object.__setattr__(ctx, field, np.array(getattr(ctx, field)))

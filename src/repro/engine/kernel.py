@@ -118,6 +118,7 @@ class EmulationKernel:
         queue_limit_s=_UNSET,
         queue=_UNSET,
         telemetry=_UNSET,
+        arena=None,
     ) -> None:
         from repro.obs.telemetry import ensure_telemetry
 
@@ -204,7 +205,11 @@ class EmulationKernel:
 
         # All numeric per-link state lives in a single LP shard covering
         # the whole network; the public accounting arrays alias its.
-        self._ctx = shard_context(net, tables, self.queue_disc)
+        # An arena (repro.runtime.shm.ShmArena) rehomes the context
+        # arrays in shared memory so mid-run routing repairs reach
+        # forked LP workers — see repro.engine.changes.
+        self.arena = arena
+        self._ctx = shard_context(net, tables, self.queue_disc, arena)
         self._shard = LPShard(self._ctx)
         # Per-link, per-direction busy-until times (FIFO transmission).
         self._busy = self._shard.busy
@@ -719,6 +724,8 @@ def run_kernel(
     parts=None,
     processes: bool = True,
     rebalance=None,
+    link_changes=None,
+    cache=None,
 ) -> tuple[EventTrace, EmulationKernel]:
     """Run one workload through a batched kernel — the production side of
     the engine parity pair (:func:`repro.engine._reference.run_kernel_reference`
@@ -736,6 +743,15 @@ def run_kernel(
     :class:`repro.rebalance.OnlineRebalancer`; the resulting
     :class:`~repro.rebalance.log.MigrationLog` is available as
     ``kernel.rebalancer.log``.
+
+    ``link_changes`` schedules mid-run :class:`repro.routing.delta.SetLinkCost`
+    batches as ``(time, changes)`` pairs (see
+    :func:`repro.engine.changes.install_link_changes`): routing tables are
+    repaired incrementally at the first window barrier past each time.
+    With forked LP workers (``engine='parallel'``, ``processes=True``) the
+    routing/link arrays are rehomed into a
+    :class:`repro.runtime.shm.ShmArena` so the in-place repairs reach the
+    workers through the shared mapping.
     """
     if rebalance is not None and engine != "parallel":
         raise ValueError(
@@ -744,35 +760,60 @@ def run_kernel(
             "sequential engine does not have"
         )
     reset_flow_ids()
-    if engine == "sequential":
-        kernel = EmulationKernel(
-            net, tables, train_packets=train_packets, collector=collector,
-            queue_limit_s=queue_limit_s, queue=queue, telemetry=telemetry,
-        )
-    elif engine == "parallel":
-        from repro.engine.lp import ParallelEmulationKernel
+    arena = None
+    state = None
+    if link_changes is not None:
+        from repro.routing.delta import routing_state
 
-        if parts is None:
-            raise ValueError(
-                "engine='parallel' needs a parts array (one partition id "
-                "per node); build one with repro.partition.Mapper or call "
-                "repro.api.emulate(engine='parallel', k=...) which derives "
-                "it for you"
-            )
-        kernel = ParallelEmulationKernel(
-            net, tables, parts=parts, processes=processes,
-            train_packets=train_packets, collector=collector,
-            queue_limit_s=queue_limit_s, queue=queue, telemetry=telemetry,
-        )
-        if rebalance is not None:
-            from repro.rebalance import attach_rebalancer
+        if engine == "parallel" and processes:
+            from repro.runtime.shm import ShmArena
 
-            attach_rebalancer(kernel, rebalance)
-    else:
-        raise ValueError(
-            f"unknown engine {engine!r}; choose 'sequential' or 'parallel'"
-        )
+            arena = ShmArena()
+        # The kernel must be built on the very tables the delta engine
+        # splices; routing_state copies, so rebind before construction.
+        state = routing_state(tables, arena=arena)
+        tables = state.tables
     try:
+        if engine == "sequential":
+            kernel = EmulationKernel(
+                net, tables, train_packets=train_packets,
+                collector=collector, queue_limit_s=queue_limit_s,
+                queue=queue, telemetry=telemetry, arena=arena,
+            )
+        elif engine == "parallel":
+            from repro.engine.lp import ParallelEmulationKernel
+
+            if parts is None:
+                raise ValueError(
+                    "engine='parallel' needs a parts array (one partition "
+                    "id per node); build one with repro.partition.Mapper "
+                    "or call repro.api.emulate(engine='parallel', k=...) "
+                    "which derives it for you"
+                )
+            kernel = ParallelEmulationKernel(
+                net, tables, parts=parts, processes=processes,
+                train_packets=train_packets, collector=collector,
+                queue_limit_s=queue_limit_s, queue=queue,
+                telemetry=telemetry, arena=arena,
+            )
+            if rebalance is not None:
+                from repro.rebalance import attach_rebalancer
+
+                attach_rebalancer(kernel, rebalance)
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'sequential' or "
+                f"'parallel'"
+            )
+    except BaseException:
+        if arena is not None:
+            arena.close()
+        raise
+    try:
+        if link_changes is not None:
+            from repro.engine.changes import install_link_changes
+
+            install_link_changes(kernel, state, link_changes, cache=cache)
         workload.install(kernel, np.random.default_rng(seed))
         horizon = float(until if until is not None else workload.duration)
         trace = kernel.run(until=horizon)
@@ -780,4 +821,9 @@ def run_kernel(
         close = getattr(kernel, "close", None)
         if close is not None:
             close()
+        if arena is not None:
+            from repro.engine.changes import privatize_shared
+
+            privatize_shared(kernel)
+            arena.close()
     return trace, kernel

@@ -97,7 +97,7 @@ class ShardContext:
 
 
 def shard_context(
-    net: Network, tables: RoutingTables, queue_disc=None
+    net: Network, tables: RoutingTables, queue_disc=None, arena=None
 ) -> ShardContext:
     """Snapshot the routed network into a :class:`ShardContext`.
 
@@ -105,21 +105,39 @@ def shard_context(
     shard-side admission (it is stateless per decision); any other
     discipline is handled by the kernel's ordered path and leaves the
     context limit unset.
+
+    ``arena`` (a :class:`repro.runtime.shm.ShmArena`) rehomes the
+    mutable-under-change arrays — next hops, latencies, bandwidths, the
+    pair lookup — into shared-memory segments, so mid-run routing
+    repairs in the parent are visible to already-forked LP workers
+    (plain fork inheritance is copy-on-write and would freeze them).
     """
     u, v, lat, bw = net.link_endpoint_arrays()
     pair_keys, pair_lids = tables._lookup_arrays()
     limit = None
     if queue_disc is not None and type(queue_disc) is DropTail:
         limit = float(queue_disc.limit_s)
+    next_hop = tables.next_hop
+    pair_keys = np.asarray(pair_keys, dtype=np.int64)
+    pair_lids = np.asarray(pair_lids, dtype=np.int64)
+    bw = np.asarray(bw, dtype=np.float64)
+    lat = np.asarray(lat, dtype=np.float64)
+    if arena is not None:
+        next_hop = arena.share("next_hop", next_hop)
+        tables.next_hop = next_hop
+        pair_keys = arena.share("pair_keys", pair_keys)
+        pair_lids = arena.share("pair_lids", pair_lids)
+        bw = arena.share("link_bw", bw)
+        lat = arena.share("link_lat", lat)
     return ShardContext(
         n_nodes=net.n_nodes,
         n_links=net.n_links,
-        next_hop=tables.next_hop,
-        pair_keys=np.asarray(pair_keys, dtype=np.int64),
-        pair_lids=np.asarray(pair_lids, dtype=np.int64),
+        next_hop=next_hop,
+        pair_keys=pair_keys,
+        pair_lids=pair_lids,
         link_u=np.asarray(u, dtype=np.int64),
-        link_bw=np.asarray(bw, dtype=np.float64),
-        link_lat=np.asarray(lat, dtype=np.float64),
+        link_bw=bw,
+        link_lat=lat,
         queue_limit_s=limit,
     )
 

@@ -30,6 +30,7 @@ __all__ = [
     "compute_routing_reference",
     "discover_routes_reference",
     "estimate_traffic_reference",
+    "update_routing_reference",
 ]
 
 #: Machine-checked pairing (``massf check``, rule ``parity-coverage``):
@@ -38,7 +39,14 @@ __all__ = [
 #: counterpart here explicitly.
 _PARITY_COUNTERPARTS = {
     "compute_routing_reference": "repro.routing.spf.build_routing",
+    "update_routing_reference": "repro.routing.delta.update_routing",
 }
+
+#: Modules that carry the reference modules' bit-identity obligations
+#: without defining a counterpart function themselves (the determinism
+#: rules ban order-sensitive float reductions there too): shared-memory
+#: splices feed the routing matrices the parity suite compares.
+_PARITY_EXTRA_COUNTERPART_MODULES = ("repro.runtime.shm",)
 
 
 # --------------------------------------------------------------------- #
@@ -53,10 +61,15 @@ def compute_routing_reference(
     (the optimized kernel's semantics; the original let scipy's CSR
     duplicate coalescing *sum* their costs, which is a bug — no real
     routing protocol adds parallel links' costs together).
+    Administratively-down links are invisible to routing, matching
+    :func:`repro.routing.spf._cost_graph` — another semantic fix applied
+    to both generations.
     """
     n = net.n_nodes
     best: dict[tuple[int, int], float] = {}
     for link in net.links:
+        if not link.up:
+            continue
         cost = link_cost(link, metric)
         for pair in ((link.u, link.v), (link.v, link.u)):
             if pair not in best or cost < best[pair]:
@@ -89,6 +102,93 @@ def compute_routing_reference(
             if stats is not None:
                 stats.python_dest_fills += 1
     return RoutingTables(net=net, metric=metric, dist=dist, next_hop=next_hop)
+
+
+# --------------------------------------------------------------------- #
+# Incremental routing maintenance (scalar oracle)
+# --------------------------------------------------------------------- #
+def _scalar_costs(net, metric: str) -> dict[tuple[int, int], float]:
+    """Undirected min-coalesced link costs as a plain ``(a, b) -> cost``
+    dict (``a < b``), up links only — the scalar twin of the CSR that
+    :func:`repro.routing.spf._cost_graph` builds."""
+    best: dict[tuple[int, int], float] = {}
+    for link in net.links:
+        if not link.up:
+            continue
+        cost = link_cost(link, metric)
+        pair = (link.u, link.v) if link.u < link.v else (link.v, link.u)
+        if pair not in best or cost < best[pair]:
+            best[pair] = cost
+    return best
+
+
+def update_routing_reference(state, changes, stats=None) -> np.ndarray:
+    """Scalar oracle for :func:`repro.routing.delta.update_routing`.
+
+    Applies the change batch, derives the affected-source set with one
+    plain Python tightness test per (source, changed edge) pair on the
+    *pre-change* distances::
+
+        dist[s, a] + min(c_old, c_new) <= dist[s, b]   (finite side only,
+        or the symmetric test)
+
+    then rebuilds the whole table from scratch via
+    :func:`compute_routing_reference` and splices only the affected rows
+    — so a row the predicate misses stays verbatim, and any divergence
+    from the full rebuild indicts the predicate itself.  Mutates
+    ``state`` exactly like the production engine (in-place tables, graph,
+    generation) and returns the sorted touched source ids.
+    """
+    from repro.routing.delta import apply_changes
+
+    tables = state.tables
+    net = tables.net
+    changes = list(changes)
+    if not changes:
+        return np.zeros(0, dtype=np.int64)
+    old_dist = np.array(tables.dist)
+    old_best = _scalar_costs(net, tables.metric)
+    apply_changes(net, changes)
+    new_best = _scalar_costs(net, tables.metric)
+
+    edges: list[tuple[int, int, float]] = []
+    for pair in sorted(set(old_best) | set(new_best)):
+        old_c = old_best.get(pair, np.inf)
+        new_c = new_best.get(pair, np.inf)
+        if old_c != new_c:
+            edges.append((pair[0], pair[1], min(old_c, new_c)))
+
+    touched: list[int] = []
+    for s in range(net.n_nodes):
+        for a, b, cmin in edges:
+            da = old_dist[s, a]
+            db = old_dist[s, b]
+            if (np.isfinite(da) and da + cmin <= db) or (
+                    np.isfinite(db) and db + cmin <= da):
+                touched.append(s)
+                break
+    if stats is not None:
+        stats.delta_updates += 1
+        stats.affected_sources += len(touched)
+        stats.touched_sources += len(touched)
+
+    fresh = compute_routing_reference(net, tables.metric)
+    for s in touched:
+        tables.dist[s] = fresh.dist[s]
+        tables.next_hop[s] = fresh.next_hop[s]
+    tables.__post_init__()
+
+    rows = [pair[0] for pair in new_best] + [pair[1] for pair in new_best]
+    cols = [pair[1] for pair in new_best] + [pair[0] for pair in new_best]
+    costs = [new_best[pair] for pair in new_best] * 2
+    state.graph = sp.csr_matrix(
+        (np.array(costs), (np.array(rows), np.array(cols))),
+        shape=(net.n_nodes, net.n_nodes),
+    )
+    state.generation += 1
+    if state.arena is not None:
+        state.arena.generation = state.generation
+    return np.array(touched, dtype=np.int64)
 
 
 # --------------------------------------------------------------------- #

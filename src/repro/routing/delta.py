@@ -1,0 +1,346 @@
+"""Incremental shortest-path maintenance under topology change streams.
+
+MaSSF emulates long-running networks whose link weights drift (diurnal
+traffic engineering, failures, capacity upgrades); rebuilding the full
+all-pairs table on every change costs O(n · Dijkstra) even when one edge
+moved.  This module maintains a :class:`RoutingState` under a batch of
+link changes by recomputing only the *affected* source rows:
+
+1. apply the changes to the :class:`~repro.topology.network.Network`;
+2. diff the old and new cost CSRs — the canonical change set (this also
+   coalesces parallel links and no-op changes for free);
+3. flag source ``s`` as affected by edge ``(a, b)`` going from ``c_old``
+   to ``c_new`` iff, with ``c = min(c_old, c_new)``::
+
+       dist[s, a] + c <= dist[s, b]   or   dist[s, b] + c <= dist[s, a]
+
+   (finite side only).  An edge strictly outside every old *and* new
+   equal-cost shortest-path cone of ``s`` cannot alter any of ``s``'s
+   routes, so unaffected rows are reusable verbatim — the ``<=`` keeps
+   tie-crossing edges inside the recompute set, which is what makes the
+   splice bit-identical to a from-scratch build;
+4. recompute exactly those source rows (blocked, through
+   :func:`repro.runtime.pmap.parallel_map`) and splice them in place.
+
+In-place splicing is what makes the zero-copy story work: when the state
+is backed by an :class:`repro.runtime.shm.ShmArena`, LP worker processes
+and persistent pmap pools observe the update without any re-pickling.
+
+A ``cache`` keys the recomputed rows on (fingerprint-before, metric,
+table version, canonical change set), so replaying a change stream — in
+particular a change-then-revert pair — skips the Dijkstra work entirely;
+and because the network fingerprint is content-based, a reverted network
+hits the original full-table ``routing`` artifact again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.routing.spf import (
+    ROUTING_TABLE_VERSION,
+    _cost_graph,
+    _next_hop_block,
+)
+from repro.routing.tables import RoutingTables
+from repro.topology.elements import Link
+from repro.topology.network import Network
+
+__all__ = [
+    "SetLinkCost",
+    "LinkUp",
+    "LinkDown",
+    "AddLink",
+    "RoutingState",
+    "routing_state",
+    "apply_changes",
+    "update_routing",
+]
+
+#: Default source-row block handed to each pool task.
+_DELTA_BLOCK_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class SetLinkCost:
+    """Change a link's cost-bearing attributes (either may be ``None``)."""
+
+    link_id: int
+    bandwidth_bps: float | None = None
+    latency_s: float | None = None
+
+
+@dataclass(frozen=True)
+class LinkUp:
+    """Bring a link administratively up."""
+
+    link_id: int
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Take a link administratively down (routing-level removal)."""
+
+    link_id: int
+
+
+@dataclass(frozen=True)
+class AddLink:
+    """Add a new link between two existing nodes."""
+
+    u: int
+    v: int
+    bandwidth_bps: float
+    latency_s: float
+
+
+def apply_changes(net: Network, changes) -> list[Link]:
+    """Apply a change batch to the network; returns the new link records.
+
+    Mutation-only — routing tables are *not* updated; that is
+    :func:`update_routing`'s job (which calls this itself).
+    """
+    applied: list[Link] = []
+    for change in changes:
+        if isinstance(change, SetLinkCost):
+            applied.append(net.set_link(
+                change.link_id, bandwidth_bps=change.bandwidth_bps,
+                latency_s=change.latency_s,
+            ))
+        elif isinstance(change, LinkUp):
+            applied.append(net.set_link_up(change.link_id, True))
+        elif isinstance(change, LinkDown):
+            applied.append(net.set_link_up(change.link_id, False))
+        elif isinstance(change, AddLink):
+            applied.append(net.add_link(
+                change.u, change.v, change.bandwidth_bps, change.latency_s,
+            ))
+        else:
+            raise TypeError(f"unknown change {change!r}")
+    return applied
+
+
+@dataclass
+class RoutingState:
+    """A live routing table plus the cost graph it was computed from.
+
+    ``tables`` owns private ``dist`` / ``next_hop`` arrays (never the
+    cache's copies — the artifact cache's memory tier hands out shared
+    objects, and the delta engine splices in place).  ``generation``
+    advances on every applied update and doubles as the staleness token
+    for :class:`repro.runtime.pmap.PmapPool` and the LP worker pool.
+    """
+
+    tables: RoutingTables
+    graph: sp.csr_matrix
+    generation: int = 0
+    arena: object | None = None
+
+    def share(self, arena) -> "RoutingState":
+        """Move ``dist`` / ``next_hop`` into shared memory (zero-copy
+        visibility for forked workers across later in-place updates)."""
+        self.tables.dist = arena.share("dist", self.tables.dist)
+        self.tables.next_hop = arena.share("next_hop", self.tables.next_hop)
+        self.arena = arena
+        arena.generation = self.generation
+        return self
+
+
+def routing_state(tables: RoutingTables, *, arena=None) -> RoutingState:
+    """Wrap computed tables for incremental maintenance.
+
+    Copies the matrices (the input may be a cache-shared object that must
+    stay pristine) and rebuilds the cost CSR the tables correspond to.
+    With an ``arena``, the copies land in shared memory.
+    """
+    state = RoutingState(
+        tables=RoutingTables(
+            net=tables.net, metric=tables.metric,
+            dist=np.array(tables.dist, dtype=np.float64),
+            next_hop=np.array(tables.next_hop, dtype=np.int32),
+        ),
+        graph=_cost_graph(tables.net, tables.metric),
+    )
+    if arena is not None:
+        state.share(arena)
+    return state
+
+
+def _canonical_changes(old_graph, new_graph):
+    """Diff two cost CSRs into ``(a, b, old_cost, new_cost)`` arrays.
+
+    One upper-triangle entry per undirected edge whose effective cost
+    changed; a stored zero means the edge is absent on that side
+    (all link costs are strictly positive), reported as ``inf``.  Two
+    change batches with the same net effect canonicalize identically,
+    which is what makes the delta cache hit on replayed streams.
+    """
+    diff = sp.triu(old_graph != new_graph).tocoo()
+    a = diff.row.astype(np.int64)
+    b = diff.col.astype(np.int64)
+    if len(a) == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return a, b, empty, empty
+    old_c = np.asarray(old_graph[a, b]).ravel()
+    new_c = np.asarray(new_graph[a, b]).ravel()
+    old_c = np.where(old_c == 0.0, np.inf, old_c)
+    new_c = np.where(new_c == 0.0, np.inf, new_c)
+    return a, b, old_c, new_c
+
+
+def _affected_sources(dist: np.ndarray, a, b, old_c, new_c) -> np.ndarray:
+    """Sources whose routes may cross any changed edge (sorted ids).
+
+    Uses the pre-change distance matrix; ``min(old, new)`` covers both
+    directions of change (a cheaper edge attracts paths, a pricier one
+    released them).  Disconnected endpoints (``inf`` distance) never
+    flag a source — except through the other, finite endpoint, which is
+    exactly the component-joining ``AddLink`` case.
+    """
+    cmin = np.minimum(old_c, new_c)
+    da = dist[:, a]
+    db = dist[:, b]
+    hit = (((da + cmin) <= db) & np.isfinite(da)) \
+        | (((db + cmin) <= da) & np.isfinite(db))
+    return np.flatnonzero(hit.any(axis=1)).astype(np.int64)
+
+
+def _spf_block(srcs: np.ndarray, graph) -> tuple[np.ndarray, np.ndarray]:
+    """Recompute one block of source rows (runs inside pool workers).
+
+    scipy's per-source Dijkstra is independent across sources, so rows
+    computed with ``indices=srcs`` are bit-identical to the same rows of
+    a whole-matrix call — the property the splice relies on.
+    """
+    from scipy.sparse.csgraph import shortest_path
+
+    d, p = shortest_path(
+        graph, method="D", directed=False, return_predecessors=True,
+        indices=srcs,
+    )
+    return d, _next_hop_block(p, srcs)
+
+
+def _recompute_rows(
+    touched, graph, *, workers, block_size, generation, pool, telemetry,
+    stats,
+):
+    from repro.runtime.pmap import parallel_map
+
+    blocks = [
+        touched[start:start + block_size]
+        for start in range(0, len(touched), block_size)
+    ]
+    if stats is not None:
+        stats.dijkstra_calls += len(blocks)
+    outs = parallel_map(
+        _spf_block, blocks, workers=workers, shared=graph,
+        telemetry=telemetry, generation=generation, pool=pool,
+    )
+    d_rows = np.concatenate([d for d, _ in outs])
+    nh_rows = np.concatenate([nh for _, nh in outs])
+    return d_rows, nh_rows
+
+
+def update_routing(
+    state: RoutingState,
+    changes,
+    *,
+    workers: int = 0,
+    pool=None,
+    block_size: int | None = None,
+    cache=None,
+    telemetry=None,
+    stats=None,
+) -> np.ndarray:
+    """Apply a change batch and incrementally repair the routing tables.
+
+    Returns the sorted array of touched source ids.  After the call,
+    ``state.tables`` is bit-identical to
+    :func:`repro.routing.spf.build_routing` run from scratch on the
+    changed network — distance matrix, next hops, and the link lookup
+    behind :meth:`~repro.routing.tables.RoutingTables.link_between`.
+
+    Parameters
+    ----------
+    workers, pool:
+        Pool sizing for the row recompute, as in
+        :func:`repro.runtime.pmap.parallel_map`; ``pool`` (a
+        :class:`~repro.runtime.pmap.PmapPool`) persists workers across a
+        change stream and re-forks on generation moves.
+    cache:
+        Optional :class:`~repro.runtime.cache.ArtifactCache`; recomputed
+        rows are stored under the ``routing-delta`` kind keyed on
+        (fingerprint-before, metric, table version, canonical change
+        set), so a replayed stream never reaches scipy.
+    stats:
+        Optional :class:`~repro.routing.perf.RoutingStats`; fills
+        ``delta_updates``, ``affected_sources`` and ``touched_sources``
+        (the perf guard pins the last two equal).
+    """
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
+    tables = state.tables
+    net = tables.net
+    fp_before = net.fingerprint()
+    if not list(changes):
+        return np.zeros(0, dtype=np.int64)
+    apply_changes(net, changes)
+    if block_size is None:
+        block_size = _DELTA_BLOCK_SIZE
+    block_size = max(1, int(block_size))
+
+    with tel.span("routing/delta"):
+        new_graph = _cost_graph(net, tables.metric)
+        a, b, old_c, new_c = _canonical_changes(state.graph, new_graph)
+        if len(a) == 0:
+            # Cost graph unchanged (e.g. bandwidth move under the latency
+            # metric, or adding a dominated parallel link) — distances
+            # and next hops stand, but link records moved.
+            touched = np.zeros(0, dtype=np.int64)
+        else:
+            touched = _affected_sources(tables.dist, a, b, old_c, new_c)
+        if stats is not None:
+            stats.delta_updates += 1
+            stats.affected_sources += len(touched)
+        if len(touched):
+            canon = tuple(
+                (int(ai), int(bi), float(oc), float(nc))
+                for ai, bi, oc, nc in zip(a, b, old_c, new_c)
+            )
+            generation = state.generation + 1
+
+            def compute():
+                return _recompute_rows(
+                    touched, new_graph, workers=workers,
+                    block_size=block_size, generation=generation,
+                    pool=pool, telemetry=telemetry, stats=stats,
+                )
+
+            if cache is not None:
+                d_rows, nh_rows = cache.get_or_compute(
+                    "routing-delta",
+                    (fp_before, tables.metric, ROUTING_TABLE_VERSION,
+                     canon),
+                    compute,
+                )
+            else:
+                d_rows, nh_rows = compute()
+            tables.dist[touched] = d_rows
+            tables.next_hop[touched] = nh_rows
+            if stats is not None:
+                stats.touched_sources += len(touched)
+        # Link records changed even when no row did — refresh the
+        # (u, v) -> Link lookup and the pair-id tables.
+        tables.__post_init__()
+        state.graph = new_graph
+        state.generation += 1
+        if state.arena is not None:
+            state.arena.generation = state.generation
+    tel.count("routing.delta_updates")
+    tel.count("routing.touched_sources", len(touched))
+    return touched

@@ -50,6 +50,21 @@ class RoutingStats:
         asserts ``walks`` scales with this, not with the flow count.
     spliced_pairs:
         Pairs resolved by splicing a representative path (no walk).
+    delta_updates:
+        :func:`~repro.routing.delta.update_routing` invocations.
+    affected_sources:
+        Sources the delta predicate flagged as possibly changed — the
+        set an incremental update *must* recompute.
+    touched_sources:
+        Source rows actually recomputed and spliced by the delta engine.
+        The perf guard asserts ``touched_sources == affected_sources``
+        exactly: recomputing fewer breaks correctness, recomputing more
+        (e.g. a silent full-table rebuild) breaks the perf contract.
+    rewalked_pairs:
+        Endpoint pairs re-walked by the incremental traffic estimator
+        (their old route visited a touched source).
+    kept_pairs:
+        Pairs whose stored route provably survived the change (no walk).
     """
 
     dijkstra_calls: int = 0
@@ -60,6 +75,11 @@ class RoutingStats:
     python_walk_steps: int = 0
     routed_pairs: int = 0
     spliced_pairs: int = 0
+    delta_updates: int = 0
+    affected_sources: int = 0
+    touched_sources: int = 0
+    rewalked_pairs: int = 0
+    kept_pairs: int = 0
 
     def merge(self, other: "RoutingStats") -> None:
         """Accumulate another stats object into this one."""
@@ -71,3 +91,8 @@ class RoutingStats:
         self.python_walk_steps += other.python_walk_steps
         self.routed_pairs += other.routed_pairs
         self.spliced_pairs += other.spliced_pairs
+        self.delta_updates += other.delta_updates
+        self.affected_sources += other.affected_sources
+        self.touched_sources += other.touched_sources
+        self.rewalked_pairs += other.rewalked_pairs
+        self.kept_pairs += other.kept_pairs

@@ -112,9 +112,17 @@ def _build_routing(
 
 
 def _cost_graph(net: Network, metric: str) -> sp.csr_matrix:
-    """Symmetric link-cost CSR; parallel links coalesce to the min cost."""
+    """Symmetric link-cost CSR; parallel links coalesce to the min cost.
+
+    Administratively-down links are absent from the graph entirely (their
+    dense ids survive in the per-link arrays, but routing never sees
+    them).
+    """
     n = net.n_nodes
     u, v, lat, bw = net.link_endpoint_arrays()
+    up = net.link_up_array()
+    if not up.all():
+        u, v, lat, bw = u[up], v[up], lat[up], bw[up]
     costs = link_cost_array(lat, bw, metric)
     rows = np.concatenate([u, v])
     cols = np.concatenate([v, u])

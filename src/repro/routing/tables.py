@@ -84,6 +84,8 @@ class RoutingTables:
         use_cost = self.metric in METRICS
         best: dict[tuple[int, int], tuple[float, Link]] = {}
         for link in self.net.links:
+            if not link.up:
+                continue
             cost = link_cost(link, self.metric) if use_cost else 0.0
             for pair in ((link.u, link.v), (link.v, link.u)):
                 cur = best.get(pair)
@@ -111,6 +113,11 @@ class RoutingTables:
         if self._pair_lookup is None:
             n = self.net.n_nodes
             u, v, lat, bw = self.net.link_endpoint_arrays()
+            ids = np.arange(len(u))
+            upm = self.net.link_up_array()
+            if not upm.all():
+                u, v, lat, bw = u[upm], v[upm], lat[upm], bw[upm]
+                ids = ids[upm]
             m = len(u)
             if self.metric in METRICS:
                 cost = link_cost_array(lat, bw, self.metric)
@@ -118,7 +125,7 @@ class RoutingTables:
                 cost = np.zeros(m, dtype=np.float64)
             keys = np.concatenate([u * n + v, v * n + u])
             costs = np.concatenate([cost, cost])
-            lids = np.concatenate([np.arange(m)] * 2) if m else np.zeros(
+            lids = np.concatenate([ids] * 2) if m else np.zeros(
                 0, dtype=np.int64
             )
             order = np.lexsort((lids, costs, keys))

@@ -89,6 +89,10 @@ class Link:
         Link capacity in bits/second (per direction).
     latency_s:
         One-way propagation delay in seconds.
+    up:
+        Administrative state.  A down link keeps its (dense) id — every
+        per-link array in the package stays index-stable — but routing
+        treats it as absent.  Toggled via ``Network.set_link_up``.
     """
 
     link_id: int
@@ -96,6 +100,7 @@ class Link:
     v: int
     bandwidth_bps: float
     latency_s: float
+    up: bool = True
 
     def other(self, node_id: int) -> int:
         """Endpoint opposite ``node_id``."""

@@ -92,6 +92,69 @@ class Network:
         self._adj[vid].append((uid, link))
         return link
 
+    # ------------------------------------------------------------------ #
+    # Mutation (link attribute / admin-state changes)
+    # ------------------------------------------------------------------ #
+    def _swap_link(self, old: Link, new: Link) -> None:
+        """Replace a frozen link record everywhere it is referenced."""
+        self._links[new.link_id] = new
+        for nid in (new.u, new.v):
+            adj = self._adj[nid]
+            for i, (nbr, link) in enumerate(adj):
+                if link is old:
+                    adj[i] = (nbr, new)
+        self._link_arrays = None
+        self._fingerprint = None
+
+    def set_link(
+        self,
+        link_id: int,
+        *,
+        bandwidth_bps: float | None = None,
+        latency_s: float | None = None,
+    ) -> Link:
+        """Change a link's attributes in place (topology change stream).
+
+        Endpoint ids and the link id are immutable; only the cost-bearing
+        attributes change.  Invalidate-on-mutation keeps
+        :meth:`fingerprint` and :meth:`link_endpoint_arrays` consistent,
+        so cached artifacts keyed on the fingerprint never go stale.
+        Returns the new :class:`Link` record.
+        """
+        from dataclasses import replace
+
+        old = self._links[link_id]
+        kw: dict[str, float] = {}
+        if bandwidth_bps is not None:
+            if bandwidth_bps <= 0:
+                raise ValueError("bandwidth must be positive")
+            kw["bandwidth_bps"] = float(bandwidth_bps)
+        if latency_s is not None:
+            if latency_s <= 0:
+                raise ValueError("latency must be positive")
+            kw["latency_s"] = float(latency_s)
+        if not kw:
+            return old
+        new = replace(old, **kw)
+        self._swap_link(old, new)
+        return new
+
+    def set_link_up(self, link_id: int, up: bool) -> Link:
+        """Mark a link up or down (down = removed from routing's view).
+
+        The link keeps its dense id so every per-link array stays
+        index-stable; :meth:`link_up_array`, the routing cost graph and
+        the pair lookup all honour the flag.  Returns the new record.
+        """
+        from dataclasses import replace
+
+        old = self._links[link_id]
+        if old.up == bool(up):
+            return old
+        new = replace(old, up=bool(up))
+        self._swap_link(old, new)
+        return new
+
     def _resolve(self, ref: int | str | NetNode) -> int:
         if isinstance(ref, NetNode):
             return ref.node_id
@@ -160,7 +223,11 @@ class Network:
     def node_total_bandwidth(self, ref: int | str) -> float:
         """Sum of incident link capacities — the TOP vertex weight."""
         return float(
-            sum(link.bandwidth_bps for _, link in self._adj[self._resolve(ref)])
+            sum(
+                link.bandwidth_bps
+                for _, link in self._adj[self._resolve(ref)]
+                if link.up
+            )
         )
 
     def link_endpoint_arrays(
@@ -184,6 +251,13 @@ class Network:
             self._link_arrays = (u, v, lat, bw)
         return self._link_arrays
 
+    def link_up_array(self) -> np.ndarray:
+        """``bool[n_links]`` administrative state, in link-id order."""
+        return np.fromiter(
+            (link.up for link in self._links), dtype=bool,
+            count=len(self._links),
+        )
+
     def fingerprint(self) -> str:
         """Stable content hash of the network's structure.
 
@@ -204,9 +278,15 @@ class Network:
                     f"{node.site}".encode("utf-8")
                 )
             for link in self._links:
+                # Down links append a marker; fingerprints of all-up
+                # networks are unchanged from previous releases, and a
+                # down-then-up round trip restores the original hash
+                # (which is what makes change-then-revert streams hit
+                # the artifact cache).
                 h.update(
                     f"|l:{link.u}:{link.v}:{link.bandwidth_bps!r}:"
-                    f"{link.latency_s!r}".encode("utf-8")
+                    f"{link.latency_s!r}"
+                    f"{'' if link.up else ':down'}".encode("utf-8")
                 )
             self._fingerprint = h.hexdigest()
         return self._fingerprint
@@ -232,6 +312,8 @@ class Network:
             raise ValueError("empty network")
         seen_pairs: set[tuple[int, int]] = set()
         for link in self._links:
+            if not link.up:
+                continue
             pair = (link.u, link.v)
             if pair in seen_pairs:
                 raise ValueError(f"parallel link between {pair}")
@@ -250,8 +332,8 @@ class Network:
         seen[0] = True
         while stack:
             v = stack.pop()
-            for u, _ in self._adj[v]:
-                if not seen[u]:
+            for u, link in self._adj[v]:
+                if link.up and not seen[u]:
                     seen[u] = True
                     stack.append(u)
         return bool(seen.all())

@@ -1,0 +1,6 @@
+"""Counterpart-less module pulled into float-sum scope by the oracle's
+_PARITY_EXTRA_COUNTERPART_MODULES declaration."""
+
+
+def splice_total(rows):
+    return sum(float(r) for r in rows)

@@ -1,0 +1,131 @@
+"""Incremental traffic re-estimation parity (repro.core.place).
+
+After a routing repair, :func:`update_traffic_estimate` re-walks only
+the flow pairs whose stored route crossed a recomputed source row and
+must still produce an estimate *bit-identical* to a from-scratch
+:func:`estimate_traffic` on the repaired tables — while the
+``rewalked_pairs`` / ``kept_pairs`` counters prove most pairs rode
+through untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.place import (
+    estimate_traffic,
+    estimate_traffic_state,
+    update_traffic_estimate,
+)
+from repro.routing.delta import (
+    LinkDown,
+    LinkUp,
+    SetLinkCost,
+    routing_state,
+    update_routing,
+)
+from repro.routing.perf import RoutingStats
+from repro.routing.spf import build_routing
+from repro.topology import campus_network, synth_network
+from repro.traffic.flows import PredictedFlow
+
+
+def _flows(net, seed=0, k=14):
+    rng = np.random.default_rng(seed)
+    hosts = [h.node_id for h in net.hosts()][:k]
+    return [
+        PredictedFlow(s, d, float(rng.integers(1, 100)) * 1e4)
+        for s in hosts
+        for d in hosts
+        if s != d
+    ]
+
+
+def _assert_estimates_equal(ours, oracle, context=""):
+    assert np.array_equal(ours.link_rate, oracle.link_rate), context
+    assert np.array_equal(ours.node_rate, oracle.node_rate), context
+    assert ours.n_routes == oracle.n_routes, context
+
+
+@pytest.mark.parametrize("metric", ("latency", "hops"))
+def test_incremental_estimate_matches_fresh(metric):
+    net = campus_network()
+    flows = _flows(net)
+    rstate = routing_state(build_routing(net, metric))
+    tstate = estimate_traffic_state(net, rstate.tables, flows)
+    fresh0 = estimate_traffic(
+        net, rstate.tables, flows, use_representatives=False
+    )
+    _assert_estimates_equal(tstate.estimate, fresh0, "initial state")
+
+    links = net.links
+    stream = [
+        [SetLinkCost(5, latency_s=links[5].latency_s * 6)],
+        [LinkDown(2)],
+        [LinkUp(2), SetLinkCost(5, latency_s=links[5].latency_s)],
+    ]
+    for i, changes in enumerate(stream):
+        touched = update_routing(rstate, changes)
+        estimate = update_traffic_estimate(tstate, touched)
+        oracle = estimate_traffic(
+            net, rstate.tables, flows, use_representatives=False
+        )
+        _assert_estimates_equal(estimate, oracle, f"step {i}")
+        _assert_estimates_equal(tstate.estimate, oracle, f"state {i}")
+
+
+def test_untouched_pairs_are_not_rewalked():
+    net = synth_network(n_routers=150, hosts_per_router=0.5, seed=9)
+    flows = _flows(net, seed=1, k=20)
+    rstate = routing_state(build_routing(net))
+    tstate = estimate_traffic_state(net, rstate.tables, flows)
+    n_pairs = len(tstate.pairs)
+
+    link = net.links[7]
+    stats = RoutingStats()
+    touched = update_routing(
+        rstate, [SetLinkCost(7, latency_s=link.latency_s * 10)]
+    )
+    update_traffic_estimate(tstate, touched, stats=stats)
+    assert stats.rewalked_pairs + stats.kept_pairs == n_pairs
+    assert stats.kept_pairs > 0, "change should leave some routes alone"
+    oracle = estimate_traffic(
+        net, rstate.tables, flows, use_representatives=False
+    )
+    _assert_estimates_equal(tstate.estimate, oracle)
+
+
+def test_empty_touched_set_keeps_everything():
+    net = campus_network()
+    flows = _flows(net)
+    rstate = routing_state(build_routing(net))
+    tstate = estimate_traffic_state(net, rstate.tables, flows)
+    before_link = tstate.estimate.link_rate.copy()
+    stats = RoutingStats()
+    estimate = update_traffic_estimate(
+        tstate, np.zeros(0, dtype=np.int64), stats=stats
+    )
+    assert stats.rewalked_pairs == 0
+    assert stats.kept_pairs == len(tstate.pairs)
+    assert np.array_equal(estimate.link_rate, before_link)
+
+
+def test_duplicate_flows_dedupe_like_fresh_path():
+    net = campus_network()
+    flows = _flows(net) * 2  # duplicates exercise the dedupe path
+    rstate = routing_state(build_routing(net))
+    tstate = estimate_traffic_state(net, rstate.tables, flows)
+    oracle = estimate_traffic(
+        net, rstate.tables, flows, use_representatives=False
+    )
+    _assert_estimates_equal(tstate.estimate, oracle)
+    link = net.links[3]
+    touched = update_routing(
+        rstate, [SetLinkCost(3, latency_s=link.latency_s * 4)]
+    )
+    update_traffic_estimate(tstate, touched)
+    oracle = estimate_traffic(
+        net, rstate.tables, flows, use_representatives=False
+    )
+    _assert_estimates_equal(tstate.estimate, oracle)

@@ -1,0 +1,138 @@
+"""Tests for the shared-memory arrays (repro.runtime.shm).
+
+The contract under test: a :class:`ShmHandle` is the only thing that
+crosses a pickle boundary, attached views are zero-copy, and — the
+property the mid-run delta engine depends on — in-place writes by the
+creating process are visible to *already-forked* children through the
+``MAP_SHARED`` mapping.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.shm import SharedArray, ShmArena, attach
+
+
+def _read_via_handle(handle, conn):
+    shared = attach(handle)
+    try:
+        conn.send(float(shared.array.sum()))
+    finally:
+        shared.close()
+        conn.close()
+
+
+def _read_on_signal(array, conn):
+    conn.recv()  # wait until the parent has written
+    conn.send(float(array.sum()))
+    conn.close()
+
+
+def test_handle_roundtrip_and_child_attach():
+    data = np.arange(12.0).reshape(3, 4)
+    shared = SharedArray.create(data)
+    try:
+        handle = pickle.loads(pickle.dumps(shared.handle))
+        assert handle == shared.handle
+        assert handle.nbytes == data.nbytes
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_read_via_handle, args=(handle, child))
+        proc.start()
+        assert parent.recv() == float(data.sum())
+        proc.join(timeout=10)
+        assert proc.exitcode == 0
+        # The child's exit must not have torn the segment down.
+        assert float(shared.array.sum()) == float(data.sum())
+    finally:
+        shared.close()
+
+
+def test_parent_writes_visible_to_forked_child():
+    shared = SharedArray.create(np.zeros(8, dtype=np.float64))
+    try:
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_read_on_signal, args=(shared.array, child)
+        )
+        proc.start()  # child inherits the mapping with all-zero contents
+        shared.array[...] = 7.0
+        parent.send("written")
+        assert parent.recv() == 56.0
+        proc.join(timeout=10)
+        assert proc.exitcode == 0
+    finally:
+        shared.close()
+
+
+def test_shared_array_refuses_pickle():
+    shared = SharedArray.create(np.zeros(2))
+    try:
+        with pytest.raises(TypeError, match="handle"):
+            pickle.dumps(shared)
+    finally:
+        shared.close()
+
+
+# --------------------------------------------------------------------- #
+# ShmArena
+# --------------------------------------------------------------------- #
+def test_arena_reshare_in_place_keeps_segment():
+    with ShmArena() as arena:
+        first = arena.share("x", np.arange(4.0))
+        again = arena.share("x", np.full(4, 9.0))
+        assert again is first  # same segment, same view
+        assert first.tolist() == [9.0] * 4
+        assert "x" in arena and arena["x"] is first
+
+
+def test_arena_shape_mismatch_replaces_segment():
+    with ShmArena() as arena:
+        first = arena.share("x", np.arange(4.0))
+        bigger = arena.share("x", np.arange(6.0))
+        assert bigger is not first
+        assert arena["x"].shape == (6,)
+        assert arena.handles()["x"].shape == (6,)
+
+
+def test_arena_generation_and_nbytes():
+    with ShmArena() as arena:
+        arena.share("a", np.zeros((2, 2), dtype=np.float64))
+        arena.share("b", np.zeros(3, dtype=np.int32))
+        assert arena.nbytes == 4 * 8 + 3 * 4
+        assert arena.generation == 0
+        assert arena.bump() == 1
+        assert arena.bump() == 2
+
+
+def test_arena_close_is_idempotent_and_blocks_reuse():
+    arena = ShmArena()
+    arena.share("x", np.zeros(2))
+    arena.close()
+    arena.close()
+    with pytest.raises(ValueError, match="closed"):
+        arena.share("y", np.zeros(2))
+
+
+def test_arena_refuses_pickle():
+    with ShmArena() as arena:
+        with pytest.raises(TypeError, match="handles"):
+            pickle.dumps(arena)
+
+
+def test_arena_handles_are_picklable():
+    with ShmArena() as arena:
+        arena.share("dist", np.zeros((3, 3)))
+        handles = pickle.loads(pickle.dumps(arena.handles()))
+        view = attach(handles["dist"])
+        try:
+            arena["dist"][1, 1] = 5.0
+            assert view.array[1, 1] == 5.0  # same memory, no copy
+        finally:
+            view.close()
