@@ -12,6 +12,13 @@ things therefore must hold for every dispatched function:
   parent never sees them; results then depend on which worker ran the
   item.  (Read-only module globals — the whole point of the fork-shared
   design — are fine.)
+
+The same discipline extends to the mapping service: request handlers
+registered through :func:`repro.service.handlers.register_handler` run
+concurrently on worker *threads* against fork-shared warm state, and
+may themselves lease pmap pools.  Registered handlers therefore get the
+identical checks — module-level only, no module-global mutation (shared
+state goes through the :class:`~repro.service.warm.WarmCache` lock).
 """
 
 from __future__ import annotations
@@ -39,11 +46,27 @@ _DISPATCHERS = {
     "repro.runtime.parallel_map",
 }
 
+#: Canonical dotted names whose *second* positional argument is a
+#: callable run concurrently by service worker threads.
+_REGISTRARS = {
+    "repro.service.handlers.register_handler",
+}
+
 
 def _dispatched_callable(call: ast.Call) -> ast.expr | None:
     """The callable argument of a dispatcher call, if present."""
     if call.args:
         return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "fn":
+            return kw.value
+    return None
+
+
+def _registered_callable(call: ast.Call) -> ast.expr | None:
+    """The callable argument of a ``register_handler(kind, fn)`` call."""
+    if len(call.args) >= 2:
+        return call.args[1]
     for kw in call.keywords:
         if kw.arg == "fn":
             return kw.value
@@ -109,6 +132,12 @@ class ParallelSafetyRule(Rule):
                     and "parallel_map" in top
                 ):
                     fn_node = _dispatched_callable(call)
+                elif target in _REGISTRARS or (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "register_handler"
+                    and "register_handler" in top
+                ):
+                    fn_node = _registered_callable(call)
                 elif _is_pool_submit(call):
                     fn_node = call.args[0]
                 if fn_node is None:

@@ -19,6 +19,16 @@ One console entry point, ``massf``, with four subcommands:
   (determinism / parity coverage / parallel-safety / telemetry hygiene)
   over the source tree; exit 0 when clean, 2 on findings, 1 on internal
   error.
+- ``massf serve`` — run the persistent mapping service (JSON over HTTP
+  with warm shared caches; see :mod:`repro.service`).
+- ``massf submit`` — submit a request document to a running service and
+  (by default) wait for the result.
+- ``massf jobs`` — list / inspect / cancel service jobs, dump status and
+  metrics, or stream SSE telemetry events.
+- ``massf bench service`` — drive a mixed map/sweep batch against a
+  private service instance cold then warm and report throughput,
+  latency percentiles and the warm/cold speedup (CI-gated via
+  ``--min-speedup``).
 
 The historical per-tool entry points (``massf-map``, ``massf-emulate``,
 ``massf-netflow``) remain as thin deprecation shims.
@@ -410,7 +420,7 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
 def _configure_bench(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("what",
                         choices=("partition", "routing", "place", "emulate",
-                                 "rebalance", "delta"),
+                                 "rebalance", "delta", "service"),
                         help="benchmark suite to run")
     parser.add_argument("--sizes", default="1000,2000,5000",
                         help="comma-separated router counts for the "
@@ -458,9 +468,19 @@ def _configure_bench(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated change-batch sizes "
                         "(delta suite)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail unless the single-link incremental "
-                        "update beats the full rebuild by this factor "
-                        "(delta suite)")
+                        help="fail unless the incremental/warm path beats "
+                        "the cold baseline by this factor (delta and "
+                        "service suites)")
+    parser.add_argument("--routers", type=int, default=1000,
+                        help="router count for the service suite topology")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per phase in the service suite "
+                        "mixed map/sweep batch")
+    parser.add_argument("--service-workers", type=int, default=2,
+                        help="service worker threads (service suite)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side wait timeout per phase in "
+                        "seconds (service suite)")
     parser.add_argument("--budget", type=float, default=None,
                         help="per-run wall-time budget in seconds; exceeding "
                         "it fails the command (CI smoke guard)")
@@ -1028,6 +1048,42 @@ def _bench_delta(parser, args, telemetry) -> tuple[list[dict], list[str]]:
     return rows, over_budget
 
 
+def _bench_service(parser, args, telemetry) -> tuple[list[dict], list[str]]:
+    from repro.service.bench import bench_service
+
+    try:
+        rows, over_budget = bench_service(
+            n_routers=args.routers,
+            batch=args.requests,
+            service_workers=args.service_workers,
+            seed=args.seed,
+            duration=args.duration if args.duration is not None else 1.0,
+            hosts_per_router=args.hosts_per_router,
+            timeout=args.timeout,
+            min_speedup=args.min_speedup,
+            budget=args.budget,
+            telemetry=telemetry,
+        )
+    except (RuntimeError, TimeoutError) as exc:
+        parser.error(f"service bench failed: {exc}")
+
+    print(f"{'phase':<8s} {'req':>4s} {'wall_s':>8s} {'req/s':>8s} "
+          f"{'p50_s':>8s} {'p95_s':>8s} {'warm':>5s}")
+    for row in rows:
+        if row["phase"] == "summary":
+            continue
+        print(f"{row['phase']:<8s} {row['n_requests']:>4d} "
+              f"{row['wall_s']:>8.2f} {row['throughput_rps']:>8.2f} "
+              f"{row['p50_s']:>8.3f} {row['p95_s']:>8.3f} "
+              f"{row['warm_hits']:>5d}")
+    summary = rows[-1]
+    print(f"speedup {summary['speedup']:.2f}x  "
+          f"warm_hit_rate {summary['warm_hit_rate']:.2f}  "
+          f"delta_derives {summary['delta_derives']}  "
+          f"cold_builds {summary['cold_builds']}")
+    return rows, over_budget
+
+
 _BENCH_SUITES = {
     "partition": _bench_partition,
     "routing": _bench_routing,
@@ -1035,6 +1091,7 @@ _BENCH_SUITES = {
     "emulate": _bench_emulate,
     "rebalance": _bench_rebalance,
     "delta": _bench_delta,
+    "service": _bench_service,
 }
 
 
@@ -1176,6 +1233,157 @@ def _cmd_check(parser: argparse.ArgumentParser, args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# massf serve / submit / jobs (the mapping service)
+# --------------------------------------------------------------------- #
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8351,
+                        help="listen port (0 picks an ephemeral port)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="job worker threads")
+    parser.add_argument("--queue-size", type=int, default=64,
+                        help="bounded job queue depth; submissions past "
+                        "it are rejected with HTTP 429")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default: "
+                        "$MASSF_CACHE_DIR or .massf-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+    parser.add_argument("--budget-mb", type=int, default=512,
+                        help="warm in-memory cache budget in MiB")
+    parser.add_argument("--max-delta-changes", type=int, default=64,
+                        help="max canonical link changes served by "
+                        "routing delta-derivation instead of a rebuild")
+    parser.add_argument("--default-timeout", type=float, default=None,
+                        help="default per-job soft deadline in seconds")
+    parser.add_argument("--pool-workers", type=int, default=0,
+                        help="pmap pool size leased to jobs (0 = inline)")
+
+
+def _cmd_serve(parser: argparse.ArgumentParser, args) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache=None if args.no_cache else (args.cache_dir or "default"),
+        budget_bytes=args.budget_mb * 1024 * 1024,
+        max_delta_changes=args.max_delta_changes,
+        default_timeout_s=args.default_timeout,
+        pool_workers=args.pool_workers,
+    )
+    serve(config, log=lambda line: print(line, file=sys.stderr))
+    return 0
+
+
+def _configure_submit(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("request", nargs="?",
+                        help="path to a JSON request document "
+                        "(default: read it from stdin)")
+    parser.add_argument("--url", default="http://127.0.0.1:8351",
+                        help="service base URL")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        help="per-job soft deadline in seconds")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="print the accepted job and return instead "
+                        "of polling for the result")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side wait timeout in seconds")
+
+
+def _cmd_submit(parser: argparse.ArgumentParser, args) -> int:
+    """Exit 0 on done, 1 on failed/cancelled, 3 on backpressure."""
+    from repro.service import QueueFullError, ServiceError, connect
+
+    try:
+        if args.request:
+            with open(args.request, encoding="utf-8") as handle:
+                data = json.load(handle)
+        else:
+            data = json.load(sys.stdin)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read the request document: {exc}")
+    if not isinstance(data, dict):
+        parser.error("the request document must be a JSON object")
+
+    client = connect(args.url, timeout=args.timeout)
+    try:
+        info = client.submit(data, timeout_s=args.timeout_s)
+        if not args.no_wait:
+            info = client.wait(info.job_id, timeout=args.timeout)
+    except QueueFullError as exc:
+        print(f"massf submit: rejected (backpressure): {exc}",
+              file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"massf submit: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"massf submit: cannot talk to {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(info.to_dict(), indent=2))
+    return 0 if info.state in ("pending", "running", "done") else 1
+
+
+def _configure_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("job_id", nargs="?",
+                        help="show one job in full (default: list all)")
+    parser.add_argument("--url", default="http://127.0.0.1:8351",
+                        help="service base URL")
+    parser.add_argument("--cancel", action="store_true",
+                        help="cancel the given job")
+    parser.add_argument("--status", action="store_true",
+                        help="print the service status document")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the full telemetry snapshot")
+    parser.add_argument("--watch", type=int, default=None, metavar="N",
+                        help="stream N SSE telemetry events and exit")
+    parser.add_argument("--timeout", type=float, default=30.0)
+
+
+def _cmd_jobs(parser: argparse.ArgumentParser, args) -> int:
+    from repro.service import ServiceError, connect
+
+    if args.cancel and not args.job_id:
+        parser.error("--cancel needs a job id")
+    client = connect(args.url, timeout=args.timeout)
+    try:
+        if args.status:
+            print(json.dumps(client.status(), indent=2))
+        elif args.metrics:
+            print(json.dumps(client.metrics(), indent=2))
+        elif args.watch is not None:
+            for event in client.events(args.watch, timeout=args.timeout):
+                print(json.dumps(event))
+        elif args.job_id and args.cancel:
+            cancelled = client.cancel(args.job_id)
+            print(json.dumps(
+                {"job_id": args.job_id, "cancelled": cancelled}
+            ))
+        elif args.job_id:
+            print(json.dumps(client.job(args.job_id).to_dict(), indent=2))
+        else:
+            infos = client.jobs()
+            print(f"{'job':<10s} {'kind':<14s} {'state':<10s} "
+                  f"{'warm':<5s} error")
+            for info in infos:
+                warm = "yes" if info.warm_hit else ""
+                print(f"{info.job_id:<10s} {info.kind:<14s} "
+                      f"{info.state:<10s} {warm:<5s} {info.error or ''}")
+    except ServiceError as exc:
+        print(f"massf jobs: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"massf jobs: cannot talk to {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # Unified entry point + deprecation shims
 # --------------------------------------------------------------------- #
 _SUBCOMMANDS = {
@@ -1194,6 +1402,15 @@ _SUBCOMMANDS = {
     "check": (_configure_check, _cmd_check,
               "run the repo's determinism / parity / parallel-safety "
               "static analysis (exit 0 clean, 2 findings, 1 error)"),
+    "serve": (_configure_serve, _cmd_serve,
+              "run the persistent mapping service (JSON over HTTP "
+              "with warm shared caches)"),
+    "submit": (_configure_submit, _cmd_submit,
+               "submit a request document to a running service and "
+               "wait for the result"),
+    "jobs": (_configure_jobs, _cmd_jobs,
+             "list / inspect / cancel service jobs; --status, "
+             "--metrics, --watch for SSE events"),
 }
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.obs.telemetry import Telemetry
@@ -38,8 +40,26 @@ def to_json(telemetry: "Telemetry | dict", indent: int = 2) -> str:
 
 
 def write_json(telemetry: "Telemetry | dict", path) -> None:
-    """Write the JSON snapshot to ``path``."""
-    Path(path).write_text(to_json(telemetry) + "\n", encoding="utf-8")
+    """Write the JSON snapshot to ``path`` (atomic: temp + rename).
+
+    Concurrent writers — parallel sweeps, service jobs — can target the
+    same path; readers only ever see a complete document.
+    """
+    path = Path(path)
+    text = to_json(telemetry) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent if str(path.parent) else ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_json(path) -> dict:

@@ -28,7 +28,7 @@ JSON/CSV (:mod:`repro.obs.export`).
 from __future__ import annotations
 
 import time
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -122,6 +122,8 @@ class Telemetry:
         # timeline name -> list of {"interval", "loads", **labels}
         self.timelines: dict[str, list[dict]] = {}
         self._stack: list[str] = []
+        # live listeners: callables fed (series, row) on every event()
+        self._listeners: list = []
 
     # ------------------------------------------------------------------ #
     # Recording API
@@ -163,7 +165,32 @@ class Telemetry:
         """Append one row to the named event series."""
         if not self.enabled:
             return
-        self.series.setdefault(series, []).append(_json_safe(fields))
+        row = _json_safe(fields)
+        self.series.setdefault(series, []).append(row)
+        for listener in tuple(self._listeners):
+            try:
+                listener(series, row)
+            except Exception:
+                # A broken subscriber (e.g. a disconnected SSE client)
+                # must never take the instrumented hot path down with it.
+                pass
+
+    def subscribe(self, listener) -> "Callable[[], None]":
+        """Register ``listener(series, row)`` for every future event.
+
+        Returns an unsubscribe callable.  Used by the service's SSE
+        endpoint to stream progress rows live; listener exceptions are
+        swallowed so a dead client cannot poison recording.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def timeline(self, name: str, loads, interval: float, **labels) -> None:
         """Record a ``(k, n_bins)`` per-engine-node load matrix.
@@ -182,6 +209,13 @@ class Telemetry:
     # ------------------------------------------------------------------ #
     # Aggregation / transport
     # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        # Listeners are process-local (SSE bridges, test probes) and not
+        # generally picklable; a transported snapshot starts without them.
+        state = dict(self.__dict__)
+        state["_listeners"] = []
+        return state
+
     def merge(self, other) -> None:
         """Fold another collector (or its :meth:`to_dict` snapshot) in.
 

@@ -58,6 +58,7 @@ __all__ = [
     "routing_state",
     "apply_changes",
     "update_routing",
+    "derive_routing",
 ]
 
 #: Default source-row block handed to each pool task.
@@ -344,3 +345,98 @@ def update_routing(
     tel.count("routing.delta_updates")
     tel.count("routing.touched_sources", len(touched))
     return touched
+
+
+def derive_routing(
+    base: RoutingState,
+    net: Network,
+    *,
+    max_changes: int | None = None,
+    workers: int = 0,
+    pool=None,
+    block_size: int | None = None,
+    cache=None,
+    telemetry=None,
+    stats=None,
+) -> tuple[RoutingState, np.ndarray] | None:
+    """Derive a fresh :class:`RoutingState` for ``net`` from ``base``.
+
+    The cross-request sibling of :func:`update_routing`: neither ``base``
+    nor its network is mutated.  ``net`` must share ``base``'s node-id
+    universe (same node count); its cost graph is diffed against
+    ``base.graph``, only the affected source rows are recomputed, and the
+    unchanged rows are copied verbatim — the returned tables are
+    bit-identical to :func:`repro.routing.spf.build_routing` run from
+    scratch on ``net`` (each recomputed row is per-source independent,
+    and an unaffected row cannot differ: the predicate keeps every edge
+    on or tied with a shortest-path cone inside the recompute set).
+
+    Returns ``(state, touched)``, or ``None`` when the derivation is not
+    applicable: different node universe, different metric-graph shape, or
+    more than ``max_changes`` canonically-changed edges (the caller
+    should fall back to a full build).  ``len(touched) == 0`` means the
+    cost graphs were identical and the base tables were copied whole.
+
+    This is the warm-cache primitive behind the mapping service: a
+    request whose topology differs from a cached entry by a small change
+    set is served through the incremental engine instead of a full
+    all-pairs rebuild.
+    """
+    from repro.obs.telemetry import ensure_telemetry
+
+    tel = ensure_telemetry(telemetry)
+    tables = base.tables
+    if net.n_nodes != tables.net.n_nodes:
+        return None
+    with tel.span("routing/derive"):
+        new_graph = _cost_graph(net, tables.metric)
+        if new_graph.shape != base.graph.shape:
+            return None
+        a, b, old_c, new_c = _canonical_changes(base.graph, new_graph)
+        if max_changes is not None and len(a) > int(max_changes):
+            return None
+        if len(a) == 0:
+            touched = np.zeros(0, dtype=np.int64)
+        else:
+            touched = _affected_sources(tables.dist, a, b, old_c, new_c)
+        if stats is not None:
+            stats.delta_updates += 1
+            stats.affected_sources += len(touched)
+        dist = np.array(tables.dist, dtype=np.float64)
+        next_hop = np.array(tables.next_hop, dtype=np.int32)
+        if len(touched):
+            canon = tuple(
+                (int(ai), int(bi), float(oc), float(nc))
+                for ai, bi, oc, nc in zip(a, b, old_c, new_c)
+            )
+
+            def compute():
+                return _recompute_rows(
+                    touched, new_graph, workers=workers,
+                    block_size=max(1, int(block_size or _DELTA_BLOCK_SIZE)),
+                    generation=base.generation + 1, pool=pool,
+                    telemetry=telemetry, stats=stats,
+                )
+
+            if cache is not None:
+                d_rows, nh_rows = cache.get_or_compute(
+                    "routing-delta",
+                    (tables.net.fingerprint(), tables.metric,
+                     ROUTING_TABLE_VERSION, canon),
+                    compute,
+                )
+            else:
+                d_rows, nh_rows = compute()
+            dist[touched] = d_rows
+            next_hop[touched] = nh_rows
+            if stats is not None:
+                stats.touched_sources += len(touched)
+        derived = RoutingState(
+            tables=RoutingTables(
+                net=net, metric=tables.metric, dist=dist, next_hop=next_hop,
+            ),
+            graph=new_graph,
+        )
+    tel.count("routing.derive_updates")
+    tel.count("routing.touched_sources", len(touched))
+    return derived, touched

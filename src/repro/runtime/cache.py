@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, TypeVar
@@ -40,18 +41,35 @@ DEFAULT_CACHE_DIR = ".massf-cache"
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters, per artifact kind and in total."""
+    """Hit/miss/store counters, per artifact kind and in total.
+
+    Counter bumps are serialized by a lock so one :class:`ArtifactCache`
+    can be shared by concurrent service jobs running in threads.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     by_kind: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _bump(self, kind: str, what: str) -> None:
-        setattr(self, what, getattr(self, what) + 1)
-        per = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
-        if what in per:
-            per[what] += 1
+        with self._lock:
+            setattr(self, what, getattr(self, what) + 1)
+            per = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+            if what in per:
+                per[what] += 1
 
     @property
     def hit_rate(self) -> float:
@@ -98,7 +116,17 @@ class ArtifactCache:
         self._memory: dict[tuple[str, str], object] | None = (
             {} if memory else None
         )
+        self._mem_lock = threading.Lock()
         self.stats = CacheStats()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_mem_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mem_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -112,8 +140,10 @@ class ArtifactCache:
 
     def lookup(self, kind: str, key: str) -> tuple[bool, object]:
         """Return ``(found, value)`` without touching the counters."""
-        if self._memory is not None and (kind, key) in self._memory:
-            return True, self._memory[(kind, key)]
+        if self._memory is not None:
+            with self._mem_lock:
+                if (kind, key) in self._memory:
+                    return True, self._memory[(kind, key)]
         if self.root is not None:
             path = self._path(kind, key)
             try:
@@ -123,7 +153,8 @@ class ArtifactCache:
                     AttributeError, ImportError):
                 return False, None
             if self._memory is not None:
-                self._memory[(kind, key)] = value
+                with self._mem_lock:
+                    self._memory[(kind, key)] = value
             return True, value
         return False, None
 
@@ -131,7 +162,8 @@ class ArtifactCache:
         """Insert an artifact (atomic on disk)."""
         self.stats._bump(kind, "stores")
         if self._memory is not None:
-            self._memory[(kind, key)] = value
+            with self._mem_lock:
+                self._memory[(kind, key)] = value
         if self.root is None:
             return
         directory = self.root / kind
@@ -166,7 +198,8 @@ class ArtifactCache:
     def clear_memory(self) -> None:
         """Drop the in-process tier (disk entries stay)."""
         if self._memory is not None:
-            self._memory.clear()
+            with self._mem_lock:
+                self._memory.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.root) if self.root else "memory-only"

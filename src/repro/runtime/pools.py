@@ -1,0 +1,144 @@
+"""Thread-safe lease registry for reusable :class:`PmapPool` workers.
+
+The service front end runs many jobs concurrently in threads, and each
+job may want a forked worker pool for routing deltas or PLACE
+estimation.  Forking a fresh pool per request throws away the warm
+shared state the pool exists to amortize, while sharing one pool between
+two simultaneously-running jobs is unsafe (a pool's fork snapshot and
+submission protocol assume one driver at a time).  The registry resolves
+this with *leases*: a job acquires a pool keyed by worker count, uses it
+exclusively, and releases it back for the next job — so a steady stream
+of requests reuses a small set of long-lived pools instead of re-forking
+per call.
+
+Usage::
+
+    registry = PoolRegistry(workers=4)
+    with registry.lease() as pool:
+        update_routing(state, changes, workers=4, pool=pool, ...)
+
+Accounting (``created`` / ``leases`` / ``reuses``) feeds the service's
+metrics endpoint; ``close()`` tears down every idle pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.runtime.pmap import PmapPool
+
+__all__ = ["PoolRegistry", "PoolLease"]
+
+
+@dataclass
+class PoolLease:
+    """Context manager holding one pool exclusively until released."""
+
+    registry: "PoolRegistry"
+    pool: PmapPool | None
+    workers: int
+    _released: bool = field(default=False, repr=False)
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.registry._release(self)
+
+    def __enter__(self) -> PmapPool | None:
+        return self.pool
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+
+class PoolRegistry:
+    """Pool-per-lease reuse across sequential jobs, safe under threads.
+
+    Parameters
+    ----------
+    workers:
+        Default worker count per pool (``< 2`` → leases carry no pool and
+        callers fall back to inline execution, matching ``parallel_map``'s
+        own degradation).
+    max_pools:
+        Cap on simultaneously live pools per worker count; when every
+        pool is leased out, additional leases run poolless rather than
+        forking unboundedly.
+    """
+
+    def __init__(self, workers: int = 0, *, max_pools: int = 4) -> None:
+        self.workers = int(workers)
+        self.max_pools = max(1, int(max_pools))
+        self._idle: dict[int, list[PmapPool]] = {}
+        self._live: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.created = 0
+        self.leases = 0
+        self.reuses = 0
+
+    def lease(self, workers: int | None = None) -> PoolLease:
+        """Borrow a pool with ``workers`` workers (default: registry's)."""
+        count = self.workers if workers is None else int(workers)
+        with self._lock:
+            self.leases += 1
+            if self._closed or count < 2:
+                return PoolLease(self, None, count)
+            idle = self._idle.setdefault(count, [])
+            if idle:
+                self.reuses += 1
+                return PoolLease(self, idle.pop(), count)
+            if self._live.get(count, 0) >= self.max_pools:
+                return PoolLease(self, None, count)
+            self._live[count] = self._live.get(count, 0) + 1
+            self.created += 1
+        # Fork outside the lock: pool construction is cheap but not free.
+        try:
+            pool = PmapPool(count)
+        except BaseException:
+            with self._lock:
+                self._live[count] -= 1
+            raise
+        return PoolLease(self, pool, count)
+
+    def _release(self, lease: PoolLease) -> None:
+        pool = lease.pool
+        if pool is None:
+            return
+        with self._lock:
+            if not self._closed:
+                self._idle.setdefault(lease.workers, []).append(pool)
+                return
+            self._live[lease.workers] -= 1
+        pool.close()
+
+    def stats(self) -> dict:
+        """Snapshot for the metrics endpoint."""
+        with self._lock:
+            return {
+                "created": self.created,
+                "leases": self.leases,
+                "reuses": self.reuses,
+                "idle": sum(len(v) for v in self._idle.values()),
+                "live": sum(self._live.values()),
+            }
+
+    def close(self) -> None:
+        """Shut down idle pools; leased pools close on release."""
+        with self._lock:
+            self._closed = True
+            pools = [p for idle in self._idle.values() for p in idle]
+            for count, idle in self._idle.items():
+                self._live[count] = self._live.get(count, 0) - len(idle)
+            self._idle.clear()
+        for pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "PoolRegistry":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

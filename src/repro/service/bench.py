@@ -1,0 +1,190 @@
+"""``massf bench service``: cold vs warm throughput under concurrency.
+
+Boots a *real* server (socket, HTTP, SSE and all) on a background
+thread, drives a mixed map / sweep / apply_changes batch against it
+twice — once against cold state (fresh process-equivalent: empty warm
+cache, empty disk cache) and once against warm state (the same requests
+again) — and reports request throughput, latency percentiles and cache
+hit rates.  The warm/cold throughput ratio is the service's headline
+number and the CI gate (``--min-speedup``).
+
+Warm-served results are bit-identical to cold ones (the parity
+assertions run inside the bench: every warm response body must equal its
+cold counterpart).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+__all__ = ["bench_service", "build_mixed_batch"]
+
+
+def build_mixed_batch(
+    n_routers: int,
+    *,
+    seed: int = 0,
+    duration: float = 1.0,
+    hosts_per_router: float = 1.0,
+    batch: int = 8,
+) -> list[dict]:
+    """A mixed request batch over one synthetic topology.
+
+    Mostly maps (varying ``k`` / seed), one seed sweep and one
+    apply_changes (the delta-reuse path), cycled up to ``batch``
+    requests.
+    """
+    topology = {
+        "source": "synth", "n_routers": int(n_routers),
+        "hosts_per_router": float(hosts_per_router), "seed": int(seed),
+    }
+    pool: list[dict] = [
+        {"kind": "map", "topology": topology, "k": 8, "approach": "top"},
+        {"kind": "map", "topology": topology, "k": 16, "approach": "top"},
+        {
+            "kind": "sweep", "topology": topology, "seeds": [1],
+            "k": 8, "approaches": ["top"], "app": "none",
+            "intensity": "light", "duration": float(duration), "workers": 0,
+        },
+        {
+            "kind": "apply_changes", "topology": topology,
+            "changes": [
+                {"op": "set_link_cost", "link_id": 0, "latency_s": 0.05},
+            ],
+        },
+        {"kind": "map", "topology": topology, "k": 32, "approach": "top"},
+        {
+            "kind": "map", "topology": topology, "k": 8, "approach": "top",
+            "seed": 1,
+        },
+    ]
+    return [pool[i % len(pool)] for i in range(max(1, int(batch)))]
+
+
+def _drive(client, requests: list[dict], timeout: float) -> dict:
+    """Submit the batch, wait for every job, measure from the outside."""
+    start = time.perf_counter()
+    infos = [client.submit(request) for request in requests]
+    settled = [client.wait(info.job_id, timeout=timeout) for info in infos]
+    wall = time.perf_counter() - start
+    failed = [info for info in settled if info.state != "done"]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} bench jobs failed; first: {failed[0].error}"
+        )
+    latencies = sorted(
+        (info.finished_s or 0.0) - info.submitted_s for info in settled
+    )
+
+    def _pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "n_requests": len(settled),
+        "wall_s": wall,
+        "throughput_rps": len(settled) / wall if wall > 0 else float("inf"),
+        "p50_s": _pct(0.50),
+        "p95_s": _pct(0.95),
+        "warm_hits": sum(1 for info in settled if info.warm_hit),
+        "results": {info.job_id: info.result for info in settled},
+        "order": [info.job_id for info in settled],
+    }
+
+
+def bench_service(
+    *,
+    n_routers: int = 1000,
+    batch: int = 8,
+    service_workers: int = 2,
+    seed: int = 0,
+    duration: float = 1.0,
+    hosts_per_router: float = 1.0,
+    timeout: float = 600.0,
+    min_speedup: float | None = None,
+    budget: float | None = None,
+    telemetry=None,
+) -> tuple[list[dict], list[str]]:
+    """Run the cold/warm study; returns ``(rows, over_budget_lines)``."""
+    from repro.service.client import connect
+    from repro.service.core import ServiceConfig
+    from repro.service.server import start_service_in_thread
+
+    requests = build_mixed_batch(
+        n_routers, seed=seed, duration=duration,
+        hosts_per_router=hosts_per_router, batch=batch,
+    )
+    over_budget: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="massf-bench-") as tmp:
+        config = ServiceConfig(
+            port=0, workers=service_workers,
+            queue_size=max(64, 2 * len(requests)), cache=tmp,
+        )
+        service, url, stop = start_service_in_thread(config)
+        try:
+            client = connect(url, timeout=timeout)
+            cold = _drive(client, requests, timeout)
+            warm = _drive(client, requests, timeout)
+            status = client.status()
+        finally:
+            stop()
+
+    # Parity: a warm-served batch must be bit-identical to the cold one.
+    cold_bodies = [cold["results"][jid] for jid in cold["order"]]
+    warm_bodies = [warm["results"][jid] for jid in warm["order"]]
+    if cold_bodies != warm_bodies:
+        raise RuntimeError(
+            "warm responses differ from cold ones — warm-cache parity "
+            "violation"
+        )
+
+    speedup = (
+        warm["throughput_rps"] / cold["throughput_rps"]
+        if cold["throughput_rps"] > 0 else float("inf")
+    )
+    if telemetry is not None:
+        telemetry.gauge("bench.service_speedup", speedup)
+        telemetry.count("bench.runs", 2)
+
+    def _row(phase: str, data: dict) -> dict:
+        return {
+            "phase": phase,
+            "n_routers": int(n_routers),
+            "n_requests": data["n_requests"],
+            "wall_s": round(data["wall_s"], 4),
+            "throughput_rps": round(data["throughput_rps"], 3),
+            "p50_s": round(data["p50_s"], 4),
+            "p95_s": round(data["p95_s"], 4),
+            "warm_hits": data["warm_hits"],
+        }
+
+    warm_stats = status.get("warm", {})
+    rows = [
+        _row("cold", cold),
+        _row("warm", warm),
+        {
+            "phase": "summary",
+            "n_routers": int(n_routers),
+            "speedup": round(speedup, 2),
+            "warm_hit_rate": (
+                warm["warm_hits"] / warm["n_requests"]
+                if warm["n_requests"] else 0.0
+            ),
+            "warm_layers": warm_stats.get("layers", {}),
+            "delta_derives": warm_stats.get("delta_derives", 0),
+            "cold_builds": warm_stats.get("cold_builds", 0),
+            "parity": "identical",
+        },
+    ]
+
+    if budget is not None and cold["wall_s"] > budget:
+        over_budget.append(
+            f"service cold phase took {cold['wall_s']:.2f}s "
+            f"(budget {budget:.2f}s)"
+        )
+    if min_speedup is not None and speedup < min_speedup:
+        over_budget.append(
+            f"warm/cold speedup {speedup:.2f}x below the "
+            f"--min-speedup {min_speedup:.2f}x floor"
+        )
+    return rows, over_budget

@@ -1,0 +1,305 @@
+"""The mapping service core: worker threads draining the bounded queue.
+
+:class:`MappingService` owns the shared state every job multiplexes
+onto — the warm cache (:mod:`repro.service.warm`), the on-disk artifact
+cache, the :class:`~repro.runtime.pools.PoolRegistry` of reusable pmap
+workers, and the service telemetry — plus a fixed set of worker threads
+(started via the module-level :func:`_worker_loop`, the parallel-safety
+discipline for dispatched callables).
+
+Job execution order per job:
+
+1. ``PENDING → RUNNING`` (a job cancelled while pending is skipped);
+2. response-memo probe — an exact canonical repeat settles immediately
+   as a warm hit, bit-identical to the original (it *is* the original);
+3. the registered handler runs under the soft-deadline guard with
+   cooperative checkpoints;
+4. only a **fully successful** result is memoized into warm state —
+   failed, timed-out and cancelled jobs settle without touching it;
+5. the job's telemetry merges into the service collector under a lock
+   (the collector's span stack is not thread-safe, so jobs record on
+   private collectors and merge snapshots).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.telemetry import Telemetry
+from repro.runtime.cache import resolve_cache
+from repro.runtime.pools import PoolRegistry
+from repro.service.jobs import (
+    Job,
+    JobCancelled,
+    JobQueue,
+    JobState,
+    JobTimeout,
+)
+from repro.service.warm import DEFAULT_BUDGET_BYTES, WarmCache
+
+__all__ = ["ServiceConfig", "MappingService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide knobs (the ``massf serve`` flag surface)."""
+
+    workers: int = 2                 # job worker threads
+    queue_size: int = 64             # bounded queue capacity (backpressure)
+    default_timeout_s: float | None = None   # per-job soft deadline
+    budget_bytes: int = DEFAULT_BUDGET_BYTES  # warm-cache memory budget
+    max_delta_changes: int = 64      # delta-derivation ceiling
+    cache: object = None             # disk cache spec (resolve_cache)
+    host: str = "127.0.0.1"
+    port: int = 8351
+    pool_workers: int = 0            # pmap pool size leased per job (0 off)
+
+
+@contextlib.contextmanager
+def _soft_deadline(timeout_s: float | None):
+    """Arm the executor's SIGALRM guard when possible.
+
+    On the main thread a wedged job is interrupted mid-computation; on
+    worker threads (where ``signal.signal`` is forbidden) this is a
+    no-op and enforcement falls back to the job's cooperative
+    checkpoints — the same graceful degradation the grid executor uses.
+    """
+    from repro.runtime.executor import _TaskTimeout, _arm_soft_timeout
+
+    if (
+        timeout_s is None
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    import signal
+
+    old_handler, armed = _arm_soft_timeout(timeout_s)
+    try:
+        yield
+    except _TaskTimeout as exc:
+        raise JobTimeout(str(exc)) from None
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+def _worker_loop(service: "MappingService") -> None:
+    """Drain the queue until the service stops (thread target)."""
+    while True:
+        job = service.queue.next(timeout=0.2)
+        if service._stop.is_set():
+            return
+        if job is None:
+            continue
+        service._run_job(job)
+
+
+@dataclass
+class _ServiceCounters:
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    warm_hits: int = 0
+    rejected: int = 0
+    latencies_s: list = field(default_factory=list)
+
+
+class MappingService:
+    """Shared-state job executor behind the HTTP front end."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.disk = resolve_cache(self.config.cache)
+        self.warm = WarmCache(
+            budget_bytes=self.config.budget_bytes,
+            disk=self.disk,
+            max_delta_changes=self.config.max_delta_changes,
+            telemetry=self.telemetry,
+        )
+        self.pools = PoolRegistry(self.config.pool_workers)
+        self.queue = JobQueue(self.config.queue_size)
+        self.counters = _ServiceCounters()
+        self.started_s = time.time()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()   # telemetry merge + counters
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "MappingService":
+        if self._threads:
+            return self
+        for i in range(max(1, int(self.config.workers))):
+            thread = threading.Thread(
+                target=_worker_loop, args=(self,),
+                name=f"massf-worker-{i}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.queue.wake_all(len(self._threads))
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+        self.pools.close()
+
+    def __enter__(self) -> "MappingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Submission / inspection
+    # ------------------------------------------------------------------ #
+    def submit(self, request, timeout_s: float | None = None) -> Job:
+        """Enqueue a request; raises
+        :class:`~repro.service.jobs.QueueFullError` when the queue is at
+        capacity (the HTTP layer maps it to 429)."""
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        job = Job.create(request, timeout_s=timeout_s)
+        try:
+            self.queue.offer(job)
+        except Exception:
+            with self._lock:
+                self.counters.rejected += 1
+            raise
+        with self._lock:
+            self.counters.submitted += 1
+        self.telemetry.gauge("service.queue_depth", self.queue.depth)
+        self.telemetry.event(
+            "service.jobs", job=job.job_id, state="submitted",
+            kind=job.request.kind,
+        )
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        return self.queue.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        job = self.queue.get(job_id)
+        if job is None:
+            return False
+        live = job.cancel()
+        if live:
+            self.telemetry.event(
+                "service.jobs", job=job.job_id, state="cancel-requested",
+            )
+        return live
+
+    def status(self) -> dict:
+        with self._lock:
+            latencies = sorted(self.counters.latencies_s)
+            counters = {
+                "submitted": self.counters.submitted,
+                "done": self.counters.done,
+                "failed": self.counters.failed,
+                "cancelled": self.counters.cancelled,
+                "warm_hits": self.counters.warm_hits,
+                "rejected": self.counters.rejected,
+            }
+        def _pct(q: float) -> float:
+            if not latencies:
+                return 0.0
+            idx = min(len(latencies) - 1, int(q * len(latencies)))
+            return latencies[idx]
+        return {
+            "uptime_s": time.time() - self.started_s,
+            "workers": len(self._threads),
+            "queue_depth": self.queue.depth,
+            "queue_size": self.queue.maxsize,
+            "jobs": counters,
+            "latency_p50_s": _pct(0.50),
+            "latency_p95_s": _pct(0.95),
+            "warm": self.warm.stats.to_dict(),
+            "warm_nbytes": self.warm.nbytes,
+            "disk": (
+                {
+                    "hits": self.disk.stats.hits,
+                    "misses": self.disk.stats.misses,
+                    "stores": self.disk.stats.stores,
+                }
+                if self.disk is not None else None
+            ),
+            "pools": self.pools.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Execution (worker threads)
+    # ------------------------------------------------------------------ #
+    def _run_job(self, job: Job) -> None:
+        from repro.service.handlers import handler_for
+
+        if not job.mark_running():
+            # Cancelled while pending: already settled.
+            with self._lock:
+                self.counters.cancelled += 1
+            self._publish(job)
+            return
+        self.telemetry.gauge("service.queue_depth", self.queue.depth)
+        canon = None
+        started = time.perf_counter()
+        try:
+            canon = job.request.canonical()
+            found, memo = self.warm.memo_get(canon)
+            if found:
+                job.settle(JobState.DONE, result=memo, warm_hit=True)
+            else:
+                handler = handler_for(job.request.kind)
+                if handler is None:
+                    raise ValueError(
+                        f"no handler for kind {job.request.kind!r}"
+                    )
+                with _soft_deadline(job.timeout_s):
+                    result = handler(self, job, job.request)
+                job.checkpoint()  # last look before publishing
+                self.warm.memo_put(canon, result)
+                job.settle(JobState.DONE, result=result)
+        except JobCancelled:
+            job.settle(JobState.CANCELLED, error="cancelled")
+        except JobTimeout as exc:
+            job.settle(JobState.FAILED, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 — jobs never kill workers
+            job.settle(
+                JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            if job.state is JobState.DONE:
+                self.counters.done += 1
+                if job.warm_hit:
+                    self.counters.warm_hits += 1
+            elif job.state is JobState.CANCELLED:
+                self.counters.cancelled += 1
+            else:
+                self.counters.failed += 1
+            self.counters.latencies_s.append(elapsed)
+            # Merge the job's private collector (span stacks are not
+            # thread-safe; snapshots merge safely under the lock).
+            self.telemetry.merge(job.telemetry.to_dict())
+        self._publish(job)
+
+    def _publish(self, job: Job) -> None:
+        self.telemetry.event(
+            "service.jobs", job=job.job_id, state=job.state.value,
+            kind=job.request.kind, warm_hit=job.warm_hit,
+            error=job.error,
+        )

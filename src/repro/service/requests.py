@@ -1,0 +1,207 @@
+"""Wire-format request/response dataclasses for the mapping service.
+
+Every request crosses the HTTP boundary as JSON; these dataclasses are
+the one schema shared by the server (:mod:`repro.service.handlers`), the
+Python client (:mod:`repro.service.client`) and the ``massf submit``
+CLI.  Each request kind knows how to
+
+- round-trip JSON (``from_dict`` / ``to_dict``),
+- produce a **canonical key** (:meth:`canonical`) — a nested tuple of
+  primitives that is stable across processes and key-orderings, used for
+  the warm-cache response memo and fingerprint-keyed layers.
+
+Topology specs are plain dicts: ``{"source": "synth", "n_routers": 1000,
+"seed": 0}`` (any :data:`repro.api.TOPOLOGIES` name, ``"synth"``, or a
+DML path; remaining keys are factory kwargs).  Change specs are dicts
+``{"op": "set_link_cost", "link_id": 5, "latency_s": 0.1}`` with ops
+``set_link_cost`` / ``link_up`` / ``link_down`` / ``add_link``, decoded
+by :func:`decode_changes` into :mod:`repro.routing.delta` dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+__all__ = [
+    "MapRequest",
+    "SweepRequest",
+    "EmulateRequest",
+    "ApplyChangesRequest",
+    "JobInfo",
+    "REQUEST_KINDS",
+    "parse_request",
+    "decode_changes",
+    "canonical_value",
+]
+
+
+def canonical_value(value: Any):
+    """A hashable, order-independent form of a JSON-ish value."""
+    if isinstance(value, dict):
+        return tuple(
+            (str(k), canonical_value(value[k])) for k in sorted(value)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_value(v) for v in value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise TypeError(f"non-JSON value in request: {type(value).__name__}")
+
+
+def decode_changes(specs: list[dict]) -> list:
+    """Decode change dicts into :mod:`repro.routing.delta` dataclasses."""
+    from repro.routing.delta import AddLink, LinkDown, LinkUp, SetLinkCost
+
+    out = []
+    for spec in specs or ():
+        op = str(spec.get("op", "")).strip().lower()
+        if op == "set_link_cost":
+            out.append(SetLinkCost(
+                link_id=int(spec["link_id"]),
+                bandwidth_bps=(
+                    None if spec.get("bandwidth_bps") is None
+                    else float(spec["bandwidth_bps"])
+                ),
+                latency_s=(
+                    None if spec.get("latency_s") is None
+                    else float(spec["latency_s"])
+                ),
+            ))
+        elif op == "link_up":
+            out.append(LinkUp(link_id=int(spec["link_id"])))
+        elif op == "link_down":
+            out.append(LinkDown(link_id=int(spec["link_id"])))
+        elif op == "add_link":
+            out.append(AddLink(
+                u=int(spec["u"]), v=int(spec["v"]),
+                bandwidth_bps=float(spec["bandwidth_bps"]),
+                latency_s=float(spec["latency_s"]),
+            ))
+        else:
+            raise ValueError(f"unknown change op {spec.get('op')!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class _Request:
+    """Shared canonical/JSON plumbing for the request kinds."""
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = self.kind  # type: ignore[attr-defined]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_Request":
+        fields = {f for f in cls.__dataclass_fields__}  # type: ignore
+        kwargs = {k: v for k, v in data.items() if k in fields}
+        return cls(**kwargs)
+
+    def canonical(self) -> tuple:
+        return (
+            self.kind,  # type: ignore[attr-defined]
+            canonical_value(asdict(self)),
+        )
+
+
+@dataclass(frozen=True)
+class MapRequest(_Request):
+    """Build one node → engine-node mapping."""
+
+    kind = "map"
+    topology: dict = field(default_factory=dict)
+    k: int = 4
+    approach: str = "top"
+    app: str = "none"
+    intensity: str = "moderate"
+    duration: float | None = None
+    seed: int = 0
+    changes: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SweepRequest(_Request):
+    """Sweep the profile → map → evaluate pipeline across seeds."""
+
+    kind = "sweep"
+    topology: dict = field(default_factory=dict)
+    seeds: list = field(default_factory=lambda: [1])
+    app: str = "none"
+    k: int = 4
+    approaches: list = field(default_factory=lambda: ["top", "place"])
+    intensity: str = "moderate"
+    duration: float | None = None
+    workers: int = 0
+
+
+@dataclass(frozen=True)
+class EmulateRequest(_Request):
+    """Run one emulation and return its summary statistics."""
+
+    kind = "emulate"
+    topology: dict = field(default_factory=dict)
+    app: str = "none"
+    intensity: str = "moderate"
+    duration: float | None = None
+    engine: str = "sequential"
+    k: int | None = None
+    seed: int = 0
+    train_packets: int = 32
+
+
+@dataclass(frozen=True)
+class ApplyChangesRequest(_Request):
+    """Incrementally repair routing for a changed topology."""
+
+    kind = "apply_changes"
+    topology: dict = field(default_factory=dict)
+    changes: list = field(default_factory=list)
+
+
+REQUEST_KINDS: dict[str, type] = {
+    "map": MapRequest,
+    "sweep": SweepRequest,
+    "emulate": EmulateRequest,
+    "apply_changes": ApplyChangesRequest,
+}
+
+
+def parse_request(data: dict) -> _Request:
+    """Decode one submitted JSON body into its request dataclass."""
+    if not isinstance(data, dict):
+        raise ValueError("request body must be a JSON object")
+    kind = str(data.get("kind", "")).strip().lower()
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown request kind {data.get('kind')!r}; choose from "
+            f"{', '.join(sorted(REQUEST_KINDS))}"
+        )
+    return cls.from_dict(data)
+
+
+@dataclass
+class JobInfo:
+    """One job's externally visible state (the ``/jobs`` wire format)."""
+
+    job_id: str
+    kind: str
+    state: str
+    submitted_s: float
+    started_s: float | None = None
+    finished_s: float | None = None
+    deadline_s: float | None = None
+    error: str | None = None
+    result: dict | None = None
+    warm_hit: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobInfo":
+        fields = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in fields})

@@ -1,0 +1,29 @@
+"""Known-bad fixture: unsafe service-handler registrations."""
+
+from repro.service.handlers import register_handler
+
+_RESULTS = {}
+_SERVED = 0
+
+
+def _handle_leaky(service, job, request):
+    _RESULTS[job.job_id] = request
+    return {}
+
+
+def _handle_counted(service, job, request):
+    global _SERVED
+    _SERVED = _SERVED + 1
+    return {}
+
+
+def register_all():
+    def inner(service, job, request):
+        return {}
+
+    register_handler("inner", inner)
+    register_handler("anon", lambda service, job, request: {})
+
+
+register_handler("leaky", _handle_leaky)
+register_handler("counted", _handle_counted)

@@ -1,0 +1,21 @@
+"""Known-good fixture: module-level, read-only service handlers.
+
+Defines ``register_handler`` locally (like the real
+``repro.service.handlers`` module) so the rule's bare-name branch is
+exercised too.
+"""
+
+_HANDLERS = {}
+_DEFAULTS = {"k": 4}
+
+
+def register_handler(kind, fn):
+    _HANDLERS[kind] = fn
+
+
+def _handle_map(service, job, request):
+    k = _DEFAULTS.get("k")
+    return {"k": k, "job": job.job_id}
+
+
+register_handler("map", _handle_map)

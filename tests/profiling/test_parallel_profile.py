@@ -1,0 +1,93 @@
+"""Bit-identical parallel profiling aggregation.
+
+:meth:`ProfileData.from_records` with ``workers >= 2`` must reproduce
+the sequential oracle (:meth:`ProfileData.from_records_reference`)
+exactly — the fold concatenates per-block contribution streams in
+record order, so every floating-point add happens in the same sequence
+as the scalar loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.kernel import EmulationKernel
+from repro.engine.packet import Transfer
+from repro.profiling.aggregate import ProfileData
+from repro.profiling.netflow import FlowRecord, NetFlowCollector
+from repro.runtime.fingerprint import stable_hash
+from repro.topology.synth import synth_network
+
+
+def _arrays(profile):
+    return (profile.node_packets, profile.link_packets,
+            profile.node_series)
+
+
+def _assert_identical(a, b):
+    for lhs, rhs in zip(_arrays(a), _arrays(b)):
+        assert np.array_equal(lhs, rhs)
+
+
+@pytest.fixture(scope="module")
+def emulated():
+    """A real emulation over a synthetic net → collector + trace."""
+    net = synth_network(n_routers=30, hosts_per_router=1.0, seed=3)
+    from repro.routing.spf import build_routing
+
+    collector = NetFlowCollector()
+    kern = EmulationKernel(net, build_routing(net), collector=collector)
+    hosts = [h.node_id for h in net.hosts()]
+    for i in range(40):
+        kern.submit_transfer(
+            Transfer(src=hosts[i % len(hosts)],
+                     dst=hosts[(i * 7 + 3) % len(hosts)],
+                     nbytes=20e3),
+            float(i) * 0.3,
+        )
+    trace = kern.run(until=30.0)
+    return net, collector, trace
+
+
+@pytest.mark.parametrize("workers", [2, 3, 8])
+def test_from_records_parallel_matches_reference(emulated, workers):
+    net, collector, _trace = emulated
+    records = collector.records()
+    oracle = ProfileData.from_records_reference(
+        records, net, duration=30.0, interval=5.0
+    )
+    parallel = ProfileData.from_records(
+        records, net, duration=30.0, interval=5.0, workers=workers
+    )
+    _assert_identical(parallel, oracle)
+
+
+def test_from_run_parallel_matches_sequential(emulated):
+    net, collector, trace = emulated
+    sequential = ProfileData.from_run(collector, trace, net, interval=5.0)
+    parallel = ProfileData.from_run(collector, trace, net, interval=5.0,
+                                    workers=4)
+    _assert_identical(parallel, sequential)
+
+
+def test_degenerate_inputs_take_the_sequential_path():
+    net = synth_network(n_routers=10, hosts_per_router=1.0, seed=0)
+    empty = ProfileData.from_records([], net, duration=10.0, workers=4)
+    assert empty.node_packets.sum() == 0.0
+    one = [FlowRecord(router=0, src=net.hosts()[0].node_id,
+                      dst=net.hosts()[1].node_id, flow_id=0,
+                      out_link=0, packets=5, nbytes=5e3,
+                      first=0.0, last=2.0)]
+    a = ProfileData.from_records(one, net, duration=10.0, workers=4)
+    b = ProfileData.from_records_reference(one, net, duration=10.0)
+    _assert_identical(a, b)
+
+
+def test_profile_workers_is_not_part_of_the_cache_identity():
+    from repro.experiments.runner import RunnerConfig
+
+    assert stable_hash(RunnerConfig()) == stable_hash(
+        RunnerConfig(profile_workers=4)
+    )
+    assert stable_hash(RunnerConfig()) != stable_hash(
+        RunnerConfig(train_packets=8)
+    )

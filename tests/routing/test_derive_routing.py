@@ -1,0 +1,89 @@
+"""Cross-request routing derivation: bit-identical, non-mutating.
+
+:func:`repro.routing.delta.derive_routing` clones a warm base state
+onto a *different* Network object (the service's delta-reuse path), so
+unlike :func:`~repro.routing.delta.update_routing` it must leave the
+base untouched and still match a from-scratch build exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing.delta import (
+    SetLinkCost,
+    apply_changes,
+    derive_routing,
+    routing_state,
+)
+from repro.routing.spf import build_routing
+from repro.topology import campus_network, synth_network
+
+METRIC_NAMES = ("latency", "hops", "inv-bandwidth")
+
+
+def _changed_copy(seed=0, n=24, factor=3.0):
+    """Two independently-built nets differing by one link cost."""
+    base = synth_network(n_routers=n, hosts_per_router=1.0, seed=seed)
+    changed = synth_network(n_routers=n, hosts_per_router=1.0, seed=seed)
+    link = changed.links[0]
+    apply_changes(changed, [
+        SetLinkCost(link.link_id, latency_s=link.latency_s * factor,
+                    bandwidth_bps=link.bandwidth_bps / factor),
+    ])
+    return base, changed
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_derive_matches_fresh_build(metric):
+    base, changed = _changed_copy()
+    state = routing_state(build_routing(base, metric))
+    dist_before = state.tables.dist.copy()
+    next_before = state.tables.next_hop.copy()
+
+    derived, touched = derive_routing(state, changed, max_changes=8)
+    oracle = build_routing(changed, metric)
+    assert np.array_equal(derived.tables.dist, oracle.dist)
+    assert np.array_equal(derived.tables.next_hop, oracle.next_hop)
+    assert derived.tables.net is changed
+
+    # The base state was not mutated by the derivation.
+    assert np.array_equal(state.tables.dist, dist_before)
+    assert np.array_equal(state.tables.next_hop, next_before)
+    assert state.tables.net is base
+    if metric == "hops":
+        assert len(touched) == 0  # hop costs are unaffected by the change
+    else:
+        assert 0 < len(touched) <= base.n_nodes
+
+
+def test_derive_noop_returns_equal_copies():
+    base = campus_network()
+    state = routing_state(build_routing(base))
+    twin = campus_network()
+    derived, touched = derive_routing(state, twin, max_changes=8)
+    assert len(touched) == 0
+    assert np.array_equal(derived.tables.dist, state.tables.dist)
+    assert derived.tables.dist is not state.tables.dist  # a real copy
+
+
+def test_derive_declines_past_change_ceiling():
+    base, changed = _changed_copy()
+    state = routing_state(build_routing(base))
+    assert derive_routing(state, changed, max_changes=0) is None
+
+
+def test_derive_declines_on_different_node_universe():
+    base = synth_network(n_routers=24, hosts_per_router=1.0, seed=0)
+    other = synth_network(n_routers=30, hosts_per_router=1.0, seed=0)
+    state = routing_state(build_routing(base))
+    assert derive_routing(state, other, max_changes=64) is None
+
+
+def test_derive_is_idempotent_across_requests():
+    """Deriving twice from the same base gives the same tables."""
+    base, changed = _changed_copy()
+    state = routing_state(build_routing(base))
+    first, _ = derive_routing(state, changed, max_changes=8)
+    second, _ = derive_routing(state, changed, max_changes=8)
+    assert np.array_equal(first.tables.dist, second.tables.dist)
+    assert np.array_equal(first.tables.next_hop, second.tables.next_hop)

@@ -1,0 +1,87 @@
+"""Artifact-cache concurrency: racing writers, atomic JSON export.
+
+The service runs handler threads against one shared
+:class:`~repro.runtime.cache.ArtifactCache`; two jobs may compute and
+store the same artifact at the same instant.  The store path must be
+atomic (no torn files) and the memory tier must stay consistent under
+the race.
+"""
+
+import json
+import threading
+
+import numpy as np
+
+from repro.obs import write_json
+from repro.runtime.cache import ArtifactCache
+
+
+def _race(n_threads, target):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def _runner(i):
+        try:
+            barrier.wait()
+            target(i)
+        except Exception as exc:  # noqa: BLE001 — surfaced via the list
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_runner, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+def test_two_concurrent_writers_same_key(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    payload = np.arange(20_000, dtype=np.float64)
+    results = [None, None]
+
+    def _writer(i):
+        results[i] = cache.get_or_compute(
+            "race", ("shared-key",), lambda: payload.copy()
+        )
+
+    _race(2, _writer)
+    assert np.array_equal(results[0], payload)
+    assert np.array_equal(results[1], payload)
+    # A fresh cache instance reads one intact artifact — never a torn one.
+    fresh = ArtifactCache(tmp_path / "cache")
+    found, value = fresh.lookup("race", fresh.key_of("race", "shared-key"))
+    assert found and np.array_equal(value, payload)
+    # No leftover temp files from the replace dance.
+    leftovers = [p for p in (tmp_path / "cache").rglob("*.tmp")]
+    assert leftovers == []
+
+
+def test_many_writers_distinct_keys(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+
+    def _writer(i):
+        value = cache.get_or_compute("grid", (i,), lambda: {"i": i})
+        assert value == {"i": i}
+
+    _race(8, _writer)
+    assert cache.stats.stores == 8
+    for i in range(8):
+        found, value = cache.lookup("grid", cache.key_of("grid", i))
+        assert found and value == {"i": i}
+
+
+def test_write_json_is_atomic_under_racing_writers(tmp_path):
+    """Concurrent exporters of the same path leave one parseable file."""
+    path = tmp_path / "snapshot.json"
+
+    def _writer(i):
+        for _ in range(10):
+            write_json({"writer": i, "rows": list(range(500))}, path)
+
+    _race(4, _writer)
+    data = json.loads(path.read_text())
+    assert data["writer"] in range(4)
+    assert data["rows"] == list(range(500))
+    assert list(tmp_path.glob("*.tmp")) == []

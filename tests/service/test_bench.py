@@ -1,0 +1,43 @@
+"""The service bench driver: batch shape, rows, speedup gate."""
+
+import pytest
+
+from repro.service.bench import bench_service, build_mixed_batch
+
+
+def test_mixed_batch_shape_and_cycling():
+    batch = build_mixed_batch(100, batch=8)
+    assert len(batch) == 8
+    kinds = {request["kind"] for request in batch}
+    assert {"map", "sweep", "apply_changes"} <= kinds
+    assert all(request["topology"]["n_routers"] == 100
+               for request in batch)
+    # Cycling past the pool repeats entries verbatim (exact warm repeats).
+    assert batch[6] == batch[0]
+
+
+@pytest.fixture(scope="module")
+def small_bench():
+    return bench_service(n_routers=60, batch=5, service_workers=2,
+                         duration=0.5, min_speedup=2.0)
+
+
+def test_bench_rows_and_gate_pass(small_bench):
+    rows, over_budget = small_bench
+    assert over_budget == []
+    cold, warm, summary = rows
+    assert cold["phase"] == "cold" and cold["warm_hits"] == 0
+    assert warm["phase"] == "warm" and warm["warm_hits"] == 5
+    assert warm["throughput_rps"] > cold["throughput_rps"]
+    assert summary["speedup"] >= 2.0
+    assert summary["warm_hit_rate"] == 1.0
+    assert summary["parity"] == "identical"
+    assert summary["cold_builds"] >= 1
+
+
+def test_bench_gate_fails_below_floor():
+    rows, over_budget = bench_service(
+        n_routers=40, batch=3, duration=0.5, min_speedup=1e9,
+    )
+    assert rows[-1]["phase"] == "summary"
+    assert any("below the" in line for line in over_budget)

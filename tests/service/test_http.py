@@ -1,0 +1,108 @@
+"""End-to-end over a real socket: HTTP API, SSE stream, error codes."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    QueueFullError,
+    ServiceConfig,
+    ServiceError,
+    connect,
+    parse_request,
+)
+from repro.service.server import start_service_in_thread
+from tests.service.conftest import MAP_REQUEST
+
+
+@pytest.fixture
+def live(tmp_path):
+    """(service, client, stop) over an ephemeral port."""
+    config = ServiceConfig(port=0, workers=2,
+                           cache=str(tmp_path / "cache"))
+    service, url, stop = start_service_in_thread(config)
+    try:
+        yield service, connect(url)
+    finally:
+        stop()
+
+
+def test_submit_wait_and_inspect(live):
+    service, client = live
+    info = client.submit(dict(MAP_REQUEST))
+    assert info.state in ("pending", "running")
+    info = client.wait(info.job_id, timeout=60.0)
+    assert info.state == "done"
+    assert info.result["k"] == MAP_REQUEST["k"]
+    assert len(info.result["parts"]) == info.result["n_nodes"]
+    assert any(j.job_id == info.job_id for j in client.jobs())
+
+    status = client.status()
+    assert status["jobs"]["done"] == 1
+    assert "schema" in client.metrics()
+
+
+def test_repeat_request_is_a_warm_hit_with_identical_body(live):
+    _service, client = live
+    cold = client.wait(client.submit(dict(MAP_REQUEST)).job_id, 60.0)
+    warm = client.wait(client.submit(dict(MAP_REQUEST)).job_id, 60.0)
+    assert warm.warm_hit and not cold.warm_hit
+    assert warm.result == cold.result
+
+
+def test_bad_request_is_400_and_unknown_job_404(live):
+    _service, client = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"kind": "massage"})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("job-unknown")
+    assert excinfo.value.status == 404
+
+
+def test_full_queue_answers_429(tmp_path):
+    config = ServiceConfig(port=0, workers=1, queue_size=1,
+                           cache=str(tmp_path / "cache"))
+    service, url, stop = start_service_in_thread(config)
+    try:
+        service.stop()  # halt the worker; the HTTP layer stays up
+        client = connect(url)
+        client.submit(dict(MAP_REQUEST))   # fills the queue
+        with pytest.raises(QueueFullError):
+            client.submit(dict(MAP_REQUEST))
+        assert client.status()["jobs"]["rejected"] == 1
+    finally:
+        stop()
+
+
+def test_cancel_over_http(tmp_path):
+    config = ServiceConfig(port=0, workers=1,
+                           cache=str(tmp_path / "cache"))
+    service, url, stop = start_service_in_thread(config)
+    try:
+        service.stop()  # job below stays pending, cancellable
+        client = connect(url)
+        info = client.submit(dict(MAP_REQUEST))
+        assert client.cancel(info.job_id) is True
+        assert client.job(info.job_id).state == "cancelled"
+    finally:
+        stop()
+
+
+def test_sse_streams_job_lifecycle(live):
+    service, client = live
+
+    def _later():
+        time.sleep(0.3)
+        service.submit(parse_request(dict(MAP_REQUEST)))
+
+    thread = threading.Thread(target=_later, daemon=True)
+    thread.start()
+    events = client.events(max_events=2, timeout=30.0)
+    thread.join()
+    assert len(events) == 2
+    assert all(e["event"] == "service.jobs" for e in events)
+    states = [e["data"]["state"] for e in events]
+    assert states[0] == "submitted"
+    assert states[1] in ("done", "failed")

@@ -1,0 +1,88 @@
+"""Job lifecycle: bounded queue backpressure, deadlines, cancellation."""
+
+import time
+
+import pytest
+
+from repro.service.jobs import (
+    Job,
+    JobCancelled,
+    JobQueue,
+    JobState,
+    JobTimeout,
+    QueueFullError,
+)
+from repro.service.requests import MapRequest
+
+REQ = MapRequest(topology={"n_routers": 8})
+
+
+def test_bounded_queue_rejects_past_capacity():
+    queue = JobQueue(maxsize=2)
+    first = queue.offer(Job.create(REQ))
+    queue.offer(Job.create(REQ))
+    rejected = Job.create(REQ)
+    with pytest.raises(QueueFullError, match="queue full"):
+        queue.offer(rejected)
+    # The rejected job never enters the registry (no ghost entries).
+    assert queue.get(rejected.job_id) is None
+    assert queue.get(first.job_id) is first
+    assert queue.depth == 2
+
+
+def test_queue_drains_fifo_and_wakes_with_sentinels():
+    queue = JobQueue(maxsize=4)
+    jobs = [queue.offer(Job.create(REQ)) for _ in range(3)]
+    assert [queue.next(0.01) for _ in range(3)] == jobs
+    queue.wake_all(2)
+    assert queue.next(0.01) is None  # sentinel
+    assert queue.jobs() == jobs      # registry keeps settled/served jobs
+
+
+def test_cancel_pending_settles_immediately():
+    job = Job.create(REQ)
+    assert job.cancel() is True
+    assert job.state is JobState.CANCELLED
+    assert job.wait(0.01)
+    assert job.cancel() is False          # already terminal
+    assert job.mark_running() is False    # worker must skip it
+
+
+def test_checkpoint_raises_after_cancel():
+    job = Job.create(REQ)
+    job.mark_running()
+    job.checkpoint()  # fine while live
+    job.cancel()
+    with pytest.raises(JobCancelled):
+        job.checkpoint()
+
+
+def test_checkpoint_raises_past_deadline():
+    job = Job.create(REQ, timeout_s=0.01)
+    assert job.deadline_s is None  # not armed until the job starts
+    job.mark_running()
+    assert job.deadline_s == pytest.approx(job.started_s + 0.01)
+    time.sleep(0.02)
+    with pytest.raises(JobTimeout, match="deadline"):
+        job.checkpoint()
+
+
+def test_settle_is_idempotent():
+    job = Job.create(REQ)
+    job.mark_running()
+    job.settle(JobState.DONE, result={"ok": 1})
+    job.settle(JobState.FAILED, error="late")
+    assert job.state is JobState.DONE
+    assert job.result == {"ok": 1}
+    assert job.error is None
+
+
+def test_info_reflects_lifecycle():
+    job = Job.create(REQ, timeout_s=5.0)
+    assert job.info().state == "pending"
+    job.mark_running()
+    assert job.info().state == "running"
+    job.settle(JobState.DONE, result={}, warm_hit=True)
+    info = job.info()
+    assert info.state == "done" and info.warm_hit
+    assert info.finished_s >= info.started_s >= info.submitted_s

@@ -1,0 +1,77 @@
+"""Wire schema: parsing, canonicalization, change decoding."""
+
+import pytest
+
+from repro.routing.delta import AddLink, LinkDown, LinkUp, SetLinkCost
+from repro.service.requests import (
+    JobInfo,
+    MapRequest,
+    SweepRequest,
+    canonical_value,
+    decode_changes,
+    parse_request,
+)
+
+
+def test_parse_map_round_trip():
+    request = parse_request({
+        "kind": "map",
+        "topology": {"source": "synth", "n_routers": 24, "seed": 0},
+        "k": 8, "approach": "place",
+    })
+    assert isinstance(request, MapRequest)
+    assert request.k == 8 and request.approach == "place"
+    again = parse_request(request.to_dict())
+    assert again == request
+
+
+def test_parse_ignores_unknown_fields():
+    request = parse_request({**{"kind": "sweep", "topology": {}},
+                             "not_a_field": 1})
+    assert isinstance(request, SweepRequest)
+
+
+def test_unknown_kind_is_a_value_error():
+    with pytest.raises(ValueError, match="unknown request kind"):
+        parse_request({"kind": "massage"})
+    with pytest.raises(ValueError, match="JSON object"):
+        parse_request([1, 2, 3])
+
+
+def test_canonical_is_order_insensitive():
+    a = parse_request({"kind": "map", "k": 4,
+                       "topology": {"n_routers": 24, "seed": 0}})
+    b = parse_request({"topology": {"seed": 0, "n_routers": 24},
+                       "kind": "map", "k": 4})
+    assert a.canonical() == b.canonical()
+    assert hash(canonical_value({"x": [1, {"y": 2}]})) is not None
+
+
+def test_canonical_distinguishes_requests():
+    base = {"kind": "map", "topology": {"n_routers": 24}, "k": 4}
+    assert (parse_request(base).canonical()
+            != parse_request({**base, "k": 8}).canonical())
+
+
+def test_decode_changes_all_ops():
+    changes = decode_changes([
+        {"op": "set_link_cost", "link_id": 3, "latency_s": 0.2},
+        {"op": "link_down", "link_id": 1},
+        {"op": "link_up", "link_id": 1},
+        {"op": "add_link", "u": 0, "v": 5,
+         "bandwidth_bps": 1e6, "latency_s": 0.01},
+    ])
+    assert isinstance(changes[0], SetLinkCost)
+    assert isinstance(changes[1], LinkDown)
+    assert isinstance(changes[2], LinkUp)
+    assert isinstance(changes[3], AddLink)
+    with pytest.raises(ValueError):
+        decode_changes([{"op": "teleport", "link_id": 0}])
+
+
+def test_job_info_round_trip():
+    info = JobInfo(job_id="job-9", kind="map", state="done",
+                   submitted_s=1.0, started_s=2.0, finished_s=3.0,
+                   deadline_s=None, error=None,
+                   result={"parts": [0, 1]}, warm_hit=True)
+    assert JobInfo.from_dict(info.to_dict()) == info
