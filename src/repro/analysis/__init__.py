@@ -34,10 +34,22 @@ from repro.analysis.registry import (
     register,
     resolve_rules,
 )
-from repro.analysis.report import render_json, render_text, to_payload
-from repro.analysis.runner import CheckResult, resolve_root, run_check
+from repro.analysis.report import (
+    render_json,
+    render_sarif,
+    render_text,
+    to_payload,
+    to_sarif,
+)
+from repro.analysis.runner import (
+    ANALYSIS_VERSION,
+    CheckResult,
+    resolve_root,
+    run_check,
+)
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "AnalysisError",
     "CheckResult",
     "Finding",
@@ -49,9 +61,11 @@ __all__ = [
     "all_rules",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_root",
     "resolve_rules",
     "run_check",
     "to_payload",
+    "to_sarif",
 ]

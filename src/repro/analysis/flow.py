@@ -1,0 +1,203 @@
+"""Lightweight intraprocedural dataflow for the concurrency rules.
+
+One pass over a function body answers the questions the whole-program
+rules keep asking: *where did this local come from* (a parameter, a
+module global, a constructor call, an attribute of another local), *is
+it a view of a shared-memory object*, and *when does the name stop
+referring to that object* (``del``, rebind).  Everything is flow-
+insensitive except for line numbers — rules compare event lines to
+decide ordering, which is exactly the "dominated by" approximation a
+linter can afford.
+
+Origins are dotted strings.  ``a = ShmArena()`` records origin
+``"repro.runtime.shm.ShmArena"`` when a resolver (usually
+:meth:`~repro.analysis.callgraph.CallGraph.resolve` curried with the
+module name) is supplied, or the raw chain ``"ShmArena"`` otherwise;
+``v = shared.array`` records ``"shared.array"``; ``v = arena[...]``
+records ``"arena.__getitem__"``.  The *root* local of an attribute /
+subscript origin is kept separately so rules can walk alias chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.analysis.visitors import attribute_chain
+
+__all__ = [
+    "AssignEvent",
+    "FunctionFlow",
+    "function_flow",
+    "call_chain",
+    "iter_functions",
+]
+
+#: Resolver signature: a dotted chain -> canonical path (or None).
+Resolver = Callable[[Sequence[str]], "str | None"]
+
+
+@dataclass(frozen=True)
+class AssignEvent:
+    """One binding of a simple name inside a function."""
+
+    name: str
+    line: int
+    origin: str | None  # dotted origin of the value, when expressible
+    root: str | None    # local/global name the value derives from
+    is_call: bool       # value was a Call (constructor / factory)
+
+
+@dataclass
+class FunctionFlow:
+    """Per-function alias and lifetime facts."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    params: frozenset[str]
+    events: dict[str, list[AssignEvent]] = field(default_factory=dict)
+    del_lines: dict[str, list[int]] = field(default_factory=dict)
+    #: local -> parameter it (transitively) aliases
+    param_aliases: dict[str, str] = field(default_factory=dict)
+
+    def origin_of(self, name: str) -> str | None:
+        """Origin of the *last* binding of ``name`` (params: the name)."""
+        evts = self.events.get(name)
+        if evts:
+            return evts[-1].origin
+        return None
+
+    def bindings_of(self, name: str) -> list[AssignEvent]:
+        return self.events.get(name, [])
+
+    def released_between(self, name: str, start: int, end: int) -> bool:
+        """True when ``name`` was deleted or rebound in ``(start, end)``."""
+        for line in self.del_lines.get(name, []):
+            if start < line < end:
+                return True
+        for evt in self.events.get(name, []):
+            if start < evt.line < end:
+                return True
+        return False
+
+
+def call_chain(call: ast.Call, resolve: Resolver | None = None) -> str | None:
+    """Dotted (resolved when possible) path of a call's callee."""
+    chain = attribute_chain(call.func)
+    if chain is None:
+        return None
+    if resolve is not None:
+        resolved = resolve(chain)
+        if resolved is not None:
+            return resolved
+    return ".".join(chain)
+
+
+def _value_facts(
+    value: ast.expr, resolve: Resolver | None
+) -> tuple[str | None, str | None, bool]:
+    """(origin, root name, is_call) facts of an assignment's RHS."""
+    if isinstance(value, ast.Call):
+        origin = call_chain(value, resolve)
+        root: str | None = None
+        chain = attribute_chain(value.func)
+        if chain is not None and len(chain) > 1:
+            root = chain[0]
+        return origin, root, True
+    if isinstance(value, ast.Await):
+        return _value_facts(value.value, resolve)
+    if isinstance(value, ast.Subscript):
+        chain = attribute_chain(value.value)
+        if chain is not None:
+            return ".".join([*chain, "__getitem__"]), chain[0], False
+        return None, None, False
+    chain = attribute_chain(value)
+    if chain is not None:
+        origin = None
+        if resolve is not None and len(chain) > 1:
+            origin = resolve(chain)
+        return origin or ".".join(chain), chain[0], False
+    return None, None, False
+
+
+def function_flow(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    resolve: Resolver | None = None,
+) -> FunctionFlow:
+    """Single-pass alias/lifetime summary of ``func``."""
+    args = func.args
+    params = frozenset(
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    )
+    flow = FunctionFlow(func=func, params=params)
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    flow.del_lines.setdefault(tgt.id, []).append(
+                        node.lineno
+                    )
+            continue
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    origin, root, _ = _value_facts(
+                        item.context_expr, resolve
+                    )
+                    flow.events.setdefault(
+                        item.optional_vars.id, []
+                    ).append(
+                        AssignEvent(
+                            name=item.optional_vars.id,
+                            line=node.lineno,
+                            origin=origin,
+                            root=root,
+                            is_call=isinstance(item.context_expr, ast.Call),
+                        )
+                    )
+            continue
+        else:
+            continue
+        if value is None:
+            continue
+        origin, root, is_call = _value_facts(value, resolve)
+        for tgt in targets:
+            if not isinstance(tgt, ast.Name):
+                continue
+            flow.events.setdefault(tgt.id, []).append(
+                AssignEvent(
+                    name=tgt.id,
+                    line=node.lineno,
+                    origin=origin,
+                    root=root,
+                    is_call=is_call,
+                )
+            )
+            if root is not None and not is_call:
+                src = flow.param_aliases.get(root)
+                if src is None and root in params:
+                    src = root
+                if src is not None:
+                    flow.param_aliases[tgt.id] = src
+    return flow
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function in a module — top-level, nested, and methods."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -34,6 +34,7 @@ __all__ = [
     "ParsedModule",
     "Project",
     "PARSE_ERROR_RULE",
+    "parse_source",
 ]
 
 #: Pseudo-rule id attached to findings for files that fail to parse.
@@ -98,8 +99,20 @@ def _parse_suppressions(
     source: str,
 ) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
     """Extract per-line and file-level suppression sets from comments."""
+    per_line, file_level, _ = _parse_suppressions_full(source)
+    return per_line, file_level
+
+
+def _parse_suppressions_full(
+    source: str,
+) -> tuple[
+    dict[int, frozenset[str]], frozenset[str], dict[str, int]
+]:
+    """Suppressions plus the comment line of each file-level ignore
+    (so the ``unused-ignore`` meta-rule can anchor stale ones)."""
     per_line: dict[int, set[str]] = {}
     file_level: set[str] = set()
+    file_lines: dict[str, int] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         comments = [
@@ -122,11 +135,14 @@ def _parse_suppressions(
                 rules = {ALL_RULES}
         if kind == "ignore-file":
             file_level |= rules
+            for rule in rules:
+                file_lines.setdefault(rule, line)
         else:
             per_line.setdefault(line, set()).update(rules)
     return (
         {line: frozenset(rules) for line, rules in per_line.items()},
         frozenset(file_level),
+        file_lines,
     )
 
 
@@ -141,6 +157,8 @@ class ParsedModule:
     tree: ast.Module
     line_ignores: dict[int, frozenset[str]] = field(default_factory=dict)
     file_ignores: frozenset[str] = frozenset()
+    #: rule id (or ``*``) -> line of its ``ignore-file`` comment
+    file_ignore_lines: dict[str, int] = field(default_factory=dict)
 
     @property
     def package(self) -> str:
@@ -178,6 +196,38 @@ def _module_name(rel_to_src: Path) -> str:
     return ".".join(parts)
 
 
+def parse_source(
+    path: Path, rel: str, name: str, source: str
+) -> "ParsedModule | Finding":
+    """Parse one file; a :class:`Finding` row when it does not parse.
+
+    Shared by :meth:`Project.load` and the runner's cached file scan
+    (which reads sources once, hashes them, and only parses misses).
+    """
+    try:
+        parsed = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule=PARSE_ERROR_RULE,
+            path=rel,
+            line=int(exc.lineno or 1),
+            col=int(exc.offset or 0),
+            message=f"file does not parse: {exc.msg}",
+        )
+    line_ignores, file_ignores, file_lines = \
+        _parse_suppressions_full(source)
+    return ParsedModule(
+        path=path,
+        rel=rel,
+        name=name,
+        source=source,
+        tree=parsed,
+        line_ignores=line_ignores,
+        file_ignores=file_ignores,
+        file_ignore_lines=file_lines,
+    )
+
+
 def _load_tree(
     root: Path, tree_root: Path, failures: list[Finding]
 ) -> list[ParsedModule]:
@@ -190,31 +240,13 @@ def _load_tree(
             source = path.read_text(encoding="utf-8")
         except OSError as exc:
             raise AnalysisError(f"cannot read {rel}: {exc}") from exc
-        try:
-            parsed = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            failures.append(
-                Finding(
-                    rule=PARSE_ERROR_RULE,
-                    path=rel,
-                    line=int(exc.lineno or 1),
-                    col=int(exc.offset or 0),
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
-            continue
-        line_ignores, file_ignores = _parse_suppressions(source)
-        modules.append(
-            ParsedModule(
-                path=path,
-                rel=rel,
-                name=_module_name(path.relative_to(tree_root)),
-                source=source,
-                tree=parsed,
-                line_ignores=line_ignores,
-                file_ignores=file_ignores,
-            )
+        parsed = parse_source(
+            path, rel, _module_name(path.relative_to(tree_root)), source
         )
+        if isinstance(parsed, Finding):
+            failures.append(parsed)
+        else:
+            modules.append(parsed)
     return modules
 
 

@@ -14,7 +14,7 @@ Rules self-register at import time via :func:`register`; importing
 from __future__ import annotations
 
 import ast
-from abc import ABC, abstractmethod
+from abc import ABC
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.model import (
@@ -32,15 +32,39 @@ RULES: dict[str, "Rule"] = {}
 
 
 class Rule(ABC):
-    """One invariant the codebase must uphold."""
+    """One invariant the codebase must uphold.
+
+    ``scope`` declares the evidence a rule needs and drives the result
+    cache: ``"module"`` rules look at one file at a time (their findings
+    are cached per file content hash), ``"project"`` rules need the
+    whole tree (call graph, parity pairings — cached against the
+    project fingerprint).  ``enabled_by_default=False`` rules only run
+    when selected explicitly (``--rule``) or via their opt-in flag.
+    """
 
     id: str = ""
     description: str = ""
     severity: Severity = Severity.ERROR
+    scope: str = "module"
+    enabled_by_default: bool = True
 
-    @abstractmethod
     def run(self, project: Project) -> Iterator[Finding]:
-        """Yield every violation found in ``project``."""
+        """Yield every violation found in ``project``.
+
+        Module-scope rules implement :meth:`run_module` and inherit
+        this per-module loop; project-scope rules override ``run``.
+        """
+        for module in project.modules:
+            yield from self.run_module(project, module)
+
+    def run_module(
+        self, project: Project, module: ParsedModule
+    ) -> Iterator[Finding]:
+        """Violations attributable to ``module`` alone (module scope)."""
+        raise NotImplementedError(
+            f"rule {self.id!r} declares scope={self.scope!r} but "
+            "implements neither run() nor run_module()"
+        )
 
     def finding(
         self,
@@ -76,10 +100,14 @@ def all_rules() -> list[Rule]:
 
 
 def resolve_rules(ids: Sequence[str] | None) -> list[Rule]:
-    """Map rule ids to rule objects; ``None`` selects every rule."""
+    """Map rule ids to rule objects.
+
+    ``None`` selects every default-enabled rule; opt-in rules (e.g.
+    ``unused-ignore``) must be named explicitly.
+    """
     _ensure_loaded()
     if ids is None:
-        return list(RULES.values())
+        return [r for r in RULES.values() if r.enabled_by_default]
     unknown = [i for i in ids if i not in RULES]
     if unknown:
         known = ", ".join(sorted(RULES))

@@ -8,10 +8,20 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.runner import CheckResult
 
-__all__ = ["render_text", "render_json", "to_payload", "REPORT_SCHEMA"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "to_payload",
+    "REPORT_SCHEMA",
+]
 
 #: Version stamp embedded in every JSON findings report.
 REPORT_SCHEMA = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(result: "CheckResult") -> str:
@@ -19,9 +29,14 @@ def render_text(result: "CheckResult") -> str:
     lines = [f.render() for f in result.findings]
     n = len(result.findings)
     n_sup = len(result.suppressed)
+    probes = result.cache_hits + result.cache_misses
     scanned = (
         f"{result.n_files} files, {len(result.rules)} rules"
         + (f", {n_sup} suppressed" if n_sup else "")
+        + (
+            f", cache {result.cache_hits}h/{result.cache_misses}m"
+            if probes else ""
+        )
     )
     if not lines:
         return f"massf check: no findings ({scanned})"
@@ -52,8 +67,85 @@ def to_payload(result: "CheckResult") -> dict[str, object]:
             "findings": len(result.findings),
             "suppressed": len(result.suppressed),
         },
+        "cache": {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+        },
     }
 
 
 def render_json(result: "CheckResult") -> str:
     return json.dumps(to_payload(result), indent=2)
+
+
+def to_sarif(result: "CheckResult") -> dict[str, object]:
+    """SARIF 2.1.0 log for code-scanning uploads / IDE ingestion.
+
+    One run, one driver (``massf-check``); every executed rule appears
+    in the driver's rule table so viewers can show descriptions even
+    for rules with no findings.  Columns are 1-based per the spec (our
+    :class:`Finding` columns are 0-based AST offsets).
+    """
+    from repro.analysis.registry import RULES, all_rules
+
+    all_rules()  # ensure the registry is populated
+    driver_rules = []
+    for rule_id in result.rules:
+        rule = RULES.get(rule_id)
+        driver_rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": rule.description if rule else rule_id
+                },
+                "defaultConfiguration": {
+                    "level": rule.severity.value if rule else "error"
+                },
+            }
+        )
+    sarif_results = [
+        {
+            "ruleId": f.rule,
+            "level": f.severity.value,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "PROJECTROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "massf-check",
+                        "rules": driver_rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "PROJECTROOT": {
+                        "uri": result.root.resolve().as_uri() + "/"
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: "CheckResult") -> str:
+    return json.dumps(to_sarif(result), indent=2)

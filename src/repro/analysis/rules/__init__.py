@@ -1,10 +1,18 @@
 """Shipped rule set; importing this package registers every rule."""
 
+from repro.analysis.rules.concurrency import (
+    AsyncioBlockingRule,
+    LockDisciplineRule,
+    PoolGenerationRule,
+    ShmLifecycleRule,
+    SignalMainThreadRule,
+)
 from repro.analysis.rules.determinism import (
     FloatSumRule,
     SetIterationRule,
     UnseededRngRule,
 )
+from repro.analysis.rules.meta import UnusedIgnoreRule
 from repro.analysis.rules.parallel import ParallelSafetyRule
 from repro.analysis.rules.parity import ParityCoverageRule
 from repro.analysis.rules.telemetry import TelemetrySpanRule
@@ -16,4 +24,10 @@ __all__ = [
     "ParityCoverageRule",
     "ParallelSafetyRule",
     "TelemetrySpanRule",
+    "AsyncioBlockingRule",
+    "ShmLifecycleRule",
+    "LockDisciplineRule",
+    "SignalMainThreadRule",
+    "PoolGenerationRule",
+    "UnusedIgnoreRule",
 ]

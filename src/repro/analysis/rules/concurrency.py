@@ -1,0 +1,878 @@
+"""Whole-program concurrency rules built on the call graph.
+
+Five rule families, each encoding one invariant the runtime layers
+(PRs 6–9) rely on but cannot express in types:
+
+- ``asyncio-blocking`` — nothing reachable from an ``async def`` in
+  ``repro.service`` may block the event loop (``time.sleep``, bare
+  ``open``, sockets, ``subprocess``, pool dispatch).  Handlers that the
+  service runs on worker *threads* (registered via
+  ``register_handler``) are exempt: traversal never enters them.
+- ``shm-lifecycle`` — ``SharedArray``/``ShmArena`` ``close()``/
+  ``unlink()`` must be dominated by privatize-or-del of every live
+  ndarray view taken in the same function, and shm objects must never
+  be pickled or returned from a forked worker (handles cross, objects
+  don't).
+- ``lock-discipline`` — mutable state named in a ``_GUARDED_BY``
+  declaration is only written under ``with <lock>:``, and no awaits /
+  pmap dispatch happen while a declared lock is held.
+- ``signal-main-thread`` — ``signal.signal`` / ``SIGALRM`` timers are
+  only installed from main-thread code: never reachable from a
+  registered handler or a ``threading.Thread`` target unless the
+  function guards itself (a ``threading.main_thread()`` comparison or
+  a ``try`` that catches the ``ValueError`` CPython raises off the
+  main thread).
+- ``pool-generation`` — code that mutates shared arrays and then
+  dispatches onto a fork-shared pool must pass a ``generation=`` token
+  (or lease through ``PmapPool.ensure``) so stale workers re-fork.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Sequence
+
+from repro.analysis.callgraph import (
+    HANDLER_REGISTRARS,
+    PMAP_DISPATCHERS,
+    CallGraph,
+    get_callgraph,
+)
+from repro.analysis.flow import FunctionFlow, function_flow, iter_functions
+from repro.analysis.model import Finding, ParsedModule, Project
+from repro.analysis.registry import Rule, register
+from repro.analysis.visitors import (
+    ImportMap,
+    attach_parents,
+    attribute_chain,
+    is_bare_builtin,
+    parent_of,
+)
+
+__all__ = [
+    "AsyncioBlockingRule",
+    "ShmLifecycleRule",
+    "LockDisciplineRule",
+    "SignalMainThreadRule",
+    "PoolGenerationRule",
+    "resolves_to_pool",
+]
+
+# --------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------- #
+
+#: Receiver names that read as executors/pools even when their origin
+#: cannot be traced (parameters, attributes).
+_POOL_NAME_RE = re.compile(r"(^|_)(pool|executor)s?$", re.IGNORECASE)
+
+#: Constructor / factory origins that produce executors or pmap pools.
+_POOL_ORIGINS = (
+    "PmapPool",
+    "ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+    ".ensure",
+)
+
+
+def _origin_is_pool(origin: str | None) -> bool:
+    if origin is None:
+        return False
+    return any(
+        origin == suffix.lstrip(".") or origin.endswith(suffix)
+        for suffix in _POOL_ORIGINS
+    )
+
+
+def resolves_to_pool(
+    receiver: ast.expr, origins: dict[str, str | None]
+) -> bool:
+    """True when ``receiver`` is plausibly an executor/pool object.
+
+    ``origins`` maps names to the dotted origin of their (module- or
+    function-scope) binding; a receiver resolves to a pool when its
+    origin is a known pool constructor / ``.ensure`` lease, or — for
+    untraceable receivers — when its name says so (``pool``,
+    ``executor``, ``self._pool``).  A ``job.submit(...)`` therefore no
+    longer trips the check just because the method is called "submit".
+    """
+    if isinstance(receiver, ast.Name):
+        origin = origins.get(receiver.id)
+        if origin is not None:
+            return _origin_is_pool(origin)
+        return bool(_POOL_NAME_RE.search(receiver.id))
+    if isinstance(receiver, ast.Attribute):
+        return bool(_POOL_NAME_RE.search(receiver.attr))
+    return False
+
+
+def module_pool_origins(
+    module: ParsedModule, graph: CallGraph | None = None
+) -> dict[str, str | None]:
+    """Name -> origin for every simple assignment anywhere in a module.
+
+    Scope-blind on purpose: a linter only needs "was this name ever
+    bound to a pool constructor in this file", and names rarely mean
+    two things in one module.
+    """
+    origins: dict[str, str | None] = {}
+    for node in ast.walk(module.tree):
+        value: ast.expr | None = None
+        names: list[str] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            names = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = node.value
+            if isinstance(node.target, ast.Name):
+                names = [node.target.id]
+        if value is None or not names:
+            continue
+        if isinstance(value, ast.Call):
+            chain = attribute_chain(value.func)
+            if chain is None:
+                continue
+            dotted = None
+            if graph is not None:
+                dotted = graph.resolve(module.name, chain)
+            origin = dotted or ".".join(chain)
+        else:
+            chain = attribute_chain(value)
+            if chain is None:
+                continue
+            origin = ".".join(chain)
+        for name in names:
+            # First binding wins: constructors sit above reassignment
+            # churn, and "ever bound to a pool" is the question.
+            if _origin_is_pool(origin) or name not in origins:
+                origins[name] = origin
+    return origins
+
+
+def _resolver(graph: CallGraph, module: ParsedModule):
+    def resolve(chain: Sequence[str]) -> str | None:
+        return graph.resolve(module.name, list(chain))
+    return resolve
+
+
+def _module_of(graph: CallGraph, project: Project, qualname: str):
+    return graph.function_node(project, qualname)
+
+
+# --------------------------------------------------------------------- #
+# asyncio-blocking
+# --------------------------------------------------------------------- #
+
+#: Canonical call targets that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() blocks the event loop",
+    "os.system": "os.system() blocks the event loop",
+    "urllib.request.urlopen": "urlopen() does blocking network I/O",
+    "socket.socket": "raw sockets block; use asyncio streams",
+    "socket.create_connection": "blocking connect; use asyncio streams",
+    "socket.getaddrinfo": "blocking DNS lookup on the event loop",
+    "requests.get": "requests does blocking HTTP",
+    "requests.post": "requests does blocking HTTP",
+}
+
+_BLOCKING_PREFIXES = {
+    "subprocess.": "subprocess spawns block the event loop",
+}
+
+
+class AsyncioBlockingRule(Rule):
+    id = "asyncio-blocking"
+    description = (
+        "no blocking calls (time.sleep, file/socket I/O, subprocess, "
+        "pool dispatch) reachable from async service coroutines; "
+        "thread-dispatched handlers are exempt"
+    )
+    scope = "project"
+
+    #: Module prefix whose ``async def`` symbols anchor the traversal.
+    service_prefix = "repro.service"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        entries = graph.async_functions(self.service_prefix)
+        if not entries:
+            return
+        handlers = graph.registered_handlers(project)
+        witness = graph.witness_paths(entries, blocked=handlers)
+        seen: set[tuple[str, int, str]] = set()
+        for qualname in sorted(witness):
+            module, fn = _module_of(graph, project, qualname)
+            if module is None or fn is None:
+                continue
+            entry = witness[qualname]
+            for finding in self._scan_function(
+                graph, module, fn, entry
+            ):
+                key = (finding.path, finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    def _scan_function(
+        self,
+        graph: CallGraph,
+        module: ParsedModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        entry: str,
+    ) -> Iterator[Finding]:
+        origins = module_pool_origins(module, graph)
+        imports = ImportMap.from_tree(module.tree)
+        suffix = f" (reachable from async `{entry}`)"
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            target = (
+                graph.resolve(module.name, chain)
+                if chain is not None else None
+            )
+            dotted = target or (".".join(chain) if chain else "")
+            if dotted in _BLOCKING_CALLS:
+                yield self.finding(
+                    module, node, _BLOCKING_CALLS[dotted] + suffix
+                )
+                continue
+            if any(
+                dotted.startswith(p) for p in _BLOCKING_PREFIXES
+            ):
+                yield self.finding(
+                    module, node,
+                    _BLOCKING_PREFIXES["subprocess."] + suffix,
+                )
+                continue
+            if target in PMAP_DISPATCHERS:
+                yield self.finding(
+                    module, node,
+                    "parallel_map() forks and blocks until every item "
+                    "completes; run it on a worker thread" + suffix,
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("map", "submit")
+                and resolves_to_pool(node.func.value, origins)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"pool.{node.func.attr}() dispatches and blocks on "
+                    "the event loop; delegate to a worker thread"
+                    + suffix,
+                )
+                continue
+            if is_bare_builtin(node.func, "open", module.tree, imports):
+                yield self.finding(
+                    module, node,
+                    "blocking file I/O (open) on the event loop; use "
+                    "asyncio.to_thread or pre-load" + suffix,
+                )
+
+
+# --------------------------------------------------------------------- #
+# shm-lifecycle
+# --------------------------------------------------------------------- #
+
+_SHM_ORIGINS = (
+    "ShmArena",
+    "SharedArray.create",
+    "repro.runtime.shm.attach",
+)
+
+_VIEW_ORIGIN_SUFFIXES = (".array", ".__getitem__", ".share")
+
+
+def _origin_is_shm(origin: str | None) -> bool:
+    if origin is None:
+        return False
+    return origin.endswith(_SHM_ORIGINS) or origin in (
+        "attach", "shm.attach"
+    )
+
+
+def _shm_names(flow: FunctionFlow) -> set[str]:
+    """Locals (and params named like arenas) holding shm objects."""
+    names = {
+        name
+        for name, evts in flow.events.items()
+        if any(_origin_is_shm(e.origin) and e.is_call for e in evts)
+    }
+    names.update(
+        p for p in flow.params
+        if p in ("arena", "shm") or p.endswith("_arena")
+    )
+    return names
+
+
+def _view_bindings(
+    flow: FunctionFlow, shm_names: set[str]
+) -> list[tuple[str, str, int]]:
+    """(view local, owner shm local, bind line) triples."""
+    out: list[tuple[str, str, int]] = []
+    for name, evts in flow.events.items():
+        for evt in evts:
+            if (
+                evt.root in shm_names
+                and evt.origin is not None
+                and evt.origin.startswith(f"{evt.root}.")
+                and evt.origin[len(evt.root):].startswith(
+                    _VIEW_ORIGIN_SUFFIXES
+                )
+            ):
+                out.append((name, evt.root, evt.line))
+    return out
+
+
+class ShmLifecycleRule(Rule):
+    id = "shm-lifecycle"
+    description = (
+        "close()/unlink() of shared memory must be dominated by "
+        "privatize-or-del of live views; shm objects are never "
+        "pickled or returned across the fork boundary"
+    )
+    scope = "project"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        workers = graph.reachable(graph.pmap_workers(project))
+        for module in project.modules:
+            resolve = _resolver(graph, module)
+            for fn in iter_functions(module.tree):
+                flow = function_flow(fn, resolve=resolve)
+                shm = _shm_names(flow)
+                if not shm:
+                    continue
+                qualname = f"{module.name}.{fn.name}"
+                yield from self._check_close(module, fn, flow, shm)
+                yield from self._check_escape(
+                    module, fn, flow, shm,
+                    in_worker=qualname in workers,
+                )
+
+    def _check_close(
+        self,
+        module: ParsedModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        flow: FunctionFlow,
+        shm: set[str],
+    ) -> Iterator[Finding]:
+        views = _view_bindings(flow, shm)
+        privatize_lines = [
+            node.lineno
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            and (chain := attribute_chain(node.func)) is not None
+            and any("privatize" in part for part in chain)
+        ]
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in shm
+            ):
+                continue
+            owner = node.func.value.id
+            close_line = node.lineno
+            for view, view_owner, bind_line in views:
+                if view_owner != owner or bind_line >= close_line:
+                    continue
+                if flow.released_between(view, bind_line, close_line):
+                    continue
+                if any(
+                    bind_line < pl < close_line or pl == close_line - 1
+                    for pl in privatize_lines
+                ):
+                    continue
+                yield self.finding(
+                    module, node,
+                    f"`{owner}.{node.func.attr}()` with live view "
+                    f"`{view}` (bound line {bind_line}); privatize or "
+                    "del the view first — unmapping under a live "
+                    "ndarray is a hard crash",
+                )
+
+    def _check_escape(
+        self,
+        module: ParsedModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        flow: FunctionFlow,
+        shm: set[str],
+        *,
+        in_worker: bool,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                dotted = ".".join(chain) if chain else ""
+                if dotted in ("pickle.dumps", "pickle.dump"):
+                    for arg in node.args[:1]:
+                        if (
+                            isinstance(arg, ast.Name)
+                            and arg.id in shm
+                        ):
+                            yield self.finding(
+                                module, node,
+                                f"pickling shm object `{arg.id}`; "
+                                "ship its .handle and attach() in "
+                                "the worker instead",
+                            )
+            elif (
+                in_worker
+                and isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in shm
+            ):
+                yield self.finding(
+                    module, node,
+                    f"worker `{fn.name}` returns shm object "
+                    f"`{node.value.id}` across the fork boundary; "
+                    "return plain data or a handle",
+                )
+
+
+# --------------------------------------------------------------------- #
+# lock-discipline
+# --------------------------------------------------------------------- #
+
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "popitem", "clear", "update",
+    "setdefault", "add", "remove", "discard", "move_to_end",
+    "appendleft", "sort",
+})
+
+
+def _guarded_decls(
+    body: list[ast.stmt],
+) -> dict[str, str]:
+    """Parse a ``_GUARDED_BY = {"name": "lock"}`` literal in ``body``."""
+    for node in body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_GUARDED_BY"
+            for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return {}
+        out: dict[str, str] = {}
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                out[key.value] = val.value
+        return out
+    return {}
+
+
+def _enclosing_with_chains(node: ast.AST) -> list[list[str]]:
+    """Context-manager chains of every ``with`` enclosing ``node``."""
+    chains: list[list[str]] = []
+    cur = parent_of(node)
+    while cur is not None:
+        if isinstance(cur, (ast.With, ast.AsyncWith)):
+            for item in cur.items:
+                chain = attribute_chain(item.context_expr)
+                if chain is not None:
+                    chains.append(chain)
+        cur = parent_of(cur)
+    return chains
+
+
+def _store_chain(target: ast.expr) -> list[str] | None:
+    """Dotted root chain of an assignment/mutation target."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return attribute_chain(node)
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "state declared in _GUARDED_BY is only written under its "
+        "lock; no awaits or pmap dispatch while a lock is held"
+    )
+    scope = "project"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        for module in project.modules:
+            mod_decls = _guarded_decls(module.tree.body)
+            class_decls: dict[str, dict[str, str]] = {}
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    decls = _guarded_decls(node.body)
+                    if decls:
+                        class_decls[node.name] = decls
+            if not mod_decls and not class_decls:
+                continue
+            attach_parents(module.tree)
+            if mod_decls:
+                yield from self._check_module_state(
+                    graph, module, mod_decls
+                )
+            for cls_node in module.tree.body:
+                if (
+                    isinstance(cls_node, ast.ClassDef)
+                    and cls_node.name in class_decls
+                ):
+                    yield from self._check_class_state(
+                        graph, module, cls_node,
+                        class_decls[cls_node.name],
+                    )
+
+    # -- module-level declarations ---------------------------------- #
+    def _check_module_state(
+        self,
+        graph: CallGraph,
+        module: ParsedModule,
+        decls: dict[str, str],
+    ) -> Iterator[Finding]:
+        lock_names = set(decls.values())
+        for node in ast.walk(module.tree):
+            yield from self._check_write(
+                module, node, decls,
+                held=[
+                    c[0] for c in _enclosing_with_chains(node)
+                    if len(c) == 1
+                ],
+            )
+            yield from self._check_held_hazards(
+                graph, module, node,
+                holding=[
+                    c[0] for c in _enclosing_with_chains(node)
+                    if len(c) == 1 and c[0] in lock_names
+                ],
+            )
+
+    # -- class-level declarations ----------------------------------- #
+    def _check_class_state(
+        self,
+        graph: CallGraph,
+        module: ParsedModule,
+        cls_node: ast.ClassDef,
+        decls: dict[str, str],
+    ) -> Iterator[Finding]:
+        self_decls = {f"self.{k}": f"self.{v}" for k, v in decls.items()}
+        lock_chains = {("self", v) for v in decls.values()}
+        for fn in cls_node.body:
+            if not isinstance(
+                fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if fn.name == "__init__":
+                continue  # construction happens-before sharing
+            for node in ast.walk(fn):
+                held = [
+                    ".".join(c[:2])
+                    for c in _enclosing_with_chains(node)
+                    if len(c) == 2 and c[0] == "self"
+                ]
+                yield from self._check_write(
+                    module, node, self_decls,
+                    held=held,
+                    dotted_state=True,
+                )
+                yield from self._check_held_hazards(
+                    graph, module, node,
+                    holding=[
+                        h for h in held
+                        if tuple(h.split(".")) in lock_chains
+                    ],
+                )
+
+    # -- shared write / hazard checks ------------------------------- #
+    def _check_write(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        decls: dict[str, str],
+        *,
+        held: list[str],
+        dotted_state: bool = False,
+    ) -> Iterator[Finding]:
+        width = 2 if dotted_state else 1
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            targets = [node.func.value]
+        for target in targets:
+            chain = _store_chain(target)
+            if chain is None or len(chain) < width:
+                continue
+            state = ".".join(chain[:width])
+            # Plain rebinding of the bare name at module scope is a
+            # declaration, not a concurrent write, unless subscripted
+            # or attributed.
+            if (
+                not dotted_state
+                and isinstance(target, ast.Name)
+                and not isinstance(node, ast.AugAssign)
+            ):
+                continue
+            lock = decls.get(state)
+            if lock is None:
+                continue
+            if lock in held:
+                continue
+            yield self.finding(
+                module, node,
+                f"write to `{state}` (declared _GUARDED_BY "
+                f"`{lock}`) outside `with {lock}:`",
+            )
+
+    def _check_held_hazards(
+        self,
+        graph: CallGraph,
+        module: ParsedModule,
+        node: ast.AST,
+        *,
+        holding: list[str],
+    ) -> Iterator[Finding]:
+        if not holding:
+            return
+        lock = holding[0]
+        if isinstance(node, ast.Await):
+            yield self.finding(
+                module, node,
+                f"await while holding `{lock}`; the event loop can "
+                "interleave another coroutine that needs the lock",
+            )
+        elif isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            target = (
+                graph.resolve(module.name, chain)
+                if chain is not None else None
+            )
+            if target in PMAP_DISPATCHERS:
+                yield self.finding(
+                    module, node,
+                    f"parallel_map dispatch while holding `{lock}`; "
+                    "forked children inherit a locked mutex and "
+                    "deadlock on it",
+                )
+
+
+# --------------------------------------------------------------------- #
+# signal-main-thread
+# --------------------------------------------------------------------- #
+
+_SIGNAL_CALLS = ("signal.signal", "signal.setitimer", "signal.alarm")
+
+
+def _catches_value_error(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    names: list[str] = []
+    if t is None:
+        return True  # bare except catches it
+    if isinstance(t, ast.Tuple):
+        exprs: list[ast.expr] = list(t.elts)
+    else:
+        exprs = [t]
+    for expr in exprs:
+        chain = attribute_chain(expr)
+        if chain:
+            names.append(chain[-1])
+    return any(n in ("ValueError", "Exception") for n in names)
+
+
+def _signal_guarded(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when ``fn`` defends its signal calls off the main thread."""
+    for node in ast.walk(fn):
+        chain = attribute_chain(node) if isinstance(
+            node, (ast.Attribute, ast.Name)
+        ) else None
+        if chain and chain[-1] == "main_thread":
+            return True
+        if isinstance(node, ast.Try) and any(
+            _catches_value_error(h) for h in node.handlers
+        ):
+            for inner in ast.walk(node):
+                ich = (
+                    attribute_chain(inner.func)
+                    if isinstance(inner, ast.Call) else None
+                )
+                if ich and ".".join(ich) in _SIGNAL_CALLS:
+                    return True
+    return False
+
+
+class SignalMainThreadRule(Rule):
+    id = "signal-main-thread"
+    description = (
+        "signal.signal / SIGALRM timers only install from main-thread "
+        "code; never reachable from registered handlers or thread "
+        "targets without a main-thread guard"
+    )
+    scope = "project"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        entries = set(graph.registered_handlers(project))
+        entries |= graph.thread_targets(project)
+        if not entries:
+            return
+        witness = graph.witness_paths(sorted(entries))
+        for qualname in sorted(witness):
+            module, fn = _module_of(graph, project, qualname)
+            if module is None or fn is None:
+                continue
+            sites = [
+                node
+                for node in ast.walk(fn)
+                if isinstance(node, ast.Call)
+                and (chain := attribute_chain(node.func)) is not None
+                and ".".join(chain) in _SIGNAL_CALLS
+            ]
+            if not sites or _signal_guarded(fn):
+                continue
+            entry = witness[qualname]
+            for site in sites:
+                yield self.finding(
+                    module, site,
+                    f"signal API call reachable from thread entry "
+                    f"`{entry}`; signal.signal raises ValueError off "
+                    "the main thread — guard with "
+                    "threading.main_thread() or catch ValueError",
+                )
+
+
+# --------------------------------------------------------------------- #
+# pool-generation
+# --------------------------------------------------------------------- #
+
+
+def _mutates_shared_arrays(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    flow: FunctionFlow,
+    shm: set[str],
+) -> bool:
+    """Does ``fn`` publish or splice fork-shared array state?"""
+    view_names = {v for v, _, _ in _view_bindings(flow, shm)}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("share", "bump")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in shm
+            ):
+                return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                chain = attribute_chain(target.value)
+                if chain is None:
+                    continue
+                if chain[0] in view_names or (
+                    chain[0] in shm and chain[-1] == "array"
+                ):
+                    return True
+    return False
+
+
+class PoolGenerationRule(Rule):
+    id = "pool-generation"
+    description = (
+        "fork-shared pool use reachable from shared-array mutation "
+        "must carry a generation token (or lease via PmapPool.ensure)"
+    )
+    scope = "project"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        mutators: set[str] = set()
+        flows: dict[str, tuple[ParsedModule, ast.AST]] = {}
+        for module in project.modules:
+            resolve = _resolver(graph, module)
+            for fn in iter_functions(module.tree):
+                flow = function_flow(fn, resolve=resolve)
+                shm = _shm_names(flow)
+                if shm and _mutates_shared_arrays(fn, flow, shm):
+                    mutators.add(f"{module.name}.{fn.name}")
+        if not mutators:
+            return
+        scope = graph.reachable(sorted(mutators))
+        for qualname in sorted(scope):
+            module, fn = _module_of(graph, project, qualname)
+            if module is None or fn is None:
+                continue
+            yield from self._check_pool_use(graph, module, fn)
+
+    def _check_pool_use(
+        self,
+        graph: CallGraph,
+        module: ParsedModule,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        resolve = _resolver(graph, module)
+        flow = function_flow(fn, resolve=resolve)
+        origins = {
+            name: flow.origin_of(name) for name in flow.events
+        }
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            target = (
+                graph.resolve(module.name, chain)
+                if chain is not None else None
+            )
+            if target in PMAP_DISPATCHERS:
+                kwargs = {k.arg for k in node.keywords}
+                if "pool" in kwargs and "generation" not in kwargs:
+                    yield self.finding(
+                        module, node,
+                        "parallel_map(pool=...) without generation= "
+                        "in code that mutates shared arrays; stale "
+                        "workers keep pre-mutation snapshots — pass "
+                        "the shared state's generation token",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+                and isinstance(node.func.value, ast.Name)
+                and resolves_to_pool(node.func.value, origins)
+            ):
+                origin = origins.get(node.func.value.id)
+                if origin is None or not origin.endswith(".ensure"):
+                    yield self.finding(
+                        module, node,
+                        f"direct `{node.func.value.id}.submit()` in "
+                        "code that mutates shared arrays; lease the "
+                        "pool through PmapPool.ensure so stale "
+                        "workers re-fork",
+                    )
+
+
+register(AsyncioBlockingRule())
+register(ShmLifecycleRule())
+register(LockDisciplineRule())
+register(SignalMainThreadRule())
+register(PoolGenerationRule())

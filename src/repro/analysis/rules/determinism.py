@@ -83,14 +83,15 @@ class UnseededRngRule(Rule):
         "generator constructors must receive an explicit seed"
     )
 
-    def run(self, project: Project) -> Iterator[Finding]:
-        for module in project.modules:
-            imports = ImportMap.from_tree(module.tree)
-            for call in iter_calls(module.tree):
-                target = imported_target(call.func, imports)
-                if target is None:
-                    continue
-                yield from self._check_call(module, call, target)
+    def run_module(
+        self, project: Project, module: ParsedModule
+    ) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(module.tree)
+        for call in iter_calls(module.tree):
+            target = imported_target(call.func, imports)
+            if target is None:
+                continue
+            yield from self._check_call(module, call, target)
 
     def _check_call(
         self, module: ParsedModule, call: ast.Call, target: str
@@ -148,6 +149,7 @@ def _int_wrapped(call: ast.Call, module: ParsedModule,
 
 class FloatSumRule(Rule):
     id = "float-sum"
+    scope = "project"  # needs the parity pairings (cross-module)
     description = (
         "no builtin sum()/np.sum over float accumulators in modules "
         "backed by a _reference.py oracle (IEEE addition is not "
@@ -237,17 +239,18 @@ class SetIterationRule(Rule):
         "(visit order depends on hashing; sort first)"
     )
 
-    def run(self, project: Project) -> Iterator[Finding]:
-        for module in project.modules:
-            if not (
-                module.name in _HOT_PREFIXES
-                or module.name.startswith(
-                    tuple(p + "." for p in _HOT_PREFIXES)
-                )
-            ):
-                continue
-            imports = ImportMap.from_tree(module.tree)
-            yield from self._check_scope(module, module.tree, imports)
+    def run_module(
+        self, project: Project, module: ParsedModule
+    ) -> Iterator[Finding]:
+        if not (
+            module.name in _HOT_PREFIXES
+            or module.name.startswith(
+                tuple(p + "." for p in _HOT_PREFIXES)
+            )
+        ):
+            return
+        imports = ImportMap.from_tree(module.tree)
+        yield from self._check_scope(module, module.tree, imports)
 
     def _check_scope(
         self, module: ParsedModule, scope: ast.AST, imports: ImportMap

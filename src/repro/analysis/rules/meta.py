@@ -1,0 +1,172 @@
+"""The ``unused-ignore`` meta-rule: suppressions that suppress nothing.
+
+Unlike every other rule this one needs the *output* of the check — the
+suppressed-finding list — so the runner computes it after the normal
+rules finish, via :func:`unused_ignore_findings`.  The registered
+:class:`UnusedIgnoreRule` is the id/severity anchor for ``--list-rules``
+and ``--rule`` selection; it is **off by default** (``--strict-ignores``
+or an explicit ``--rule unused-ignore`` enables it) because an ignore
+can be legitimately dormant while a rule is being tightened.
+
+An ignore is judged stale only when its named rule actually *ran* in
+this invocation (a ``--rule``-filtered check never reports ignores for
+the rules it skipped), and bare wildcard ignores are only judged when
+the full default rule set ran.  Ignores naming unknown rule ids are
+always reported — a typo suppresses nothing forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.model import (
+    ALL_RULES,
+    Finding,
+    ParsedModule,
+    Project,
+    Severity,
+)
+from repro.analysis.registry import Rule, register
+
+__all__ = [
+    "UnusedIgnoreRule",
+    "IgnoreInfo",
+    "unused_ignore_findings",
+]
+
+
+class UnusedIgnoreRule(Rule):
+    id = "unused-ignore"
+    description = (
+        "suppression comments must suppress something: stale "
+        "`# massf: ignore[...]` lines are reported (opt-in via "
+        "--strict-ignores)"
+    )
+    severity = Severity.WARNING
+    scope = "project"
+    enabled_by_default = False
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        # Computed by the runner after other rules finish (it needs
+        # the suppressed-finding list); nothing to do standalone.
+        return iter(())
+
+
+@dataclass(frozen=True)
+class IgnoreInfo:
+    """The suppression comments of one file (cache-friendly form)."""
+
+    rel: str
+    line_ignores: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_ignores: frozenset[str] = frozenset()
+    file_ignore_lines: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, module: ParsedModule) -> "IgnoreInfo":
+        return cls(
+            rel=module.rel,
+            line_ignores=dict(module.line_ignores),
+            file_ignores=module.file_ignores,
+            file_ignore_lines=dict(module.file_ignore_lines),
+        )
+
+
+_RULE = UnusedIgnoreRule()
+
+
+def unused_ignore_findings(
+    infos: Iterable[IgnoreInfo],
+    suppressed: Sequence[Finding],
+    *,
+    ran_ids: frozenset[str],
+    known_ids: frozenset[str],
+    ran_all: bool,
+) -> list[Finding]:
+    """Findings for every suppression comment that suppressed nothing
+    this run.
+
+    ``ran_ids``: rules that actually executed; ``known_ids``: the full
+    registry; ``ran_all``: True when the complete default set ran
+    (gates judgement of bare wildcard ignores).
+    """
+    used_line: set[tuple[str, int, str]] = set()
+    used_file: set[tuple[str, str]] = set()
+    by_rel = {info.rel: info for info in infos}
+    for f in suppressed:
+        info = by_rel.get(f.path)
+        if info is None:
+            continue
+        at_line = info.line_ignores.get(f.line, frozenset())
+        if f.rule in at_line:
+            used_line.add((f.path, f.line, f.rule))
+        elif ALL_RULES in at_line:
+            used_line.add((f.path, f.line, ALL_RULES))
+        if f.rule in info.file_ignores:
+            used_file.add((f.path, f.rule))
+        elif ALL_RULES in info.file_ignores:
+            used_file.add((f.path, ALL_RULES))
+    out: list[Finding] = []
+
+    def _report(rel: str, line: int, label: str, why: str) -> None:
+        out.append(
+            Finding(
+                rule=_RULE.id,
+                path=rel,
+                line=line,
+                col=0,
+                message=f"`# massf: {label}` {why}",
+                severity=_RULE.severity,
+            )
+        )
+
+    for info in by_rel.values():
+        for line, rules in sorted(info.line_ignores.items()):
+            for rid in sorted(rules):
+                if rid == ALL_RULES:
+                    if ran_all and (
+                        (info.rel, line, ALL_RULES) not in used_line
+                    ):
+                        _report(
+                            info.rel, line, "ignore",
+                            "suppresses nothing on this line; drop it",
+                        )
+                elif rid not in known_ids:
+                    _report(
+                        info.rel, line, f"ignore[{rid}]",
+                        f"names unknown rule `{rid}`; it can never "
+                        "suppress anything",
+                    )
+                elif rid in ran_ids and (
+                    (info.rel, line, rid) not in used_line
+                ):
+                    _report(
+                        info.rel, line, f"ignore[{rid}]",
+                        f"suppresses nothing (`{rid}` reports no "
+                        "finding on this line); drop it",
+                    )
+        for rid in sorted(info.file_ignores):
+            line = info.file_ignore_lines.get(rid, 1)
+            if rid == ALL_RULES:
+                if ran_all and (info.rel, ALL_RULES) not in used_file:
+                    _report(
+                        info.rel, line, "ignore-file",
+                        "suppresses nothing in this file; drop it",
+                    )
+            elif rid not in known_ids:
+                _report(
+                    info.rel, line, f"ignore-file[{rid}]",
+                    f"names unknown rule `{rid}`; it can never "
+                    "suppress anything",
+                )
+            elif rid in ran_ids and (info.rel, rid) not in used_file:
+                _report(
+                    info.rel, line, f"ignore-file[{rid}]",
+                    f"suppresses nothing (`{rid}` reports no finding "
+                    "in this file); drop it",
+                )
+    out.sort(key=lambda f: f.sort_key)
+    return out
+
+
+register(_RULE)

@@ -26,10 +26,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.analysis.callgraph import CallGraph, get_callgraph
 from repro.analysis.model import Finding, ParsedModule, Project
 from repro.analysis.registry import Rule, register
 from repro.analysis.visitors import (
     ImportMap,
+    attribute_chain,
     imported_target,
     iter_calls,
     module_level_functions,
@@ -73,11 +75,24 @@ def _registered_callable(call: ast.Call) -> ast.expr | None:
     return None
 
 
-def _is_pool_submit(call: ast.Call) -> bool:
+def _is_pool_submit(
+    call: ast.Call, origins: dict[str, str | None]
+) -> bool:
+    """``pool.submit(fn, ...)`` where the receiver is actually a pool.
+
+    Matching any ``.submit(...)`` by method name alone flagged every
+    object with a submit method (``JobQueue.submit`` had to be renamed
+    ``offer`` to dodge it); the receiver must now resolve to an
+    executor/pool — by construction origin in this module or by an
+    unambiguous name (``pool``, ``executor``, ``self._pool``).
+    """
+    from repro.analysis.rules.concurrency import resolves_to_pool
+
     return (
         isinstance(call.func, ast.Attribute)
         and call.func.attr == "submit"
         and bool(call.args)
+        and resolves_to_pool(call.func.value, origins)
     )
 
 
@@ -115,12 +130,19 @@ class ParallelSafetyRule(Rule):
     id = "parallel-safety"
     description = (
         "functions dispatched through parallel_map / pool.submit must "
-        "be module-level and must not mutate module globals"
+        "be module-level and must not mutate module globals — "
+        "transitively through every project function they call"
     )
+    scope = "project"  # mutation checks follow the call graph
 
     def run(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.rules.concurrency import module_pool_origins
+
+        graph = get_callgraph(project)
+        checked: set[str] = set()
         for module in project.modules:
             imports = ImportMap.from_tree(module.tree)
+            origins = module_pool_origins(module, graph)
             top = module_level_functions(module.tree)
             nested = nested_functions(module.tree)
             for call in iter_calls(module.tree):
@@ -132,27 +154,40 @@ class ParallelSafetyRule(Rule):
                     and "parallel_map" in top
                 ):
                     fn_node = _dispatched_callable(call)
-                elif target in _REGISTRARS or (
-                    isinstance(call.func, ast.Name)
-                    and call.func.id == "register_handler"
-                    and "register_handler" in top
+                forked = True
+                if fn_node is None and (
+                    target in _REGISTRARS or (
+                        isinstance(call.func, ast.Name)
+                        and call.func.id == "register_handler"
+                        and "register_handler" in top
+                    )
                 ):
                     fn_node = _registered_callable(call)
-                elif _is_pool_submit(call):
+                    # Handlers run on worker *threads*: module-global
+                    # writes stay visible, so only the handler itself
+                    # is checked — its callees may legitimately drive
+                    # the parent-side pmap machinery.
+                    forked = False
+                if fn_node is None and _is_pool_submit(call, origins):
                     fn_node = call.args[0]
                 if fn_node is None:
                     continue
                 yield from self._check_dispatch(
-                    project, module, fn_node, top, nested
+                    project, graph, module, fn_node, top, nested,
+                    checked, transitive=forked,
                 )
 
     def _check_dispatch(
         self,
         project: Project,
+        graph: CallGraph,
         module: ParsedModule,
         fn_node: ast.expr,
         top: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
         nested: set[str],
+        checked: set[str],
+        *,
+        transitive: bool = True,
     ) -> Iterator[Finding]:
         if isinstance(fn_node, ast.Lambda):
             yield self.finding(
@@ -165,10 +200,7 @@ class ParallelSafetyRule(Rule):
             return
         if isinstance(fn_node, ast.Name):
             name = fn_node.id
-            if name in top:
-                yield from self._check_mutation(module, top[name])
-                return
-            if name in nested:
+            if name not in top and name in nested:
                 yield self.finding(
                     module,
                     fn_node,
@@ -177,22 +209,61 @@ class ParallelSafetyRule(Rule):
                     "scope so child processes can import it",
                 )
                 return
-            # Imported name: resolve into the project when possible.
-            imports = ImportMap.from_tree(module.tree)
-            dotted = imports.from_names.get(name)
-            if dotted is not None:
-                mod_name, _, fn_name = dotted.rpartition(".")
-                target_mod = project.module_by_name.get(mod_name)
-                if target_mod is not None:
-                    funcs = module_level_functions(target_mod.tree)
-                    if fn_name in funcs:
-                        yield from self._check_mutation(
-                            target_mod, funcs[fn_name]
-                        )
+            yield from self._check_transitive(
+                project, graph, module, name, checked,
+                transitive=transitive,
+            )
             return
-        # Attribute access (mod.fn) is module-level by construction;
-        # anything else (a parameter, an item lookup) is opaque to
-        # static analysis and left to the runtime's own checks.
+        # Attribute access (mod.fn) resolves through the call graph
+        # like a name; anything else (a parameter, an item lookup) is
+        # opaque and left to the runtime's own checks.
+        chain = attribute_chain(fn_node)
+        if chain is not None and len(chain) > 1:
+            yield from self._check_transitive(
+                project, graph, module, chain, checked,
+                transitive=transitive,
+            )
+
+    def _check_transitive(
+        self,
+        project: Project,
+        graph: CallGraph,
+        module: ParsedModule,
+        ref: str | list[str],
+        checked: set[str],
+        *,
+        transitive: bool = True,
+    ) -> Iterator[Finding]:
+        """Mutation-check the dispatched function and every project
+        function it (transitively) calls, each in its own module."""
+        chain = [ref] if isinstance(ref, str) else ref
+        qualname = graph.resolve(module.name, chain)
+        if qualname is None or qualname not in graph.functions:
+            return
+        closure = (
+            graph.reachable([qualname], refs=False)
+            if transitive else frozenset({qualname})
+        )
+        for reached in sorted(closure):
+            if reached in checked:
+                continue
+            checked.add(reached)
+            target_mod, fn = graph.function_node(project, reached)
+            if target_mod is None or fn is None:
+                continue
+            via = (
+                "" if reached == qualname
+                else f" (called from dispatched `{qualname}`)"
+            )
+            for finding in self._check_mutation(target_mod, fn):
+                yield Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message + via,
+                    severity=finding.severity,
+                )
 
     def _check_mutation(
         self,

@@ -14,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.model import Finding, Project
+from repro.analysis.model import Finding, ParsedModule, Project
 from repro.analysis.registry import Rule, register
 from repro.analysis.visitors import iter_calls, with_context_exprs
 
@@ -28,25 +28,26 @@ class TelemetrySpanRule(Rule):
         "(`with tel.span(...):`) so it closes on all paths"
     )
 
-    def run(self, project: Project) -> Iterator[Finding]:
-        for module in project.modules:
-            as_context = with_context_exprs(module.tree)
-            for call in iter_calls(module.tree):
-                func = call.func
-                if not (
-                    isinstance(func, ast.Attribute)
-                    and func.attr == "span"
-                ):
-                    continue
-                if id(call) in as_context:
-                    continue
-                yield self.finding(
-                    module,
-                    call,
-                    "span opened outside a `with` block; it will not "
-                    "close on exception paths and later spans "
-                    "mis-nest — write `with ...span(name):`",
-                )
+    def run_module(
+        self, project: Project, module: ParsedModule
+    ) -> Iterator[Finding]:
+        as_context = with_context_exprs(module.tree)
+        for call in iter_calls(module.tree):
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "span"
+            ):
+                continue
+            if id(call) in as_context:
+                continue
+            yield self.finding(
+                module,
+                call,
+                "span opened outside a `with` block; it will not "
+                "close on exception paths and later spans "
+                "mis-nest — write `with ...span(name):`",
+            )
 
 
 register(TelemetrySpanRule())

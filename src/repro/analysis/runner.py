@@ -11,19 +11,69 @@ Root resolution, in order:
 The ``tests`` directory next to ``src`` (when present) is parsed too —
 only as *evidence* for the parity-coverage rule; module rules never
 flag test code.
+
+Two-tier result caching (the warm re-check path)
+------------------------------------------------
+
+With a ``cache`` (an :class:`~repro.runtime.cache.ArtifactCache`), the
+runner keys results on content, not time:
+
+- **check-module** — one entry per file, keyed on
+  ``(ANALYSIS_VERSION, module-rule ids, rel path, source sha)``.  Holds
+  the module-scope findings (kept and suppressed), the file's
+  suppression comments, and any parse failure — everything the file
+  alone determines.
+- **check-project** — one entry per tree state, keyed on the same
+  version + the project-scope rule ids + a manifest of every
+  ``(rel, sha)`` pair.  Holds the project-scope findings, which any
+  single changed file can invalidate (they flow through the call
+  graph).
+
+A fully warm re-check therefore never calls ``ast.parse``: it hashes
+the sources, loads the per-file entries plus the project entry, and
+assembles the report.  Any miss falls back to parsing the tree once;
+unchanged files still skip their module-rule execution.  ``jobs`` fans
+the per-file pass out over forked workers via
+:func:`repro.runtime.pmap.parallel_map` — results are bit-identical to
+the sequential run because both paths fold in item order.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.model import AnalysisError, Finding, Project
-from repro.analysis.registry import resolve_rules, run_rules
+from repro.analysis.model import (
+    AnalysisError,
+    Finding,
+    ParsedModule,
+    Project,
+    _module_name,
+    parse_source,
+)
+from repro.analysis.registry import RULES, Rule, all_rules, resolve_rules
+from repro.analysis.rules.meta import IgnoreInfo, unused_ignore_findings
 
-__all__ = ["CheckResult", "run_check", "resolve_root"]
+__all__ = [
+    "ANALYSIS_VERSION",
+    "CheckResult",
+    "run_check",
+    "resolve_root",
+]
+
+#: Bumped whenever rule semantics change; invalidates every cached
+#: result (the version is part of both cache keys).
+ANALYSIS_VERSION = 2
+
+#: Artifact kinds in the shared :class:`ArtifactCache`.
+MODULE_KIND = "check-module"
+PROJECT_KIND = "check-project"
+
+#: Rule computed by the runner itself, after the others finish.
+_META_RULE_ID = "unused-ignore"
 
 
 @dataclass
@@ -35,6 +85,11 @@ class CheckResult:
     findings: list[Finding]
     suppressed: list[Finding]
     n_files: int
+    #: Result-cache probes that hit / missed (0/0 when uncached).  A
+    #: fully warm run reports one hit per file plus one for the
+    #: project-scope entry.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -73,27 +128,369 @@ def resolve_root(root: str | os.PathLike[str] | None = None) -> Path:
     )
 
 
+# --------------------------------------------------------------------- #
+# File scan (reads + hashes, no parsing)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _SourceFile:
+    """One scanned file: bytes read once, parsed only on a miss."""
+
+    path: Path
+    rel: str
+    name: str  # dotted module name relative to its tree root
+    tree: str  # "src" | "tests"
+    source: str
+    sha: str
+
+
+def _scan_tree(
+    root: Path, tree_root: Path, label: str
+) -> list[_SourceFile]:
+    out: list[_SourceFile] = []
+    for path in sorted(tree_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {rel}: {exc}") from exc
+        out.append(
+            _SourceFile(
+                path=path,
+                rel=rel,
+                name=_module_name(path.relative_to(tree_root)),
+                tree=label,
+                source=data.decode("utf-8"),
+                sha=hashlib.sha256(data).hexdigest(),
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Per-file pass (cache-keyed, optionally forked)
+# --------------------------------------------------------------------- #
+def _file_entry(
+    project: Project, module: ParsedModule,
+    rules: Sequence[Rule], is_src: bool,
+) -> dict:
+    """The cacheable per-file result: module-rule findings + ignores."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    if is_src:
+        for rule in rules:
+            for finding in rule.run_module(project, module):
+                if module.is_suppressed(finding.rule, finding.line):
+                    suppressed.append(finding)
+                else:
+                    kept.append(finding)
+    kept.sort(key=lambda f: f.sort_key)
+    suppressed.sort(key=lambda f: f.sort_key)
+    return {
+        "findings": kept,
+        "suppressed": suppressed,
+        "parse_failure": None,
+        "ignores": IgnoreInfo.of(module),
+    }
+
+
+def _failure_entry(rel: str, failure: Finding) -> dict:
+    """Per-file entry for a file that does not parse."""
+    return {
+        "findings": [],
+        "suppressed": [],
+        "parse_failure": failure,
+        "ignores": IgnoreInfo(rel=rel),
+    }
+
+
+def _file_worker(rel: str, shared: object) -> dict:
+    """Pool-dispatched per-file worker (module-level, fork-inherited
+    ``shared``; the parallel-safety discipline)."""
+    project, rules, src_rels = shared  # type: ignore[misc]
+    module = project.module_by_rel[rel]
+    return _file_entry(project, module, rules, rel in src_rels)
+
+
+def _module_key(
+    module_ids: tuple[str, ...], sf: _SourceFile
+) -> tuple[object, ...]:
+    return (ANALYSIS_VERSION, module_ids, sf.rel, sf.sha)
+
+
+def _project_key(
+    cache,
+    project_ids: tuple[str, ...],
+    include_tests: bool,
+    sources: Sequence[_SourceFile],
+) -> str:
+    manifest = tuple((sf.rel, sf.sha) for sf in sources)
+    return cache.key_of(
+        PROJECT_KIND, ANALYSIS_VERSION, project_ids, include_tests,
+        manifest,
+    )
+
+
+# --------------------------------------------------------------------- #
+# The check itself
+# --------------------------------------------------------------------- #
+def _resolve_check_cache(cache, project_root: Path):
+    """``True`` means the default cache *under the project root* (so
+    checking two trees never cross-pollutes a cwd-relative cache)."""
+    from repro.runtime.cache import (
+        DEFAULT_CACHE_DIR,
+        ArtifactCache,
+        resolve_cache,
+    )
+
+    if cache is True or cache == "default":
+        env = os.environ.get("MASSF_CACHE_DIR")
+        return ArtifactCache(
+            Path(env) if env else project_root / DEFAULT_CACHE_DIR
+        )
+    return resolve_cache(cache)
+
+
+def _build_project(
+    project_root: Path,
+    src_root: Path,
+    tests_root: Path | None,
+    sources: Sequence[_SourceFile],
+) -> Project:
+    """Parse the scanned sources (read once, parsed once)."""
+    failures: list[Finding] = []
+    modules: list[ParsedModule] = []
+    test_modules: list[ParsedModule] | None = (
+        [] if tests_root is not None and tests_root.is_dir() else None
+    )
+    for sf in sources:
+        parsed = parse_source(sf.path, sf.rel, sf.name, sf.source)
+        if isinstance(parsed, Finding):
+            failures.append(parsed)
+        elif sf.tree == "src":
+            modules.append(parsed)
+        else:
+            assert test_modules is not None
+            test_modules.append(parsed)
+    return Project(
+        root=project_root,
+        src_root=src_root,
+        modules=modules,
+        test_modules=test_modules,
+        parse_failures=failures,
+    )
+
+
+def _run_project_rules(
+    project: Project, rules: Sequence[Rule]
+) -> dict:
+    """Project-scope findings, split kept / suppressed (cacheable)."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        for finding in rule.run(project):
+            module = project.module_by_rel.get(finding.path)
+            if module is not None and module.is_suppressed(
+                finding.rule, finding.line
+            ):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return {"findings": kept, "suppressed": suppressed}
+
+
+def _assemble(
+    project_root: Path,
+    selected: Sequence[Rule],
+    entries: dict[str, dict],
+    project_entry: dict,
+    src_rels: frozenset[str],
+    *,
+    strict: bool,
+    cache_hits: int,
+    cache_misses: int,
+) -> CheckResult:
+    """Fold per-file + project entries into the final report."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    infos: list[IgnoreInfo] = []
+    n_files = 0
+    for rel in sorted(entries):
+        entry = entries[rel]
+        if entry["parse_failure"] is not None:
+            kept.append(entry["parse_failure"])
+        else:
+            n_files += 1
+        kept.extend(entry["findings"])
+        suppressed.extend(entry["suppressed"])
+        if rel in src_rels:
+            # Rules never run against the tests tree, so no ignore
+            # there can ever be "used" — judging them would flag every
+            # deliberate suppression inside test fixture projects.
+            infos.append(entry["ignores"])
+    kept.extend(project_entry["findings"])
+    suppressed.extend(project_entry["suppressed"])
+    suppressed.sort(key=lambda f: f.sort_key)
+    if strict:
+        ran_ids = frozenset(
+            r.id for r in selected if r.id != _META_RULE_ID
+        )
+        defaults = frozenset(
+            r.id for r in all_rules() if r.enabled_by_default
+        )
+        kept.extend(
+            unused_ignore_findings(
+                infos,
+                suppressed,
+                ran_ids=ran_ids,
+                known_ids=frozenset(RULES),
+                ran_all=defaults <= ran_ids,
+            )
+        )
+    kept.sort(key=lambda f: f.sort_key)
+    return CheckResult(
+        root=project_root,
+        rules=[r.id for r in selected],
+        findings=kept,
+        suppressed=suppressed,
+        n_files=n_files,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+
+
 def run_check(
     root: str | os.PathLike[str] | None = None,
     *,
     rules: Sequence[str] | None = None,
     include_tests: bool = True,
+    jobs: int = 0,
+    cache: object = None,
+    strict_ignores: bool = False,
 ) -> CheckResult:
     """Run the selected rules over the project at ``root``.
 
     Raises :class:`AnalysisError` when the check itself cannot run
     (bad root, unknown rule id); findings are *returned*, never raised.
+
+    Parameters
+    ----------
+    jobs:
+        Fan the per-file pass out over this many forked workers
+        (``0``/``1`` = inline).  Findings are bit-identical either way.
+    cache:
+        Result cache: an :class:`~repro.runtime.cache.ArtifactCache`, a
+        directory path, ``True`` for ``<root>/.massf-cache``, or
+        ``None`` (default) for no caching.  A warm re-check skips
+        parsing entirely.
+    strict_ignores:
+        Also run the ``unused-ignore`` meta-rule over the suppression
+        comments (off by default; see :mod:`repro.analysis.rules.meta`).
     """
     project_root = resolve_root(root)
     src_root = project_root / "src"
     tests_root = project_root / "tests" if include_tests else None
-    selected = resolve_rules(rules)
-    project = Project.load(project_root, src_root, tests_root)
-    findings, suppressed = run_rules(project, selected)
-    return CheckResult(
-        root=project_root,
-        rules=[r.id for r in selected],
-        findings=findings,
-        suppressed=suppressed,
-        n_files=len(project.all_modules()),
+    if not src_root.is_dir():
+        raise AnalysisError(f"source root {src_root} is not a directory")
+
+    selected = list(resolve_rules(rules))
+    if strict_ignores and all(r.id != _META_RULE_ID for r in selected):
+        selected.append(RULES[_META_RULE_ID])
+    strict = any(r.id == _META_RULE_ID for r in selected)
+    module_rules = [r for r in selected if r.scope == "module"]
+    project_rules = [
+        r for r in selected
+        if r.scope == "project" and r.id != _META_RULE_ID
+    ]
+    module_ids = tuple(r.id for r in module_rules)
+    project_ids = tuple(r.id for r in project_rules)
+
+    art = _resolve_check_cache(cache, project_root)
+    sources = _scan_tree(project_root, src_root, "src")
+    if tests_root is not None and tests_root.is_dir():
+        sources += _scan_tree(project_root, tests_root, "tests")
+    by_rel = {sf.rel: sf for sf in sources}
+
+    # Warm probe: per-file entries + the project entry, no parsing yet.
+    entries: dict[str, dict] = {}
+    project_entry: dict | None = None
+    hits = misses = 0
+    if art is not None:
+        for sf in sources:
+            key = art.key_of(MODULE_KIND, *_module_key(module_ids, sf))
+            found, value = art.lookup(MODULE_KIND, key)
+            if found:
+                entries[sf.rel] = value
+        if project_rules:
+            pkey = _project_key(art, project_ids, include_tests, sources)
+            found, value = art.lookup(PROJECT_KIND, pkey)
+            if found:
+                project_entry = value
+        hits = len(entries) + (1 if project_entry is not None else 0)
+        misses = (len(sources) - len(entries)) + (
+            1 if project_rules and project_entry is None else 0
+        )
+
+    warm = (
+        art is not None
+        and len(entries) == len(sources)
+        and (project_entry is not None or not project_rules)
+    )
+    if not warm:
+        # Cold / mixed: parse once, fan the per-file pass out (cached
+        # files skip rule execution via the pmap cache integration).
+        from repro.runtime.pmap import parallel_map
+
+        project = _build_project(
+            project_root, src_root, tests_root, sources
+        )
+        parsed_rels = [m.rel for m in project.all_modules()]
+        shared = (
+            project,
+            tuple(module_rules),
+            frozenset(m.rel for m in project.modules),
+        )
+        def _key(rel: str) -> tuple[object, ...]:
+            return _module_key(module_ids, by_rel[rel])
+
+        results = parallel_map(
+            _file_worker,
+            parsed_rels,
+            workers=jobs,
+            shared=shared,
+            cache=art,
+            kind=MODULE_KIND,
+            key_of=_key if art is not None else None,
+        )
+        entries = dict(zip(parsed_rels, results))
+        for failure in project.parse_failures:
+            entry = _failure_entry(failure.path, failure)
+            entries[failure.path] = entry
+            if art is not None:
+                sf = by_rel[failure.path]
+                art.store(
+                    MODULE_KIND,
+                    art.key_of(MODULE_KIND, *_module_key(module_ids, sf)),
+                    entry,
+                )
+        if project_rules:
+            project_entry = _run_project_rules(project, project_rules)
+            if art is not None:
+                art.store(
+                    PROJECT_KIND,
+                    _project_key(art, project_ids, include_tests, sources),
+                    project_entry,
+                )
+    if project_entry is None:
+        project_entry = {"findings": [], "suppressed": []}
+    return _assemble(
+        project_root,
+        selected,
+        entries,
+        project_entry,
+        frozenset(sf.rel for sf in sources if sf.tree == "src"),
+        strict=strict,
+        cache_hits=hits,
+        cache_misses=misses,
     )

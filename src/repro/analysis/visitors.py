@@ -15,6 +15,7 @@ from typing import Iterator
 __all__ = [
     "ImportMap",
     "attach_parents",
+    "attribute_chain",
     "parent_of",
     "imported_target",
     "is_bare_builtin",
@@ -73,7 +74,7 @@ def parent_of(node: ast.AST) -> ast.AST | None:
     return getattr(node, _PARENT_ATTR, None)
 
 
-def _attribute_chain(node: ast.expr) -> list[str] | None:
+def attribute_chain(node: ast.expr) -> list[str] | None:
     """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
     parts: list[str] = []
     while isinstance(node, ast.Attribute):
@@ -84,6 +85,10 @@ def _attribute_chain(node: ast.expr) -> list[str] | None:
     parts.append(node.id)
     parts.reverse()
     return parts
+
+
+#: Backwards-compatible private alias (pre-callgraph spelling).
+_attribute_chain = attribute_chain
 
 
 def imported_target(node: ast.expr, imports: ImportMap) -> str | None:

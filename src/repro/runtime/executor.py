@@ -204,6 +204,24 @@ def _arm_soft_timeout(timeout_s: float) -> tuple[Any, bool]:
     return old_handler, True
 
 
+def _disarm_soft_timeout(old_handler: Any, timer_armed: bool) -> None:
+    """Cancel the soft timeout and restore the previous handler.
+
+    ``timer_armed`` is only True when :func:`_arm_soft_timeout`
+    succeeded (main thread, SIGALRM available), but the restore guards
+    itself anyway: catching ``ValueError`` here makes the disarm safe
+    to call from any thread even if the armed flag and the calling
+    thread ever disagree (e.g. a task resumed on a different thread).
+    """
+    if not timer_armed:
+        return
+    try:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+    except (ValueError, AttributeError):  # off-main-thread / platform
+        pass
+
+
 def _execute_task(
     task: _Task, cache: ArtifactCache | None = None,
     telemetry: Any = None,
@@ -263,9 +281,7 @@ def _execute_task(
         ]
         retryable = isinstance(exc, _TaskTimeout)
     finally:
-        if timer_armed:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, old_handler)
+        _disarm_soft_timeout(old_handler, timer_armed)
 
     # Report this task's counters; the parent merges them.  When the cache
     # object is shared (inline mode) the parent reads the live object and

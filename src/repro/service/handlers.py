@@ -25,6 +25,7 @@ warm-served responses are bit-identical to cold runs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict
 
 __all__ = [
@@ -37,16 +38,25 @@ __all__ = [
 ]
 
 _HANDLERS: dict[str, object] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+#: ``massf check`` lock-discipline contract: the registry is only
+#: written under its lock.  Registration normally happens at import
+#: time, but plugins/tests may register from any thread while workers
+#: are already resolving handlers.
+_GUARDED_BY = {"_HANDLERS": "_REGISTRY_LOCK"}
 
 
 def register_handler(kind: str, fn) -> None:
     """Register the handler for one request kind (module import time)."""
-    _HANDLERS[str(kind)] = fn
+    with _REGISTRY_LOCK:
+        _HANDLERS[str(kind)] = fn
 
 
 def handler_for(kind: str):
     """The registered handler, or ``None``."""
-    return _HANDLERS.get(str(kind))
+    with _REGISTRY_LOCK:
+        return _HANDLERS.get(str(kind))
 
 
 def _spec_with_changes(topology: dict, changes: list) -> dict:

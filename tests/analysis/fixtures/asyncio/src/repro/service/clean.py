@@ -1,0 +1,23 @@
+"""Known-good fixture: handlers run on threads; coroutines stay async."""
+
+import asyncio
+import time
+
+from repro.service.handlers import register_handler
+
+
+def handle_blocking(service, job, request):
+    time.sleep(0.1)
+    return {}
+
+
+register_handler("blocking", handle_blocking)
+
+
+async def poll(queue):
+    await asyncio.sleep(0.1)
+    return await queue.get()
+
+
+async def dispatch(request):
+    return handle_blocking(None, None, request)

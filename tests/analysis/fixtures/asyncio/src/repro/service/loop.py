@@ -1,0 +1,30 @@
+"""Known-bad fixture: blocking calls reachable from service coroutines."""
+
+import subprocess
+import time
+
+from repro.runtime.pmap import parallel_map
+
+
+def _expensive(item, shared):
+    return item
+
+
+def run_batch(items):
+    return parallel_map(_expensive, items)
+
+
+async def handle_tick(request):
+    time.sleep(0.1)
+    return request
+
+
+async def handle_run(request):
+    subprocess.run(["true"])
+    run_batch([1, 2])
+    return request
+
+
+async def handle_read(path):
+    with open(path) as handle:
+        return handle.read()

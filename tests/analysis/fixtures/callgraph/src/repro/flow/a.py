@@ -1,0 +1,14 @@
+from repro.flow import b
+from repro.util import transform as tf
+
+
+def run(x):
+    return b.wrap(tf(x))
+
+
+def indirect(fn, x):
+    return fn(x)
+
+
+def use_indirect(x):
+    return indirect(tf, x)

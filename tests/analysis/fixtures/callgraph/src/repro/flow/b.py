@@ -1,0 +1,6 @@
+def wrap(x):
+    from repro.flow.a import run
+
+    if x < 0:
+        return run(-x)
+    return x

@@ -1,0 +1,5 @@
+from repro.flow.y import thing
+
+
+def use(value):
+    return thing(value)

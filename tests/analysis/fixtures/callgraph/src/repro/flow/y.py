@@ -1,0 +1,1 @@
+from repro.flow.x import thing

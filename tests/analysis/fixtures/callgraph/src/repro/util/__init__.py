@@ -1,0 +1,1 @@
+from repro.util.impl import apply, transform

@@ -1,0 +1,9 @@
+def helper(x):
+    return x + 1
+
+
+def transform(x):
+    return helper(x)
+
+
+apply = transform

@@ -1,0 +1,25 @@
+"""Known-good fixture: every guarded write happens under its lock."""
+
+import threading
+
+_LOCK = threading.Lock()
+_STATS = {}
+
+_GUARDED_BY = {"_STATS": "_LOCK"}
+
+
+def record(key, value):
+    with _LOCK:
+        _STATS[key] = value
+
+
+class Counter:
+    _GUARDED_BY = {"_total": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def bump(self, amount):
+        with self._lock:
+            self._total += amount

@@ -1,0 +1,13 @@
+"""Fixture: dispatched workers are audited through their callees."""
+
+from repro.runtime.pmap import parallel_map
+
+from repro.core import sink
+
+
+def _worker(item, shared):
+    return sink.record(item)
+
+
+def run(items):
+    return parallel_map(_worker, items)

@@ -1,0 +1,6 @@
+_SEEN = {}
+
+
+def record(item):
+    _SEEN[item] = True
+    return item

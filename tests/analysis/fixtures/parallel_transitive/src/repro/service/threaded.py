@@ -1,0 +1,13 @@
+"""Thread handlers are checked shallow: their callees run in-process
+and may legitimately drive parent-side machinery like ``sink``."""
+
+from repro.service.handlers import register_handler
+
+from repro.core import sink
+
+
+def handle(service, job, request):
+    return sink.record(request)
+
+
+register_handler("rec", handle)

@@ -1,0 +1,23 @@
+"""Known-bad fixture: stale pool reuse after shared-array mutation."""
+
+from repro.runtime.pmap import PmapPool, parallel_map
+from repro.runtime.shm import ShmArena
+
+
+def _worker(item, shared):
+    return item
+
+
+def rebalance(spec, items):
+    arena = ShmArena(spec)
+    view = arena.array("load")
+    view[0] = 1.0
+    pool = PmapPool(4)
+    return parallel_map(_worker, items, pool=pool)
+
+
+def splice(spec, tasks):
+    arena = ShmArena(spec)
+    arena.bump()
+    pool = PmapPool(2)
+    return [pool.submit(_worker, task) for task in tasks]

@@ -1,0 +1,25 @@
+"""Known-good fixture: generation tokens / ensure-leases stay fresh."""
+
+from repro.runtime.pmap import PmapPool, parallel_map
+from repro.runtime.shm import ShmArena
+
+
+def _worker(item, shared):
+    return item
+
+
+def rebalance(spec, items, generation):
+    arena = ShmArena(spec)
+    view = arena.array("load")
+    view[0] = 1.0
+    pool = PmapPool(4)
+    return parallel_map(
+        _worker, items, pool=pool, generation=generation
+    )
+
+
+def leased(spec, registry, tasks):
+    arena = ShmArena(spec)
+    arena.bump()
+    executor = registry.ensure(arena, 1)
+    return [executor.submit(_worker, task) for task in tasks]

@@ -1,0 +1,27 @@
+"""Regression fixture: only pool-resolvable receivers trip ``.submit``.
+
+``JobQueue.submit(payload)`` is an RPC-style enqueue, not a fork
+dispatch; flagging it was the false positive that motivated tightening
+``_is_pool_submit``.  The executor path below must still be caught.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.service.jobs import JobQueue
+
+_STATE = {}
+
+
+def _task(item, shared):
+    _STATE[item] = shared
+    return item
+
+
+def through_queue(job):
+    q = JobQueue(8)
+    return q.submit(job)
+
+
+def through_pool(items):
+    executor = ProcessPoolExecutor(2)
+    return [executor.submit(_task, item) for item in items]

@@ -1,0 +1,20 @@
+"""Known-good fixture: views released before their arena unmaps."""
+
+from repro.runtime.shm import ShmArena
+
+
+def privatized(spec):
+    arena = ShmArena(spec)
+    view = arena.array("dist")
+    result = view.privatize()
+    arena.close()
+    return result
+
+
+def deleted(spec):
+    arena = ShmArena(spec)
+    view = arena.array("dist")
+    total = float(view.sum())
+    del view
+    arena.close()
+    return total

@@ -1,0 +1,28 @@
+"""Known-bad fixture: shm lifecycle violations."""
+
+import pickle
+
+from repro.runtime.pmap import parallel_map
+from repro.runtime.shm import ShmArena, attach
+
+
+def close_with_live_view(spec):
+    arena = ShmArena(spec)
+    view = arena.array("dist")
+    total = float(view.sum())
+    arena.close()
+    return total
+
+
+def ship_object(spec):
+    arena = ShmArena(spec)
+    return pickle.dumps(arena)
+
+
+def _attach_worker(handle, shared):
+    arena = attach(handle)
+    return arena
+
+
+def run(handles):
+    return parallel_map(_attach_worker, handles)

@@ -1,0 +1,33 @@
+"""Known-bad fixture: signal installation reachable from thread entries."""
+
+import signal
+import threading
+
+from repro.service.handlers import register_handler
+
+
+def _on_alarm(signum, frame):
+    raise TimeoutError("deadline")
+
+
+def _arm(timeout):
+    signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+
+
+def handle_map(service, job, request):
+    _arm(request.timeout)
+    return {}
+
+
+register_handler("map", handle_map)
+
+
+def _poll():
+    signal.alarm(1)
+
+
+def start_worker():
+    thread = threading.Thread(target=_poll)
+    thread.start()
+    return thread

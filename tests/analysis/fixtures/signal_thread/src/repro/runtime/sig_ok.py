@@ -1,0 +1,30 @@
+"""Known-good fixture: signal use guarded for worker threads."""
+
+import signal
+import threading
+
+from repro.service.handlers import register_handler
+
+
+def _arm_guarded(timeout):
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    return True
+
+
+def _disarm(old_handler):
+    try:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+    except ValueError:
+        pass
+
+
+def handle_map(service, job, request):
+    _arm_guarded(request.timeout)
+    _disarm(None)
+    return {}
+
+
+register_handler("map", handle_map)

@@ -1,0 +1,6 @@
+"""File-level ignore that suppresses nothing."""
+# massf: ignore-file[set-iteration]
+
+
+def order(seen):
+    return sorted(seen)

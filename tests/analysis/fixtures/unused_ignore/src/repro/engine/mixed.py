@@ -1,0 +1,19 @@
+"""Fixture: used, stale, and unknown-rule suppression comments."""
+
+import random
+
+
+def jitter():
+    return random.random()  # massf: ignore[unseeded-rng]
+
+
+def stale():
+    return 1.0  # massf: ignore[unseeded-rng]
+
+
+def typo():
+    return 2.0  # massf: ignore[unseded-rng]
+
+
+def blanket():
+    return 3.0  # massf: ignore

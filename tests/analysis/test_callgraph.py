@@ -1,0 +1,158 @@
+"""Call-graph builder: exact edges over a fixture mini-project, alias
+and re-export canonicalization, cycle termination, and a property test
+that reachability is monotone under edge/root addition."""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.callgraph import CallGraph, get_callgraph, reachable_from
+from repro.analysis.model import Project
+
+FIXTURE = Path(__file__).parent / "fixtures" / "callgraph"
+
+TRANSFORM = "repro.util.impl.transform"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    project = Project.load(FIXTURE, FIXTURE / "src", None)
+    return CallGraph.build(project)
+
+
+def test_symbols(graph):
+    assert sorted(graph.functions) == [
+        "repro.flow.a.<module>",
+        "repro.flow.a.indirect",
+        "repro.flow.a.run",
+        "repro.flow.a.use_indirect",
+        "repro.flow.b.<module>",
+        "repro.flow.b.wrap",
+        "repro.flow.x.<module>",
+        "repro.flow.x.use",
+        "repro.flow.y.<module>",
+        "repro.util.<module>",
+        "repro.util.impl.<module>",
+        "repro.util.impl.helper",
+        "repro.util.impl.transform",
+    ]
+
+
+def test_exact_edges(graph):
+    edges = sorted(
+        (e.caller, e.callee, e.kind) for e in graph.edges
+    )
+    assert edges == [
+        # run(x): b.wrap(...) through a module import, tf(...) through a
+        # from-as alias that itself goes through the package __init__.
+        ("repro.flow.a.run", "repro.flow.b.wrap", "call"),
+        ("repro.flow.a.run", TRANSFORM, "call"),
+        ("repro.flow.a.use_indirect", "repro.flow.a.indirect", "call"),
+        # tf passed as an argument: a one-hop-indirect "ref" edge.
+        ("repro.flow.a.use_indirect", TRANSFORM, "ref"),
+        # wrap() closes the a <-> b import cycle via a function-local
+        # import; the builder must still bind and terminate.
+        ("repro.flow.b.wrap", "repro.flow.a.run", "call"),
+        # module-level alias `apply = transform` refs from the module
+        # pseudo-node.
+        ("repro.util.impl.<module>", TRANSFORM, "ref"),
+        (TRANSFORM, "repro.util.impl.helper", "call"),
+    ]
+
+
+def test_reexport_and_alias_canonicalization(graph):
+    # __init__ re-export chained through a module-level alias.
+    assert graph.canonical("repro.util.apply") == TRANSFORM
+    # from-as binding in the importing module.
+    assert graph.resolve("repro.flow.a", ["tf"]) == TRANSFORM
+
+
+def test_mutual_reexport_cycle_terminates(graph):
+    # x and y re-export `thing` from each other; nothing defines it.
+    # canonical() must stop at the seen-set, not loop forever.
+    resolved = graph.resolve("repro.flow.x", ["thing"])
+    assert resolved is not None
+    assert resolved not in graph.functions
+
+
+def test_local_names_do_not_resolve(graph):
+    # indirect()'s `fn` is a parameter: no edge may be fabricated.
+    callees = {
+        e.callee for e in graph.edges
+        if e.caller == "repro.flow.a.indirect"
+    }
+    assert callees == set()
+
+
+def test_reachability_refs_vs_calls(graph):
+    roots = ["repro.flow.a.use_indirect"]
+    # With ref edges, the function passed as a value is reachable (and
+    # so is its own callee); call-only reachability stops at indirect().
+    assert graph.reachable(roots) == {
+        "repro.flow.a.use_indirect",
+        "repro.flow.a.indirect",
+        TRANSFORM,
+        "repro.util.impl.helper",
+    }
+    assert graph.reachable(roots, refs=False) == {
+        "repro.flow.a.use_indirect",
+        "repro.flow.a.indirect",
+    }
+
+
+def test_cycle_reachability_closes(graph):
+    # a.run -> b.wrap -> a.run: BFS must close the loop and stop.
+    assert graph.reachable(["repro.flow.a.run"], refs=False) == {
+        "repro.flow.a.run",
+        "repro.flow.b.wrap",
+        TRANSFORM,
+        "repro.util.impl.helper",
+    }
+
+
+def test_witness_paths_name_the_root(graph):
+    origin = graph.witness_paths(["repro.flow.a.use_indirect"])
+    assert origin["repro.util.impl.helper"] == "repro.flow.a.use_indirect"
+
+
+def test_get_callgraph_is_memoized():
+    project = Project.load(FIXTURE, FIXTURE / "src", None)
+    assert get_callgraph(project) is get_callgraph(project)
+
+
+# --------------------------------------------------------------------- #
+# Property: reachability is monotone.
+# --------------------------------------------------------------------- #
+_NODES = st.integers(min_value=0, max_value=11).map(lambda i: f"n{i}")
+_EDGEMAPS = st.dictionaries(
+    _NODES, st.lists(_NODES, max_size=4).map(tuple), max_size=12
+)
+
+
+@given(edges=_EDGEMAPS, roots=st.lists(_NODES, max_size=4),
+       extra_src=_NODES, extra_dst=_NODES)
+def test_reachability_monotone_under_edge_addition(
+    edges, roots, extra_src, extra_dst
+):
+    before = reachable_from(edges, roots)
+    grown = dict(edges)
+    grown[extra_src] = (*grown.get(extra_src, ()), extra_dst)
+    assert before <= reachable_from(grown, roots)
+
+
+@given(edges=_EDGEMAPS, roots=st.lists(_NODES, max_size=4),
+       extra_root=_NODES)
+def test_reachability_monotone_under_root_addition(
+    edges, roots, extra_root
+):
+    before = reachable_from(edges, roots)
+    assert before <= reachable_from(edges, [*roots, extra_root])
+
+
+@given(edges=_EDGEMAPS, roots=st.lists(_NODES, max_size=4))
+def test_reachability_contains_roots_and_is_idempotent(edges, roots):
+    closure = reachable_from(edges, roots)
+    assert set(roots) <= closure
+    assert reachable_from(edges, closure) == closure

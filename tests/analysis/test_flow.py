@@ -1,0 +1,104 @@
+"""Unit tests for the intraprocedural alias/lifetime pass."""
+
+import ast
+
+from repro.analysis.flow import call_chain, function_flow, iter_functions
+
+SRC = """\
+def f(arena, h):
+    view = arena.array("x")
+    copied = arena
+    item = arena[0]
+    del view
+    view = attach(h)
+    with lease() as guard:
+        pass
+"""
+
+ASYNC_SRC = """\
+async def g(q):
+    res = await q.get()
+    return res
+"""
+
+
+def _func(src):
+    return ast.parse(src).body[0]
+
+
+def _resolver(chain):
+    return {"attach": "repro.runtime.shm.attach"}.get(".".join(chain))
+
+
+def test_params_and_events():
+    flow = function_flow(_func(SRC))
+    assert flow.params == frozenset({"arena", "h"})
+    binds = flow.bindings_of("view")
+    assert [b.line for b in binds] == [2, 6]
+    assert binds[0].origin == "arena.array"
+    assert binds[0].root == "arena"
+    assert binds[0].is_call is True
+
+
+def test_resolver_canonicalizes_call_origins():
+    flow = function_flow(_func(SRC), resolve=_resolver)
+    # origin_of reports the *last* binding: the attach() rebind.
+    assert flow.origin_of("view") == "repro.runtime.shm.attach"
+    # without a resolver the raw chain is kept
+    assert function_flow(_func(SRC)).origin_of("view") == "attach"
+
+
+def test_subscript_origin_and_param_aliases():
+    flow = function_flow(_func(SRC))
+    (item,) = flow.bindings_of("item")
+    assert item.origin == "arena.__getitem__"
+    assert item.root == "arena"
+    # both the plain copy and the subscript derive from parameter arena
+    assert flow.param_aliases == {"copied": "arena", "item": "arena"}
+
+
+def test_del_and_rebind_release():
+    flow = function_flow(_func(SRC))
+    assert flow.del_lines == {"view": [5]}
+    # released by del (line 5) within (2, 6)
+    assert flow.released_between("view", 2, 6)
+    # nothing releases `item` after its own binding
+    assert not flow.released_between("item", 4, 9)
+
+
+def test_with_bindings():
+    flow = function_flow(_func(SRC))
+    (guard,) = flow.bindings_of("guard")
+    assert guard.line == 7
+    assert guard.origin == "lease"
+    assert guard.is_call is True
+
+
+def test_await_unwraps_to_call_facts():
+    flow = function_flow(_func(ASYNC_SRC))
+    (res,) = flow.bindings_of("res")
+    assert res.origin == "q.get"
+    assert res.root == "q"
+    assert res.is_call is True
+
+
+def test_call_chain():
+    call = ast.parse("a.b.c(1)", mode="eval").body
+    assert call_chain(call) == "a.b.c"
+    assert call_chain(call, lambda chain: "mod." + chain[-1]) == "mod.c"
+    dynamic = ast.parse("fns[0](1)", mode="eval").body
+    assert call_chain(dynamic) is None
+
+
+def test_iter_functions_finds_nested_and_methods():
+    tree = ast.parse(
+        "def a():\n"
+        "    def b():\n"
+        "        pass\n"
+        "class C:\n"
+        "    async def m(self):\n"
+        "        pass\n"
+    )
+    assert sorted(fn.name for fn in iter_functions(tree)) == [
+        "a", "b", "m"
+    ]

@@ -1,0 +1,52 @@
+"""Parallel-safety across module boundaries and the ``.submit`` fix.
+
+Two fixtures: ``parallel_transitive`` proves dispatched workers are
+audited through their cross-module callees (and that thread handlers
+stay shallow); ``pool_submit`` is the regression fixture for the
+receiver-resolution tightening — queue-like ``.submit`` RPC calls must
+not be treated as fork dispatch.
+"""
+
+from tests.analysis.conftest import check_fixture, locations
+
+
+class TestTransitiveWorkerAudit:
+    def test_cross_module_callee_is_flagged(self):
+        result = check_fixture("parallel_transitive", "parallel-safety")
+        assert locations(result.findings) == [
+            ("parallel-safety", "src/repro/core/sink.py", 5),
+        ]
+
+    def test_message_names_the_dispatched_root(self):
+        result = check_fixture("parallel_transitive", "parallel-safety")
+        (finding,) = result.findings
+        assert "mutates module-level object `_SEEN`" in finding.message
+        assert finding.message.endswith(
+            "(called from dispatched `repro.core.chain._worker`)"
+        )
+
+    def test_thread_handlers_are_not_transitive(self):
+        # threaded.py registers a handler that calls the same mutating
+        # sink.record; handlers run in-process, so only the handler body
+        # itself is audited — exactly one finding for the whole project.
+        result = check_fixture("parallel_transitive", "parallel-safety")
+        assert len(result.findings) == 1
+
+
+class TestPoolSubmitReceiverResolution:
+    def test_queue_submit_is_not_dispatch(self):
+        # q = JobQueue(8); q.submit(job) — enqueue RPC, not a fork.
+        # Before the fix this dispatched `job` (an opaque name) and
+        # produced spurious findings on .submit receivers generally.
+        result = check_fixture("pool_submit", "parallel-safety")
+        assert locations(result.findings) == [
+            ("parallel-safety", "src/repro/service/queueing.py", 16),
+        ]
+
+    def test_executor_submit_still_dispatches(self):
+        # The one finding comes from the ProcessPoolExecutor path: the
+        # submitted _task mutates a module-level dict.
+        result = check_fixture("pool_submit", "parallel-safety")
+        (finding,) = result.findings
+        assert "worker function `_task`" in finding.message
+        assert "mutates module-level object `_STATE`" in finding.message

@@ -15,6 +15,11 @@ EXPECTED_RULES = {
     "parity-coverage",
     "parallel-safety",
     "telemetry-span",
+    "asyncio-blocking",
+    "shm-lifecycle",
+    "lock-discipline",
+    "signal-main-thread",
+    "pool-generation",
 }
 
 

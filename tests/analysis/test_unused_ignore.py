@@ -1,0 +1,63 @@
+"""The ``unused-ignore`` meta-rule (opt-in via ``--strict-ignores``)."""
+
+from pathlib import Path
+
+from repro.analysis import run_check
+
+ROOT = Path(__file__).parent / "fixtures" / "unused_ignore"
+MIXED = "src/repro/engine/mixed.py"
+FILELVL = "src/repro/engine/filelvl.py"
+
+
+def _locs(findings):
+    return [(f.rule, f.path, f.line) for f in findings]
+
+
+def test_off_by_default():
+    result = run_check(ROOT, rules=["unseeded-rng"])
+    assert result.findings == []
+    # the one used ignore did its job
+    assert [(f.rule, f.line) for f in result.suppressed] == [
+        ("unseeded-rng", 7)
+    ]
+
+
+def test_strict_reports_stale_and_unknown_for_selected_rules():
+    result = run_check(
+        ROOT, rules=["unseeded-rng"], strict_ignores=True
+    )
+    assert _locs(result.findings) == [
+        ("unused-ignore", MIXED, 11),  # stale: rule ran, no finding
+        ("unused-ignore", MIXED, 15),  # unknown rule id: always stale
+    ]
+    by_line = {f.line: f.message for f in result.findings}
+    assert "suppresses nothing" in by_line[11]
+    assert "unknown rule `unseded-rng`" in by_line[15]
+    # meta rule joins the executed-rules list
+    assert result.rules == ["unseeded-rng", "unused-ignore"]
+
+
+def test_used_ignore_is_never_reported():
+    result = run_check(
+        ROOT, rules=["unseeded-rng"], strict_ignores=True
+    )
+    assert not any(f.line == 7 for f in result.findings)
+
+
+def test_wildcard_and_file_ignores_need_the_full_rule_set():
+    # A bare `# massf: ignore` (line 19) and a file-level ignore for a
+    # rule that did not run can only be judged stale when every default
+    # rule executed; with a partial selection they are left alone...
+    partial = run_check(
+        ROOT, rules=["unseeded-rng"], strict_ignores=True
+    )
+    assert not any(f.line == 19 for f in partial.findings)
+    assert not any(f.path == FILELVL for f in partial.findings)
+    # ...and reported once the whole default set runs.
+    full = run_check(ROOT, strict_ignores=True)
+    assert _locs(full.findings) == [
+        ("unused-ignore", FILELVL, 2),   # file-level, rule ran clean
+        ("unused-ignore", MIXED, 11),
+        ("unused-ignore", MIXED, 15),
+        ("unused-ignore", MIXED, 19),    # wildcard suppressing nothing
+    ]
